@@ -1,0 +1,24 @@
+//! Baseline comparison tools.
+//!
+//! The paper validates CCC against eight vulnerability analyzers on
+//! SmartBugs Curated (Table 1) and CCD against SmartEmbed on the honeypot
+//! dataset (Table 3). This crate provides working stand-ins for both:
+//!
+//! * [`analyzers`] — simplified models of ConFuzzius, Conkas, Mythril,
+//!   Osiris, Oyente, Securify, Slither and SmartCheck, driven by cheap
+//!   syntactic base patterns plus each tool's published per-category
+//!   coverage/sensitivity/noise profile (derived from Table 1 — the only
+//!   public per-tool data).
+//! * [`smartembed`] — a genuine structural-code-embedding clone detector
+//!   (frequency vectors over structural tokens and parent–child bigrams,
+//!   cosine similarity at the authors' 0.9 threshold) that, like the real
+//!   SmartEmbed, cannot analyze incomplete snippets.
+
+
+#![warn(missing_docs)]
+
+pub mod analyzers;
+pub mod smartembed;
+
+pub use analyzers::{all_analyzers, Analyzer, ToolFinding};
+pub use smartembed::{embed, Embedding, SmartEmbed, SMARTEMBED_THRESHOLD};

@@ -1,0 +1,74 @@
+//! CCD benchmarks: the matching cost behind Tables 3 and 9.
+//!
+//! * `ccd/fingerprint` — normalize + tokenize + fuzzy-hash one contract.
+//! * `ccd/match/{size}` — match one snippet against indexed corpora of
+//!   growing size (the η-filtered fast path of §5.5).
+//! * `ccd/honeypot_pairwise` — the full Table 3 all-pairs workload on a
+//!   subset of the honeypot dataset.
+
+use ccd::{CcdParams, CloneDetector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn corpus_sources(n: usize) -> Vec<String> {
+    let ds = bench::honeypots();
+    ds.contracts
+        .iter()
+        .cycle()
+        .take(n)
+        .map(|c| c.source.clone())
+        .collect()
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let source = &bench::honeypots().contracts[0].source.clone();
+    c.bench_function("ccd/fingerprint", |b| {
+        b.iter(|| black_box(CloneDetector::fingerprint_source(black_box(source))))
+    });
+}
+
+fn bench_match_scaling(c: &mut Criterion) {
+    let query_src = &bench::honeypots().contracts[0].source.clone();
+    let query = CloneDetector::fingerprint_source(query_src).unwrap();
+    let mut group = c.benchmark_group("ccd/match");
+    for size in [50usize, 200, 379] {
+        let mut detector = CloneDetector::new(CcdParams::best());
+        for (i, source) in corpus_sources(size).iter().enumerate() {
+            detector.insert_source(i as u64, source);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(size), &detector, |b, d| {
+            b.iter(|| black_box(d.matches(black_box(&query))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_honeypot_pairwise(c: &mut Criterion) {
+    let ds = bench::honeypots();
+    let subset: Vec<&str> = ds.contracts.iter().take(60).map(|h| h.source.as_str()).collect();
+    c.bench_function("ccd/honeypot_pairwise_60", |b| {
+        b.iter(|| {
+            let mut detector = CloneDetector::new(CcdParams::best());
+            let mut fps = Vec::new();
+            for (i, source) in subset.iter().enumerate() {
+                if let Some(fp) = CloneDetector::fingerprint_source(source) {
+                    detector.insert_fingerprint(i as u64, fp.clone());
+                    fps.push(fp);
+                }
+            }
+            let mut pairs = 0usize;
+            for fp in &fps {
+                pairs += detector.matches(fp).len();
+            }
+            black_box(pairs)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fingerprint,
+    bench_match_scaling,
+    bench_honeypot_pairwise
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Front-end benchmarks: parsing and CPG construction throughput — the
+//! per-contract cost floor of the §6 validation pipeline.
+
+use cpg::Cpg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sample_contract() -> String {
+    bench::curated().files[0].source()
+}
+
+fn bench_lex(c: &mut Criterion) {
+    let source = sample_contract();
+    c.bench_function("frontend/lex", |b| {
+        b.iter(|| black_box(solidity::lexer::lex(black_box(&source)).unwrap()))
+    });
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let source = sample_contract();
+    let mut group = c.benchmark_group("frontend/parse");
+    group.bench_function("snippet_grammar", |b| {
+        b.iter(|| black_box(solidity::parse_snippet(black_box(&source)).unwrap()))
+    });
+    group.bench_function("standard_grammar", |b| {
+        b.iter(|| black_box(solidity::parse_source(black_box(&source))))
+    });
+    group.finish();
+}
+
+fn bench_cpg_build(c: &mut Criterion) {
+    let source = sample_contract();
+    let unit = solidity::parse_snippet(&source).unwrap();
+    c.bench_function("frontend/cpg_build", |b| {
+        b.iter(|| black_box(Cpg::from_unit(black_box(&unit))))
+    });
+}
+
+fn bench_query_engine(c: &mut Criterion) {
+    let cpg = Cpg::from_snippet(
+        "contract C { uint total; function add(uint amount) public { total += amount; } }",
+    )
+    .unwrap();
+    let query = graphquery::parse_query(
+        "MATCH (p:ParamVariableDeclaration)-[:DFG*]->(f:FieldDeclaration) RETURN p",
+    )
+    .unwrap();
+    c.bench_function("frontend/graphquery", |b| {
+        b.iter(|| {
+            let source = graphquery::CpgSource::new(&cpg.graph);
+            black_box(graphquery::run_var(black_box(&query), &source, "p"))
+        })
+    });
+}
+
+criterion_group!(benches, bench_lex, bench_parse, bench_cpg_build, bench_query_engine);
+criterion_main!(benches);

@@ -1,0 +1,405 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin tables -- all
+//! cargo run --release -p bench --bin tables -- table1
+//! cargo run --release -p bench --bin tables -- table7 --scale 0.05
+//! ```
+//!
+//! Tables 1–3 and 9 run on the fixed benchmark datasets; Tables 4–8 and
+//! Figure 9 run the study pipeline at the given scale (default 0.05).
+
+use ccc::Dasp;
+use ccd::CcdParams;
+use pipeline::eval_ccc::{evaluate_all_baselines, evaluate_ccc, evaluate_snippet_levels};
+use pipeline::eval_ccd::{evaluate_ccd, evaluate_smartembed, sweep_ccd};
+use pipeline::report::{f3, pct, Table};
+use pipeline::{adoptions, correlations, dedup_contracts, run_audit, run_funnel, run_study, StudyConfig};
+use corpus::honeypots::HoneypotType;
+use corpus::smartbugs::{derive_functions, derive_statements};
+
+struct Args {
+    what: String,
+    scale: f64,
+}
+
+fn parse_args() -> Args {
+    let mut what = "all".to_string();
+    let mut scale = bench::DEFAULT_SCALE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(bench::DEFAULT_SCALE);
+            }
+            other => what = other.to_string(),
+        }
+    }
+    Args { what, scale }
+}
+
+fn main() {
+    let args = parse_args();
+    let what = args.what.as_str();
+    let run_all = what == "all";
+
+    if run_all || what == "table1" {
+        table1();
+    }
+    if run_all || what == "table2" {
+        table2();
+    }
+    if run_all || what == "table3" {
+        table3();
+    }
+    if run_all || what == "table9" || what == "figure9" {
+        table9_figure9();
+    }
+    if run_all || what == "figure2" {
+        figure2();
+    }
+    if run_all || what == "figure5" {
+        figure5();
+    }
+    if run_all
+        || matches!(what, "table4" | "table5" | "table6" | "table7" | "table8" | "study")
+    {
+        study_tables(args.scale, what, run_all);
+    }
+}
+
+// ===== Table 1: CCC vs 8 tools on the curated dataset =======================
+
+fn table1() {
+    eprintln!("[table1] building curated dataset and running 9 tools...");
+    let dataset = bench::curated();
+    let ccc = evaluate_ccc(&dataset);
+    let baselines = evaluate_all_baselines(&dataset);
+
+    let mut table = Table::new("Table 1 — tool comparison on SmartBugs-Curated analog (TP/FP)")
+        .header(&{
+            let mut h = vec!["Category", "#", "CCC"];
+            for b in &baselines {
+                h.push(Box::leak(b.tool.clone().into_boxed_str()));
+            }
+            h
+        });
+    for category in Dasp::ALL {
+        if *category == Dasp::UnknownUnknowns {
+            continue;
+        }
+        let labels = dataset.labels_of(*category);
+        let mut row = vec![category.name().to_string(), labels.to_string()];
+        let cell = |result: &pipeline::eval_ccc::ToolResult| -> String {
+            result
+                .per_category
+                .get(category)
+                .map(|c| format!("{}/{}", c.tp, c.fp))
+                .unwrap_or_else(|| "0/0".to_string())
+        };
+        row.push(cell(&ccc));
+        for b in &baselines {
+            row.push(cell(b));
+        }
+        table.row(row);
+    }
+    let mut totals = vec!["Total".to_string(), dataset.total_labels().to_string()];
+    let mut prs = vec!["Precision/Recall".to_string(), String::new()];
+    for result in std::iter::once(&ccc).chain(&baselines) {
+        let t = result.total();
+        totals.push(format!("{}/{}", t.tp, t.fp));
+        prs.push(format!("{}/{}", pct(t.precision()), pct(t.recall())));
+    }
+    table.row(totals);
+    table.row(prs);
+    println!("{}", table.render());
+}
+
+// ===== Table 2: snippet-level datasets =======================================
+
+fn table2() {
+    eprintln!("[table2] deriving Functions/Statements datasets...");
+    let original = bench::curated();
+    let functions = derive_functions(&original);
+    let statements = derive_statements(&original);
+    let rows = evaluate_snippet_levels(&original, &functions, &statements);
+    let mut table = Table::new("Table 2 — CCC on Original / Functions / Statements")
+        .header(&["Dataset", "TP", "FP", "Precision", "Recall"]);
+    for row in rows {
+        table.row(vec![
+            row.dataset,
+            row.confusion.tp.to_string(),
+            row.confusion.fp.to_string(),
+            pct(row.confusion.precision()),
+            pct(row.confusion.recall()),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+// ===== Table 3: CCD vs SmartEmbed on honeypots ================================
+
+fn table3() {
+    eprintln!("[table3] running CCD and SmartEmbed over the honeypot dataset...");
+    let dataset = bench::honeypots();
+    let ccd = evaluate_ccd(&dataset, CcdParams::best());
+    let smartembed = evaluate_smartembed(&dataset);
+    let mut table = Table::new("Table 3 — SmartEmbed vs CCD on honeypots (TP/FP per type)")
+        .header(&["Honeypot Type", "SmartEmbed", "CCD"]);
+    for ty in HoneypotType::ALL {
+        let cell = |r: &pipeline::eval_ccd::HoneypotResult| {
+            r.per_type
+                .get(ty)
+                .map(|c| format!("{}/{}", c.tp, c.fp))
+                .unwrap_or_default()
+        };
+        table.row(vec![ty.name().to_string(), cell(&smartembed), cell(&ccd)]);
+    }
+    let (ts, tc) = (smartembed.total(), ccd.total());
+    table.row(vec![
+        "Total".into(),
+        format!("{}/{}", ts.tp, ts.fp),
+        format!("{}/{}", tc.tp, tc.fp),
+    ]);
+    table.row(vec![
+        "Precision".into(),
+        f3(ts.precision()),
+        f3(tc.precision()),
+    ]);
+    table.row(vec!["Recall".into(), f3(ts.recall()), f3(tc.recall())]);
+    table.row(vec!["F1".into(), f3(ts.f1()), f3(tc.f1())]);
+    println!("{}", table.render());
+}
+
+// ===== Table 9 + Figure 9: the parameter sweep ================================
+
+fn table9_figure9() {
+    eprintln!("[table9/figure9] sweeping 75 parameter combinations...");
+    let dataset = bench::honeypots();
+    let rows = sweep_ccd(&dataset);
+    let smartembed = evaluate_smartembed(&dataset).total();
+
+    let mut table = Table::new(
+        "Table 9 / Figure 9 — CCD parameter sweep (precision/recall per N, eta, epsilon)",
+    )
+    .header(&["N", "eta", "eps", "Precision", "Recall", "F1"]);
+    for row in &rows {
+        table.row(vec![
+            row.params.ngram_size.to_string(),
+            format!("{:.1}", row.params.eta),
+            format!("{:.1}", row.params.epsilon / 100.0),
+            f3(row.precision),
+            f3(row.recall),
+            f3(row.f1),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "SmartEmbed reference lines (Fig. 9): precision {} recall {}",
+        f3(smartembed.precision()),
+        f3(smartembed.recall())
+    );
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap())
+        .unwrap();
+    println!(
+        "best F1 combination: N={} eta={:.1} eps={:.1} (P {} R {} F1 {})\n",
+        best.params.ngram_size,
+        best.params.eta,
+        best.params.epsilon / 100.0,
+        f3(best.precision),
+        f3(best.recall),
+        f3(best.f1)
+    );
+}
+
+// ===== Figures 2 and 5 ========================================================
+
+fn figure2() {
+    println!("== Figure 2 — CPG of `if (msg.sender == owner) {{}}` ==");
+    let cpg = cpg::Cpg::from_snippet("if (msg.sender == owner) {}").unwrap();
+    println!(
+        "{}",
+        cpg::dot::to_dot_filtered(&cpg.graph, |k| k != cpg::NodeKind::TranslationUnit)
+    );
+}
+
+fn figure5() {
+    println!("== Figure 5 — similar snippets, similar fingerprints ==");
+    let unsafe_src = "contract Unsafe { function unsafeWithdraw(uint value) { \
+                      msg.sender.transfer(value); } }";
+    let safe_src = "contract Unsafe { function unsafeWithdraw(uint value) { \
+                    msg.sender.transfer(value); } \
+                    address deployer; constructor() { deployer = msg.sender; } }";
+    let a = ccd::CloneDetector::fingerprint_source(unsafe_src).unwrap();
+    let b = ccd::CloneDetector::fingerprint_source(safe_src).unwrap();
+    println!("without constructor: {a}");
+    println!("with constructor:    {b}");
+    println!(
+        "shared sub-fingerprints: {:?}",
+        a.sub_fingerprints()
+            .into_iter()
+            .filter(|s| b.sub_fingerprints().contains(s))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "order-independent similarity: ε(small→large) = {:.1}, ε(large→small) = {:.1}",
+        ccd::order_independent_similarity(&a, &b),
+        ccd::order_independent_similarity(&b, &a)
+    );
+    println!("(the added constructor only appends a piece; the withdraw piece is untouched)\n");
+}
+
+// ===== Tables 4–8: the study ==================================================
+
+fn study_tables(scale: f64, what: &str, run_all: bool) {
+    eprintln!("[study] generating corpora at scale {scale}...");
+    let qa = bench::qa(scale);
+    let contracts = bench::sanctuary(&qa, scale);
+    eprintln!(
+        "[study] {} posts, {} snippets, {} contracts",
+        qa.posts.len(),
+        qa.snippets.len(),
+        contracts.contracts.len()
+    );
+    let funnel = run_funnel(&qa);
+
+    if run_all || what == "table4" || what == "study" {
+        let mut table = Table::new("Table 4 — Solidity code snippet funnel")
+            .header(&["Q&A Website", "Posts", "Snippets", "Solidity", "Parsable", "Unique"]);
+        for row in &funnel.stats.rows {
+            table.row(vec![
+                row.site.map(|s| s.name().to_string()).unwrap_or_else(|| "Total".into()),
+                row.posts.to_string(),
+                row.snippets.to_string(),
+                row.solidity.to_string(),
+                row.parsable.to_string(),
+                row.unique.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+        let total = funnel.stats.rows.last().unwrap();
+        println!(
+            "standard grammar parses {} snippets; the modified grammar {} (+{})",
+            funnel.stats.standard_parsable,
+            total.parsable,
+            total.parsable - funnel.stats.standard_parsable
+        );
+        let (min, median, mean, max) = funnel.stats.loc;
+        println!("snippet LoC: min {min}, median {median}, mean {mean:.1}, max {max}");
+        let level = |l: solidity::SnippetLevel| {
+            *funnel.stats.levels.get(&l).unwrap_or(&0) as f64
+                / funnel.stats.levels.values().sum::<usize>().max(1) as f64
+        };
+        println!(
+            "parsed levels: {:.1}% contracts, {:.1}% functions, {:.1}% statements\n",
+            level(solidity::SnippetLevel::Contract) * 100.0,
+            level(solidity::SnippetLevel::Function) * 100.0,
+            level(solidity::SnippetLevel::Statement) * 100.0
+        );
+    }
+
+    eprintln!("[study] running the experiment pipeline...");
+    let result = run_study(&qa, &contracts, &funnel.unique, StudyConfig::default());
+
+    if run_all || what == "table5" || what == "study" {
+        let dedup = dedup_contracts(&contracts);
+        let ads = adoptions(&qa, &contracts, &result.mapping, &dedup);
+        let rows = correlations(&ads);
+        let mut table = Table::new("Table 5 — Spearman correlation of views and containing contracts")
+            .header(&["Temporal Category", "Sample Size", "rho", "p-value"]);
+        for row in rows {
+            let (rho, p) = row
+                .result
+                .map(|r| (f3(r.rho), format!("{:.3}", r.p_value)))
+                .unwrap_or_else(|| ("-".into(), "-".into()));
+            table.row(vec![row.group.name().to_string(), row.n.to_string(), rho, p]);
+        }
+        println!("{}", table.render());
+    }
+
+    if run_all || what == "table6" || what == "study" {
+        let mut table = Table::new("Table 6 — DASP Top 10 across snippets and contracts")
+            .header(&["Vulnerability Category", "Snippets", "Contracts"]);
+        for category in Dasp::ALL {
+            let (snippets, contracts_n) =
+                result.dasp_distribution.get(category).copied().unwrap_or((0, 0));
+            table.row(vec![
+                category.name().to_string(),
+                snippets.to_string(),
+                contracts_n.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    if run_all || what == "table7" || what == "study" {
+        let mut table = Table::new("Table 7 — identified vulnerable snippets and contracts")
+            .header(&["Analysis Step", "Disseminator (Source)"]);
+        table.row(vec!["Snippets — Unique".into(), result.unique_snippets.to_string()]);
+        table.row(vec!["Snippets — Vulnerable".into(), result.vulnerable_snippets.to_string()]);
+        table.row(vec![
+            "Snippets — Contained in contracts".into(),
+            result.contained_in_contracts.to_string(),
+        ]);
+        table.row(vec![
+            "Snippets — Posted before deployment".into(),
+            format!("{} ({})", result.posted_before_deployment, result.source_snippets),
+        ]);
+        table.row(vec![
+            "Contracts — Containing vulnerable snippets".into(),
+            format!("{} ({})", result.contracts_containing, result.contracts_containing_source),
+        ]);
+        table.row(vec![
+            "Contracts — Unique".into(),
+            format!("{} ({})", result.unique_contracts, result.unique_contracts_source),
+        ]);
+        table.row(vec![
+            "Validation — Analyzed (phase 1 -> total)".into(),
+            format!("{} -> {}", result.analyzed_phase1, result.analyzed_total),
+        ]);
+        table.row(vec![
+            "Validation — Vulnerable contracts".into(),
+            format!("{} ({})", result.vulnerable_contracts, result.vulnerable_contracts_source),
+        ]);
+        table.row(vec![
+            "Validation — Vulnerable (phase 1 only)".into(),
+            result.vulnerable_contracts_phase1.to_string(),
+        ]);
+        table.row(vec![
+            "Validation — Vuln. snippets in vuln. contracts".into(),
+            format!(
+                "{} ({})",
+                result.snippets_in_vulnerable_contracts,
+                result.snippets_in_vulnerable_contracts_source
+            ),
+        ]);
+        println!("{}", table.render());
+    }
+
+    if run_all || what == "table8" || what == "study" {
+        let grid = run_audit(&result, &qa, &contracts, 10, 7);
+        let mut table = Table::new("Table 8 — manual validation (oracle audit)")
+            .header(&["", "Snippet", "Contract TP", "Contract FP"]);
+        for (clone_label, clone_flag) in [("True clones", true), ("False clones", false)] {
+            for (snippet_label, snippet_flag) in [("TP", true), ("FP", false)] {
+                table.row(vec![
+                    if snippet_flag { clone_label.to_string() } else { String::new() },
+                    snippet_label.to_string(),
+                    grid.cell(clone_flag, snippet_flag, true).to_string(),
+                    grid.cell(clone_flag, snippet_flag, false).to_string(),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+        println!(
+            "sample size {}; fully confirmed pairings: {}\n",
+            grid.sample_size,
+            grid.fully_confirmed()
+        );
+    }
+}

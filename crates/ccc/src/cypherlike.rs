@@ -1,0 +1,332 @@
+//! Declarative versions of CCC base patterns, in the query language of
+//! [`graphquery`].
+//!
+//! The paper expresses its 17 vulnerability searches as Cypher queries over
+//! a Neo4j database (§4.3, Appendix B). The programmatic detectors in
+//! [`crate::queries`] are the authoritative implementation here (they need
+//! bounded traversals for the §6.3 path reduction); this module carries the
+//! declarative *base patterns* of several queries so that (a) the pattern
+//! language of the paper stays executable, and (b) the engine's semantics
+//! can be cross-checked against the programmatic results.
+//!
+//! Mitigation sub-patterns (`WHERE NOT EXISTS { ... }`) are included where
+//! the query language can express them; the remaining conditions of
+//! relevancy live only in the programmatic detectors.
+
+use crate::dasp::QueryId;
+use cpg::Cpg;
+use graphquery::query_cpg;
+
+/// A declarative base pattern: the query text plus the variable that names
+/// the reported node.
+#[derive(Debug, Clone, Copy)]
+pub struct BasePattern {
+    /// The query it belongs to.
+    pub query: QueryId,
+    /// Query text in the [`graphquery`] language.
+    pub text: &'static str,
+    /// The RETURN variable holding the finding location.
+    pub var: &'static str,
+}
+
+/// Declarative base patterns for the queries whose shape the language can
+/// carry. Each returns candidate locations; the programmatic detector
+/// prunes them with its conditions of relevancy and mitigations.
+pub const BASE_PATTERNS: &[BasePattern] = &[
+    // Listing 19 — tx.origin used for branching: a comparison fed by
+    // tx.origin whose result feeds a require/assert guard.
+    BasePattern {
+        query: QueryId::AcTxOrigin,
+        text: "MATCH (t:MemberExpression {code: 'tx.origin'})-[:DFG*]->(b:BinaryOperator) \
+               MATCH (b)-[:DFG*]->(g:CallExpression) \
+               WHERE b.operatorCode IN ['==', '!='] \
+                 AND g.localName IN ['require', 'assert'] \
+               RETURN b",
+        var: "b",
+    },
+    // Listing 10 — critical calls whose return value is ignored: a
+    // low-level call with a base and no outgoing data flow.
+    BasePattern {
+        query: QueryId::UncheckedCall,
+        text: "MATCH (c:CallExpression)-[:BASE]->(base) \
+               WHERE c.localName IN ['send', 'call', 'delegatecall', 'callcode', 'staticcall'] \
+                 AND NOT EXISTS { (c)-[:DFG]->(user) } \
+               RETURN c",
+        var: "c",
+    },
+    // Listing 12 — default proxy delegate: a default function reaching a
+    // delegatecall whose argument carries msg.data.
+    BasePattern {
+        query: QueryId::AcDefaultProxyDelegate,
+        text: "MATCH (f:FunctionDeclaration)-[:EOG*]->(c:CallExpression) \
+               MATCH (c)-[:ARGUMENTS]->(a) \
+               WHERE f.localName = '' \
+                 AND c.localName IN ['delegatecall', 'callcode'] \
+                 AND (a.code = 'msg.data' \
+                      OR EXISTS { (m:MemberExpression {code: 'msg.data'})-[:DFG*]->(a) }) \
+               RETURN c",
+        var: "c",
+    },
+    // Listing 7 (fragment) — bad randomness sources flowing into an
+    // entropy computation (hash call or modulo).
+    BasePattern {
+        query: QueryId::BadRandomnessSource,
+        text: "MATCH (r:MemberExpression)-[:DFG*]->(e) \
+               WHERE r.code IN ['block.timestamp', 'block.number', 'block.difficulty', 'block.coinbase'] \
+                 AND (e.localName IN ['keccak256', 'sha3', 'sha256'] OR e.operatorCode = '%') \
+               RETURN r",
+        var: "r",
+    },
+    // Listing 17 (fragment) — reentrancy: a gas-forwarding call followed on
+    // the interprocedural order by a write into a field.
+    BasePattern {
+        query: QueryId::Reentrancy,
+        text: "MATCH (c:CallExpression)-[:EOG|INVOKES|RETURNS*]->(w)-[:DFG]->(f:FieldDeclaration) \
+               WHERE c.localName IN ['call', 'callcode', 'delegatecall'] \
+                 AND EXISTS { (c)-[:BASE]->(b) } \
+               RETURN c",
+        var: "c",
+    },
+    // Listing 4 (fragment) — reachable selfdestruct.
+    BasePattern {
+        query: QueryId::AcSelfDestruct,
+        text: "MATCH (c:CallExpression) \
+               WHERE c.localName IN ['selfdestruct', 'suicide'] \
+               RETURN c",
+        var: "c",
+    },
+    // Listing 16 (fragment) — arithmetic over attacker-reachable data: an
+    // overflowable operation fed by a function parameter.
+    BasePattern {
+        query: QueryId::ArithmeticOverflow,
+        text: "MATCH (p:ParamVariableDeclaration)-[:DFG*]->(b:BinaryOperator) \
+               WHERE b.operatorCode IN ['+', '-', '*', '**', '+=', '-=', '*='] \
+               RETURN b",
+        var: "b",
+    },
+    // Listing 11 (fragment) — loops whose condition is fed by a parameter
+    // or a collection length.
+    BasePattern {
+        query: QueryId::DosExpensiveLoop,
+        text: "MATCH (l)-[:CONDITION]->(cond) \
+               WHERE ('ForStatement' IN labels(l) OR 'WhileStatement' IN labels(l)) \
+                 AND (EXISTS { (p:ParamVariableDeclaration)-[:DFG*]->(cond) } \
+                      OR EXISTS { (m:MemberExpression {localName: 'length'})-[:DFG*]->(cond) }) \
+               RETURN l",
+        var: "l",
+    },
+    // Listing 3 (fragment) — writes to a field that elsewhere gates access
+    // (compared against msg.sender).
+    BasePattern {
+        query: QueryId::AcUnrestrictedWrite,
+        text: "MATCH (w:DeclaredReferenceExpression)-[:DFG]->(f:FieldDeclaration) \
+               WHERE EXISTS { (f)-[:DFG*]->(cmp:BinaryOperator {operatorCode: '=='}) \
+                              WHERE EXISTS { (m:MemberExpression {code: 'msg.sender'})-[:DFG*]->(cmp) } } \
+               RETURN w",
+        var: "w",
+    },
+    // Listing 8 (fragment) — a revert-on-failure transfer followed by
+    // another money-transferring call.
+    BasePattern {
+        query: QueryId::DosExternalCallTransfer,
+        text: "MATCH (c1:CallExpression)-[:EOG*]->(c2:CallExpression) \
+               WHERE c1.localName = 'transfer' \
+                 AND c2.localName IN ['transfer', 'send', 'call'] \
+                 AND c1 <> c2 \
+               RETURN c1",
+        var: "c1",
+    },
+    // Listing 5 (fragment) — a function taking an address parameter whose
+    // body transfers ether.
+    BasePattern {
+        query: QueryId::ShortAddressCall,
+        text: "MATCH (f:FunctionDeclaration)-[:PARAMETERS]->(p:ParamVariableDeclaration) \
+               MATCH (f)-[:EOG*]->(c:CallExpression) \
+               WHERE p.type = 'address' AND c.localName IN ['transfer', 'send'] \
+               RETURN c",
+        var: "c",
+    },
+    // Listing 14 (fragment) — ether paid out to msg.sender.
+    BasePattern {
+        query: QueryId::FrontRunnableBenefit,
+        text: "MATCH (c:CallExpression)-[:BASE]->(b:MemberExpression {code: 'msg.sender'}) \
+               WHERE c.localName IN ['transfer', 'send', 'call'] \
+               RETURN c",
+        var: "c",
+    },
+    // Listing 13 (fragment) — a whole collection deleted outside
+    // initialization.
+    BasePattern {
+        query: QueryId::DosClearableCollection,
+        text: "MATCH (u:UnaryOperator {operatorCode: 'delete'})-[:INPUT]->(r)-[:DFG]->(f:FieldDeclaration) \
+               RETURN u",
+        var: "u",
+    },
+    // Listing 18 (fragment) — timestamp flowing into a comparison that
+    // guards a branch.
+    BasePattern {
+        query: QueryId::TimestampDependence,
+        text: "MATCH (t:MemberExpression {code: 'block.timestamp'})-[:DFG*]->(b:BinaryOperator) \
+               WHERE b.operatorCode IN ['<', '>', '<=', '>=', '==', '!='] \
+                 AND (EXISTS { (b)-[:DFG*]->(i:IfStatement) } \
+                      OR EXISTS { (b)-[:DFG*]->(g:CallExpression) WHERE g.localName IN ['require', 'assert'] }) \
+               RETURN t",
+        var: "t",
+    },
+];
+
+/// Run a declarative base pattern over a CPG, returning the matched node
+/// count.
+pub fn run_base_pattern(cpg: &Cpg, pattern: &BasePattern) -> usize {
+    query_cpg(&cpg.graph, pattern.text, pattern.var)
+        .map(|hits| hits.len())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::Ctx;
+    use crate::queries::run_query;
+
+    fn pattern_of(query: QueryId) -> &'static BasePattern {
+        BASE_PATTERNS.iter().find(|p| p.query == query).unwrap()
+    }
+
+    #[test]
+    fn all_patterns_parse() {
+        for pattern in BASE_PATTERNS {
+            graphquery::parse_query(pattern.text)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", pattern.query));
+        }
+    }
+
+    /// On a positive instance, the declarative base pattern must fire
+    /// whenever the programmatic detector does (the base pattern is a
+    /// superset: it lacks the mitigation pruning).
+    #[test]
+    fn base_patterns_cover_programmatic_findings() {
+        let samples: &[(QueryId, &str)] = &[
+            (
+                QueryId::AcTxOrigin,
+                "contract C { address owner; function w() public { \
+                 require(tx.origin == owner); msg.sender.transfer(1); } }",
+            ),
+            (
+                QueryId::UncheckedCall,
+                "function f(address to) public { to.send(1 ether); }",
+            ),
+            (
+                QueryId::AcDefaultProxyDelegate,
+                "function() {lib.delegatecall(msg.data);}",
+            ),
+            (
+                QueryId::BadRandomnessSource,
+                "contract L { address[] ps; function d() public { \
+                 uint w = uint(keccak256(block.timestamp)) % ps.length; \
+                 ps[w].transfer(1); } }",
+            ),
+            (
+                QueryId::Reentrancy,
+                "contract D { mapping(address => uint) b; function w() public { \
+                 msg.sender.call{value: b[msg.sender]}(\"\"); b[msg.sender] = 0; } }",
+            ),
+            (
+                QueryId::AcSelfDestruct,
+                "contract K { function kill() public { selfdestruct(msg.sender); } }",
+            ),
+            (
+                QueryId::TimestampDependence,
+                "contract T { uint start; uint pot; function go() public { \
+                 require(block.timestamp >= start); msg.sender.transfer(pot); } }",
+            ),
+            (
+                QueryId::ArithmeticOverflow,
+                "contract C { mapping(address => uint) bal; \
+                 function t(address to, uint v) public { bal[msg.sender] -= v; \
+                 bal[to] += v; } }",
+            ),
+            (
+                QueryId::DosExpensiveLoop,
+                "contract C { address[] hs; mapping(address => uint) owed; \
+                 function pay() public { for (uint i = 0; i < hs.length; i++) { \
+                 hs[i].transfer(owed[hs[i]]); } } }",
+            ),
+            (
+                QueryId::AcUnrestrictedWrite,
+                "contract C { address owner; \
+                 constructor() { owner = msg.sender; } \
+                 function set(address o) public { owner = o; } \
+                 function w() public { require(msg.sender == owner); \
+                 msg.sender.transfer(this.balance); } }",
+            ),
+            (
+                QueryId::DosExternalCallTransfer,
+                "contract C { address a; address b; uint x; uint y; \
+                 function payBoth() public { a.transfer(x); b.transfer(y); } }",
+            ),
+            (
+                QueryId::ShortAddressCall,
+                "contract C { function pay(address to, uint amount) public { \
+                 to.transfer(amount); } }",
+            ),
+            (
+                QueryId::FrontRunnableBenefit,
+                "contract G { bytes32 h; uint prize; function solve(string s) public { \
+                 require(keccak256(s) == h); msg.sender.transfer(prize); } }",
+            ),
+            (
+                QueryId::DosClearableCollection,
+                "contract C { address[] ps; function reset() public { delete ps; } \
+                 function pay() public { ps[0].transfer(1 ether); } }",
+            ),
+        ];
+        for (query, source) in samples {
+            let cpg = Cpg::from_snippet(source).unwrap();
+            let ctx = Ctx::new(&cpg, usize::MAX);
+            let programmatic = run_query(&ctx, *query);
+            assert!(
+                !programmatic.is_empty(),
+                "{query:?}: programmatic detector silent on its own sample"
+            );
+            let declarative = run_base_pattern(&cpg, pattern_of(*query));
+            assert!(
+                declarative >= 1,
+                "{query:?}: declarative base pattern missed the sample"
+            );
+        }
+    }
+
+    /// Mitigated samples: the declarative pattern may or may not fire (it
+    /// has no mitigation pruning for some queries), but the programmatic
+    /// detector must stay silent — confirming that the Rust detectors, not
+    /// the raw base patterns, are the source of truth.
+    #[test]
+    fn programmatic_detectors_prune_mitigations() {
+        let samples: &[(QueryId, &str)] = &[
+            (
+                QueryId::UncheckedCall,
+                "function f(address to) public { require(to.send(1 ether)); }",
+            ),
+            (
+                QueryId::AcSelfDestruct,
+                "contract K { address owner; function kill() public { \
+                 require(msg.sender == owner); selfdestruct(owner); } }",
+            ),
+            (
+                QueryId::AcDefaultProxyDelegate,
+                "contract C { function() payable { require(msg.data.length == 0); \
+                 lib.delegatecall(msg.data); } }",
+            ),
+        ];
+        for (query, source) in samples {
+            let cpg = Cpg::from_snippet(source).unwrap();
+            let ctx = Ctx::new(&cpg, usize::MAX);
+            let programmatic = run_query(&ctx, *query);
+            assert!(
+                programmatic.is_empty(),
+                "{query:?}: mitigation not pruned: {programmatic:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Access Control queries (Listings 3, 4, 12 and 19 of Appendix B).
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{AstRole, EdgeKind, NodeKind};
+
+/// Listing 3 — unrestricted writes to state variables used for access
+/// control.
+///
+/// Base pattern: a field that is compared against `msg.sender` in some
+/// guard (i.e. it stores an owner/admin identity) is written in a function.
+/// Condition of relevancy: the written value is attacker-controlled.
+/// Mitigations: the write happens in a constructor, or behind a sender
+/// check.
+pub fn unrestricted_write(ctx: &Ctx) -> Vec<Finding> {
+    let ac_fields = ctx.access_control_fields();
+    let mut findings = Vec::new();
+    for (writer, field) in ctx.field_writes() {
+        if !ac_fields.contains(&field) {
+            continue;
+        }
+        if ctx.in_constructor(writer) {
+            continue;
+        }
+        // The assignment writing through this reference.
+        let Some(op) = ctx
+            .cpg
+            .graph
+            .in_kind(writer, EdgeKind::Dfg)
+            .find(|n| ctx.cpg.graph.node(*n).kind == NodeKind::BinaryOperator)
+        else {
+            continue;
+        };
+        if !ctx.attacker_controlled(op) {
+            continue;
+        }
+        if ctx.is_access_guarded(op) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::AcUnrestrictedWrite, op));
+    }
+    findings
+}
+
+/// Listing 4 — unrestricted access to functions that destroy the contract.
+///
+/// Base pattern: a reachable `selfdestruct`/`suicide` call. Mitigations:
+/// constructor context or a sender-identity guard on the path.
+pub fn unprotected_selfdestruct(ctx: &Ctx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for call in ctx.calls_named(&["selfdestruct", "suicide"]) {
+        if ctx.in_constructor(call) {
+            continue;
+        }
+        let Some(function) = ctx.function_of(call) else { continue };
+        if !ctx.is_externally_callable(function) {
+            continue;
+        }
+        if ctx.is_access_guarded(call) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::AcSelfDestruct, call));
+    }
+    findings
+}
+
+/// Listing 12 — call delegation where inputs are not properly sanitized
+/// (the Parity "Default Proxy Delegate" pattern).
+///
+/// Base pattern: a path through a default function reaching a
+/// `delegatecall`/`callcode` that persists (does not end in a rollback).
+/// Condition of relevancy: the caller controls the call target through
+/// `msg.data`. Mitigation: a check on `msg.data` that can divert the path.
+pub fn default_proxy_delegate(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+    for call in ctx.calls_named(&["delegatecall", "callcode"]) {
+        let Some(function) = ctx.function_of(call) else { continue };
+        if !ctx.is_default_function(function) {
+            continue;
+        }
+        // Caller controls the dispatch: msg.data flows into the arguments.
+        let forwards_msg_data = g
+            .ast_children_role(call, AstRole::Arguments)
+            .any(|arg| ctx.flows_from_code(arg, &["msg.data"]));
+        if !forwards_msg_data {
+            continue;
+        }
+        // Mitigation: a guard on msg.data before the call.
+        let guarded = ctx
+            .guards_before(call)
+            .into_iter()
+            .any(|guard| ctx.guard_involves(guard, &["msg.data", "msg.data.length", "msg.sig"]));
+        if guarded {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::AcDefaultProxyDelegate, call));
+    }
+    findings
+}
+
+/// Listing 19 — uses of `tx.origin` for branching.
+///
+/// Base pattern: a branching node influenced by both `tx.origin` and
+/// state-derived data — the phishing-prone authorization pattern.
+pub fn tx_origin_branching(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+    for cmp in g.nodes_of_kind(NodeKind::BinaryOperator) {
+        let props = &g.node(cmp).props;
+        if !matches!(props.operator_code.as_deref(), Some("==") | Some("!=")) {
+            continue;
+        }
+        if !ctx.flows_from_code(cmp, &["tx.origin"]) {
+            continue;
+        }
+        if !ctx.feeds_guard(cmp) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::AcTxOrigin, cmp));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::Ctx;
+    use cpg::Cpg;
+
+    fn check(src: &str, f: fn(&Ctx) -> Vec<Finding>) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        f(&ctx)
+    }
+
+    #[test]
+    fn unguarded_owner_write_is_flagged() {
+        let findings = check(
+            "contract C { address owner; \
+             constructor() { owner = msg.sender; } \
+             function setOwner(address o) public { owner = o; } \
+             function withdraw() public { require(msg.sender == owner); \
+               msg.sender.transfer(this.balance); } }",
+            unrestricted_write,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].query, QueryId::AcUnrestrictedWrite);
+    }
+
+    #[test]
+    fn guarded_owner_write_is_clean() {
+        let findings = check(
+            "contract C { address owner; \
+             constructor() { owner = msg.sender; } \
+             function setOwner(address o) public { \
+               require(msg.sender == owner); owner = o; } \
+             function withdraw() public { require(msg.sender == owner); \
+               msg.sender.transfer(this.balance); } }",
+            unrestricted_write,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn modifier_guard_counts_after_expansion() {
+        let findings = check(
+            "contract C { address owner; \
+             modifier onlyOwner() { require(msg.sender == owner); _; } \
+             constructor() { owner = msg.sender; } \
+             function setOwner(address o) public onlyOwner() { owner = o; } \
+             function withdraw() public onlyOwner() { msg.sender.transfer(1); } }",
+            unrestricted_write,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn constructor_write_is_clean() {
+        let findings = check(
+            "contract C { address owner; \
+             constructor() { owner = msg.sender; } \
+             function w() public { require(msg.sender == owner); x = 1; } }",
+            unrestricted_write,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unprotected_selfdestruct_is_flagged() {
+        let findings = check(
+            "contract C { function kill() public { selfdestruct(msg.sender); } }",
+            unprotected_selfdestruct,
+        );
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn guarded_selfdestruct_is_clean() {
+        let findings = check(
+            "contract C { address owner; \
+             function kill() public { require(msg.sender == owner); \
+               selfdestruct(owner); } }",
+            unprotected_selfdestruct,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn modifier_guarded_selfdestruct_is_clean() {
+        let findings = check(
+            "contract C { address owner; \
+             modifier onlyOwner() { require(msg.sender == owner); _; } \
+             function kill() public onlyOwner() { selfdestruct(owner); } }",
+            unprotected_selfdestruct,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn paper_delegate_snippet_is_flagged() {
+        // The snippet from §4.4 of the paper.
+        let findings = check(
+            "function() {lib.delegatecall(msg.data);}",
+            default_proxy_delegate,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].query, QueryId::AcDefaultProxyDelegate);
+    }
+
+    #[test]
+    fn sanitized_delegate_is_clean() {
+        let findings = check(
+            "contract C { function() payable { \
+               require(msg.data.length == 0); \
+               lib.delegatecall(msg.data); } }",
+            default_proxy_delegate,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn named_function_delegate_is_not_default_proxy() {
+        let findings = check(
+            "contract C { function fwd() public { lib.delegatecall(msg.data); } }",
+            default_proxy_delegate,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn tx_origin_auth_is_flagged() {
+        let findings = check(
+            "contract C { address owner; \
+             function pay() public { require(tx.origin == owner); \
+               msg.sender.transfer(1); } }",
+            tx_origin_branching,
+        );
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn tx_origin_unused_for_branching_is_clean() {
+        let findings = check(
+            "contract C { address last; function f() public { last = tx.origin; } }",
+            tx_origin_branching,
+        );
+        assert!(findings.is_empty());
+    }
+}

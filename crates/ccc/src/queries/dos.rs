@@ -1,0 +1,350 @@
+//! Denial of Service queries (Listings 8, 9, 11 and 13 of Appendix B).
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{AstRole, EdgeKind, NodeId, NodeKind};
+
+/// Whether a call's failure reverts the whole transaction: `transfer`
+/// reverts intrinsically; `send`/`call` revert when their result feeds a
+/// `require`/`assert` or a branch that rolls back.
+fn failure_reverts(ctx: &Ctx, call: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    if g.node(call).props.local_name == "transfer" {
+        return true;
+    }
+    let forward = g.reach_forward(call, |k| k == EdgeKind::Dfg, ctx.max_path);
+    forward.into_iter().any(|n| {
+        let node = g.node(n);
+        match node.kind {
+            NodeKind::CallExpression => {
+                matches!(node.props.local_name.as_str(), "require" | "assert")
+            }
+            // `if (!ok) revert/throw` — the branch leads to a rollback.
+            NodeKind::IfStatement => g
+                .reach_forward(n, |k| k == EdgeKind::Eog, 8)
+                .into_iter()
+                .any(|m| g.node(m).kind == NodeKind::Rollback),
+            _ => false,
+        }
+    })
+}
+
+/// Whether the call target is not attacker-chosen *per se* but stored or
+/// external — i.e. a third party can make the call fail (contract without
+/// payable fallback, reverting fallback, ...).
+fn target_is_external(ctx: &Ctx, call: NodeId) -> bool {
+    ctx.call_base(call).is_some()
+}
+
+/// Listing 8 — external calls whose failure prevents execution of other
+/// money-transferring calls.
+///
+/// Base pattern: a revert-on-failure transfer EOG-followed by another
+/// transfer. A single receiver that always reverts then blocks everyone
+/// else's payout.
+pub fn external_call_blocks_transfers(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+    for call in ctx.ether_transfers() {
+        if !failure_reverts(ctx, call) || !target_is_external(ctx, call) {
+            continue;
+        }
+        let after = g.reach_forward(call, |k| k == EdgeKind::Eog, ctx.max_path);
+        let blocks_another = after.into_iter().any(|n| {
+            n != call && g.node(n).kind == NodeKind::CallExpression && ctx.is_ether_transfer(n)
+        });
+        // A transfer inside a loop blocks the *other iterations'* transfers.
+        let in_loop = g
+            .enclosing(call, |n| n.kind.is_loop())
+            .is_some();
+        if blocks_another || in_loop {
+            findings.push(Finding::new(ctx, QueryId::DosExternalCallTransfer, call));
+        }
+    }
+    findings
+}
+
+/// Listing 9 — external calls whose failure prevents state changes.
+///
+/// Base pattern: a revert-on-failure external call EOG-followed by a field
+/// write; if the call permanently fails, the state transition is wedged.
+/// Mitigation: the state write happening before the call, or the call
+/// result being stored instead of asserted (pull-payment pattern).
+pub fn external_call_blocks_state(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+    for call in ctx.calls_named(&["call", "send", "transfer"]) {
+        if !target_is_external(ctx, call) || !failure_reverts(ctx, call) {
+            continue;
+        }
+        // Skip calls targeting msg.sender directly: the caller can only
+        // wedge themselves, not third parties.
+        if let Some(base) = ctx.call_base(call) {
+            let base_code = ctx.cpg.graph.node(base).props.code.as_str();
+            if base_code == "msg.sender" && !in_loop(ctx, call) {
+                continue;
+            }
+        }
+        let after = g.reach_forward(call, |k| k == EdgeKind::Eog, ctx.max_path);
+        let field_write_after = ctx
+            .field_writes()
+            .into_iter()
+            .any(|(writer, _)| after.contains(&writer));
+        if field_write_after {
+            findings.push(Finding::new(ctx, QueryId::DosExternalCallState, call));
+        }
+    }
+    findings
+}
+
+fn in_loop(ctx: &Ctx, node: NodeId) -> bool {
+    ctx.cpg.graph.enclosing(node, |n| n.kind.is_loop()).is_some()
+}
+
+/// Listing 11 — expensive loops that an attacker can inflate.
+///
+/// Base pattern: a loop whose body writes state or performs calls (gas per
+/// iteration). Conditions of relevancy: the iteration count is bounded by a
+/// large literal (> 100) or by attacker-influenced data (parameter or
+/// growable collection length).
+pub fn expensive_loop(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+    for l in g.node_ids().filter(|n| g.node(*n).kind.is_loop()) {
+        // Body cost: a state write, external call or emit inside the loop.
+        let body = g.descendants(l);
+        let expensive = body.iter().any(|n| {
+            let node = g.node(*n);
+            match node.kind {
+                NodeKind::CallExpression => !matches!(
+                    node.props.local_name.as_str(),
+                    "require" | "assert" | "keccak256" | "sha3"
+                ),
+                NodeKind::EmitStatement => true,
+                _ => false,
+            }
+        }) || ctx
+            .field_writes()
+            .into_iter()
+            .any(|(writer, _)| body.contains(&writer));
+        if !expensive {
+            continue;
+        }
+        let Some(cond) = g.ast_child(l, AstRole::Condition) else { continue };
+        // Large literal bound.
+        let large_literal = ctx.dfg_sources(cond).into_iter().chain([cond]).any(|n| {
+            let node = g.node(n);
+            node.kind == NodeKind::Literal
+                && node
+                    .props
+                    .value
+                    .as_deref()
+                    .and_then(|v| v.parse::<u128>().ok())
+                    .map(|v| v > 100)
+                    .unwrap_or(false)
+        });
+        // Attacker-influenced bound: a public parameter or a collection
+        // length (via `.length` member) flows into the condition.
+        let param_bound = ctx.flows_from_public_param(cond).is_some();
+        let collection_bound = ctx
+            .dfg_sources(cond)
+            .into_iter()
+            .any(|n| g.node(n).props.local_name == "length");
+        if !(large_literal || param_bound || collection_bound) {
+            continue;
+        }
+        // Mitigation: a converging loop that only runs in a constructor.
+        if ctx.in_constructor(l) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::DosExpensiveLoop, l));
+    }
+    findings
+}
+
+/// Listing 13 — collections that are used for transfers and can be cleared
+/// outside contract initialization.
+///
+/// If anyone can clear (or an owner can griefingly clear) the array that a
+/// payout loop iterates, pending payouts are destroyed.
+pub fn clearable_collection(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+    for field in g.nodes_of_kind(NodeKind::FieldDeclaration) {
+        let is_collection = g
+            .node(field)
+            .props
+            .ty
+            .as_deref()
+            .map(|t| t.ends_with("[]") || t.starts_with("mapping("))
+            .unwrap_or(false);
+        if !is_collection {
+            continue;
+        }
+        // Used for transfers: field data flows into a transferring call.
+        let feeds_transfer = g
+            .reach_forward(field, |k| k == EdgeKind::Dfg, ctx.max_path)
+            .into_iter()
+            .any(|n| g.node(n).kind == NodeKind::CallExpression && ctx.is_ether_transfer(n));
+        if !feeds_transfer {
+            continue;
+        }
+        // Cleared outside a constructor: a `delete` on the *whole*
+        // collection, a `.length = 0` write, or wholesale reassignment.
+        // Writes to single entries (`balances[x] = 0`) are normal
+        // bookkeeping, not clearing.
+        let cleared = g.references_of(field).chain(g.in_kind(field, EdgeKind::Dfg)).find(|r| {
+            if ctx.in_constructor(*r) {
+                return false;
+            }
+            let whole_collection = match g.node(*r).kind {
+                NodeKind::DeclaredReferenceExpression => true,
+                NodeKind::MemberExpression => g.node(*r).props.local_name == "length",
+                _ => false,
+            };
+            if !whole_collection {
+                return false;
+            }
+            // delete collection;
+            let deleted = g.in_kind(*r, EdgeKind::Ast(AstRole::Input)).any(|op| {
+                g.node(op).props.operator_code.as_deref() == Some("delete")
+            });
+            // collection.length = 0; or collection = new ...;
+            let reassigned = g
+                .in_kind(*r, EdgeKind::Dfg)
+                .any(|op| {
+                    let node = g.node(op);
+                    node.kind == NodeKind::BinaryOperator
+                        && node.props.operator_code.as_deref() == Some("=")
+                        && !ctx.in_constructor(op)
+                });
+            deleted || reassigned
+        });
+        if let Some(clear_site) = cleared {
+            findings.push(Finding::new(ctx, QueryId::DosClearableCollection, clear_site));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str, f: fn(&Ctx) -> Vec<Finding>) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        f(&ctx)
+    }
+
+    #[test]
+    fn payout_loop_is_flagged() {
+        let findings = check(
+            "contract C { address[] winners; mapping(address => uint) prizes; \
+             function payAll(uint n) public { \
+               for (uint i = 0; i < n; i++) { \
+                 winners[i].transfer(prizes[winners[i]]); } } }",
+            external_call_blocks_transfers,
+        );
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn single_withdraw_to_sender_is_clean() {
+        let findings = check(
+            "contract C { mapping(address => uint) balances; \
+             function withdraw() public { \
+               uint amount = balances[msg.sender]; \
+               balances[msg.sender] = 0; \
+               msg.sender.transfer(amount); } }",
+            external_call_blocks_transfers,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn king_of_ether_pattern_is_flagged() {
+        // Refund to the previous king must succeed before a new king is
+        // crowned — the previous king can wedge the game.
+        let findings = check(
+            "contract King { address king; uint prize; \
+             function claim() public payable { \
+               require(msg.value > prize); \
+               king.transfer(prize); \
+               king = msg.sender; prize = msg.value; } }",
+            external_call_blocks_state,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn state_before_call_is_clean() {
+        let findings = check(
+            "contract C { mapping(address => uint) balances; \
+             function withdraw() public { \
+               uint amount = balances[msg.sender]; \
+               balances[msg.sender] = 0; \
+               msg.sender.transfer(amount); } }",
+            external_call_blocks_state,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unbounded_loop_over_param_is_flagged() {
+        let findings = check(
+            "contract C { uint total; \
+             function burn(uint rounds) public { \
+               for (uint i = 0; i < rounds; i++) { total += i; } } }",
+            expensive_loop,
+        );
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn small_constant_loop_is_clean() {
+        let findings = check(
+            "contract C { uint total; \
+             function f() public { for (uint i = 0; i < 10; i++) { total += i; } } }",
+            expensive_loop,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn loop_over_growable_array_is_flagged() {
+        let findings = check(
+            "contract C { address[] holders; mapping(address => uint) owed; \
+             function register() public { holders.push(msg.sender); } \
+             function payout() public { \
+               for (uint i = 0; i < holders.length; i++) { \
+                 holders[i].send(owed[holders[i]]); } } }",
+            expensive_loop,
+        );
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn clearable_payout_array_is_flagged() {
+        let findings = check(
+            "contract C { address[] payees; \
+             function reset() public { delete payees; } \
+             function pay() public { payees[0].transfer(1); } }",
+            clearable_collection,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn constructor_initialization_is_clean() {
+        let findings = check(
+            "contract C { address[] payees; \
+             constructor() { delete payees; } \
+             function pay() public { payees[0].transfer(1); } }",
+            clearable_collection,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

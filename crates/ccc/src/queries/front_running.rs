@@ -1,0 +1,173 @@
+//! Front Running query (Listing 14 of Appendix B).
+//!
+//! A transaction is front-runnable when a miner (or any observer of the
+//! mempool) can submit the same call and obtain the same benefit — e.g.
+//! claiming a puzzle bounty, registering a name, or becoming a beneficiary
+//! — because eligibility does not depend on the sender's prior state.
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{AstRole, EdgeKind, NodeId, NodeKind};
+
+/// Whether a guard ties the benefit to the sender's own prior state:
+/// a condition reading a field *subscripted by* `msg.sender` (balances,
+/// allowances, ...) or otherwise mixing `msg.sender` with state.
+fn benefit_is_sender_specific(ctx: &Ctx, site: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    for guard in ctx.guards_before(site) {
+        for cond in ctx.guard_condition(guard) {
+            // A subscript expression indexed by msg.sender in the condition
+            // cone means the check is about the sender themself.
+            let cone: Vec<NodeId> = ctx.dfg_sources(cond).into_iter().chain([cond]).collect();
+            for n in &cone {
+                if g.node(*n).kind == NodeKind::SubscriptExpression {
+                    if let Some(index) = g.ast_child(*n, AstRole::SubscriptExpression) {
+                        if ctx.flows_from_code(index, &["msg.sender"]) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            if ctx.flows_from_code(cond, &["msg.sender"]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Listing 14 — code where a miner can obtain the same beneficial state
+/// change as any other transaction sender.
+///
+/// Base patterns: (a) an ether transfer to `msg.sender` whose amount does
+/// not derive from `msg.sender`-specific state, or (b) a state write that
+/// stores `msg.sender` as a beneficiary. Mitigation: a guard that is
+/// sender-specific.
+pub fn front_runnable_benefit(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+
+    // (a) Ether paid out to msg.sender, eligibility not sender-specific.
+    for call in ctx.ether_transfers() {
+        let Some(base) = ctx.call_base(call) else { continue };
+        if !ctx.flows_from_code(base, &["msg.sender"]) {
+            continue;
+        }
+        if ctx.in_constructor(call) {
+            continue;
+        }
+        // A payout gated on a secret/parameter (guessing games, bounties)
+        // is claimable by whoever submits first — unless gated on the
+        // sender's own state.
+        let has_guard = !ctx.guards_before(call).is_empty();
+        if !has_guard {
+            // Unconditional self-payout is a faucet, not front-running.
+            continue;
+        }
+        if benefit_is_sender_specific(ctx, call) {
+            continue;
+        }
+        // The amount must not be msg.value (refunds are not a benefit).
+        if let Some(value) = ctx.value_option(call) {
+            if ctx.flows_from_code(value, &["msg.value"]) {
+                continue;
+            }
+        }
+        findings.push(Finding::new(ctx, QueryId::FrontRunnableBenefit, call));
+    }
+
+    // (b) msg.sender stored as beneficiary without sender-specific gating.
+    for (writer, field) in ctx.field_writes() {
+        if ctx.in_constructor(writer) {
+            continue;
+        }
+        // The write stores msg.sender itself.
+        let Some(op) = g
+            .in_kind(writer, EdgeKind::Dfg)
+            .find(|n| g.node(*n).kind == NodeKind::BinaryOperator)
+        else {
+            continue;
+        };
+        let Some(rhs) = g.ast_child(op, AstRole::Rhs) else { continue };
+        let stores_sender = g.node(rhs).props.code == "msg.sender";
+        if !stores_sender {
+            continue;
+        }
+        // Becoming the beneficiary must be worth something: the field is
+        // used for transfers elsewhere.
+        let field_feeds_transfer = g
+            .reach_forward(field, |k| k == EdgeKind::Dfg, ctx.max_path)
+            .into_iter()
+            .any(|n| g.node(n).kind == NodeKind::CallExpression && ctx.is_ether_transfer(n));
+        if !field_feeds_transfer {
+            continue;
+        }
+        if benefit_is_sender_specific(ctx, op) || ctx.is_access_guarded(op) {
+            continue;
+        }
+        // Paying for the slot with msg.value is an auction, still
+        // front-runnable, so it stays flagged.
+        findings.push(Finding::new(ctx, QueryId::FrontRunnableBenefit, op));
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        front_runnable_benefit(&ctx)
+    }
+
+    #[test]
+    fn guessing_game_payout_is_flagged() {
+        let findings = check(
+            "contract Game { bytes32 answerHash; uint prize; \
+             function guess(string solution) public { \
+               require(keccak256(solution) == answerHash); \
+               msg.sender.transfer(prize); } }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn balance_withdrawal_is_clean() {
+        let findings = check(
+            "contract Bank { mapping(address => uint) balances; \
+             function withdraw() public { \
+               require(balances[msg.sender] > 0); \
+               uint amount = balances[msg.sender]; \
+               balances[msg.sender] = 0; \
+               msg.sender.transfer(amount); } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn beneficiary_registration_is_flagged() {
+        let findings = check(
+            "contract Claim { address winner; uint prize; \
+             function claim(uint code) public { \
+               require(code == 42); winner = msg.sender; } \
+             function pay() public { winner.transfer(prize); } }",
+        );
+        assert!(!findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn owner_guarded_registration_is_clean() {
+        let findings = check(
+            "contract C { address owner; address payee; \
+             function setSelf() public { \
+               require(msg.sender == owner); payee = msg.sender; } \
+             function pay() public { payee.transfer(1); } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,40 @@
+//! The 17 vulnerability queries of CCC, one module per DASP category
+//! (cf. §4.4 and Appendix B of the paper).
+
+pub mod access_control;
+pub mod arithmetic;
+pub mod dos;
+pub mod front_running;
+pub mod randomness;
+pub mod reentrancy;
+pub mod short_address;
+pub mod time;
+pub mod unchecked;
+pub mod unknown;
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+
+/// Run a single query against a context.
+pub fn run_query(ctx: &Ctx, query: QueryId) -> Vec<Finding> {
+    match query {
+        QueryId::AcUnrestrictedWrite => access_control::unrestricted_write(ctx),
+        QueryId::AcSelfDestruct => access_control::unprotected_selfdestruct(ctx),
+        QueryId::AcDefaultProxyDelegate => access_control::default_proxy_delegate(ctx),
+        QueryId::AcTxOrigin => access_control::tx_origin_branching(ctx),
+        QueryId::ShortAddressCall => short_address::at_call_sites(ctx),
+        QueryId::ShortAddressStateWrite => short_address::at_state_writes(ctx),
+        QueryId::BadRandomnessSource => randomness::bad_randomness(ctx),
+        QueryId::DosExternalCallTransfer => dos::external_call_blocks_transfers(ctx),
+        QueryId::DosExternalCallState => dos::external_call_blocks_state(ctx),
+        QueryId::DosExpensiveLoop => dos::expensive_loop(ctx),
+        QueryId::DosClearableCollection => dos::clearable_collection(ctx),
+        QueryId::UncheckedCall => unchecked::unchecked_call(ctx),
+        QueryId::FrontRunnableBenefit => front_running::front_runnable_benefit(ctx),
+        QueryId::UninitializedStoragePointer => unknown::uninitialized_storage_pointer(ctx),
+        QueryId::ArithmeticOverflow => arithmetic::arithmetic_overflow(ctx),
+        QueryId::Reentrancy => reentrancy::reentrancy(ctx),
+        QueryId::TimestampDependence => time::timestamp_dependence(ctx),
+    }
+}

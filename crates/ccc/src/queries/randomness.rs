@@ -1,0 +1,180 @@
+//! Bad Randomness query (Listing 7 of Appendix B).
+//!
+//! Miner-influenced values (`block.timestamp`, `block.number`,
+//! `block.difficulty`, `block.coinbase`, `blockhash(..)`) are predictable
+//! and must not seed randomness. The query flags such sources when they
+//! (a) flow into the return of a function whose name suggests randomness,
+//! (b) are mixed into an entropy computation (hash or modulo) whose result
+//! matters, or (c) decide whether or how much ether is transferred.
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{NodeId, NodeKind};
+
+/// Miner-influenced member codes.
+pub const RANDOM_SOURCES: &[&str] = &[
+    "block.timestamp",
+    "block.number",
+    "block.difficulty",
+    "block.coinbase",
+];
+
+/// All bad-randomness source nodes of the unit: the listed member
+/// expressions plus `blockhash(..)` calls.
+pub fn source_nodes(ctx: &Ctx) -> Vec<NodeId> {
+    let g = &ctx.cpg.graph;
+    let mut sources: Vec<NodeId> = g
+        .nodes_of_kind(NodeKind::MemberExpression)
+        .filter(|n| RANDOM_SOURCES.contains(&g.node(*n).props.code.as_str()))
+        .collect();
+    sources.extend(ctx.calls_named(&["blockhash"]));
+    sources
+}
+
+/// Whether the node flows into an entropy computation: a hash call
+/// (`keccak256`/`sha3`/`sha256`) or a modulo operation.
+fn feeds_entropy_computation(ctx: &Ctx, source: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    let forward = g.reach_forward(source, |k| k == cpg::EdgeKind::Dfg, ctx.max_path);
+    forward.into_iter().any(|n| {
+        let node = g.node(n);
+        match node.kind {
+            NodeKind::CallExpression => {
+                matches!(node.props.local_name.as_str(), "keccak256" | "sha3" | "sha256")
+            }
+            NodeKind::BinaryOperator => node.props.operator_code.as_deref() == Some("%"),
+            _ => false,
+        }
+    })
+}
+
+/// Whether the node flows into the return value of a function whose name
+/// contains `rand`.
+fn feeds_random_function_return(ctx: &Ctx, source: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    let forward = g.reach_forward(source, |k| k == cpg::EdgeKind::Dfg, ctx.max_path);
+    forward
+        .into_iter()
+        .filter(|n| g.node(*n).kind == NodeKind::ReturnStatement)
+        .any(|ret| {
+            g.enclosing_function(ret)
+                .map(|f| g.node(f).props.local_name.to_lowercase().contains("rand"))
+                .unwrap_or(false)
+        })
+}
+
+/// Whether the node (transitively) influences an ether transfer: flows into
+/// the value/target of a transfer, or into a guard that dominates one.
+fn influences_transfer(ctx: &Ctx, source: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    let forward = g.reach_forward(source, |k| k == cpg::EdgeKind::Dfg, ctx.max_path);
+    // Direct flow into a transferring call.
+    for n in &forward {
+        if g.node(*n).kind == NodeKind::CallExpression && ctx.is_ether_transfer(*n) {
+            return true;
+        }
+    }
+    // Flow into a branch that leads to a transfer on one side only.
+    for n in forward.iter().chain(std::iter::once(&source)) {
+        let node = g.node(*n);
+        let branches = matches!(
+            node.kind,
+            NodeKind::IfStatement | NodeKind::ConditionalExpression
+        ) || (node.kind == NodeKind::CallExpression
+            && matches!(node.props.local_name.as_str(), "require" | "assert"));
+        if !branches {
+            continue;
+        }
+        let after = g.reach_forward(*n, |k| k == cpg::EdgeKind::Eog, ctx.max_path);
+        if after
+            .into_iter()
+            .any(|m| g.node(m).kind == NodeKind::CallExpression && ctx.is_ether_transfer(m))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Listing 7 — usages of bad sources of randomness.
+pub fn bad_randomness(ctx: &Ctx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for source in source_nodes(ctx) {
+        let entropy = feeds_entropy_computation(ctx, source);
+        let named_random = feeds_random_function_return(ctx, source);
+        // A legitimate timestamp read (e.g. `updatedAt = now`) is not
+        // randomness; require an entropy computation or a rand-named
+        // function, and the result influencing a transfer or guard makes it
+        // exploitable.
+        if !(entropy || named_random) {
+            continue;
+        }
+        if !(influences_transfer(ctx, source) || named_random || ctx.feeds_guard(source)) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::BadRandomnessSource, source));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        bad_randomness(&ctx)
+    }
+
+    #[test]
+    fn lottery_with_timestamp_modulo_is_flagged() {
+        let findings = check(
+            "contract Lottery { address[] players; \
+             function draw() public { \
+               uint winner = uint(keccak256(block.timestamp)) % players.length; \
+               players[winner].transfer(this.balance); } }",
+        );
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn rand_function_with_block_number_is_flagged() {
+        let findings = check(
+            "function random() public returns (uint) { return uint(blockhash(block.number - 1)); }",
+        );
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn timestamp_bookkeeping_is_clean() {
+        // Legitimate block-number/timestamp use (the FP class the paper
+        // discusses in §4.6.2): storing a timestamp is not randomness.
+        let findings = check(
+            "contract C { uint updatedAt; \
+             function touch() public { updatedAt = block.timestamp; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn coin_flip_with_difficulty_is_flagged() {
+        let findings = check(
+            "contract Flip { function play() public payable { \
+               uint r = uint(keccak256(block.difficulty, block.timestamp)) % 2; \
+               if (r == 1) { msg.sender.transfer(2 ether); } } }",
+        );
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn block_number_deadline_is_clean() {
+        let findings = check(
+            "contract C { uint deadline; \
+             function expired() public returns (bool) { return block.number > deadline; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Reentrancy query (Listing 17 of Appendix B): call paths through external
+//! calls vulnerable to reentrancy attacks.
+//!
+//! Base pattern: a gas-forwarding external call (`call`, `callcode`,
+//! `delegatecall`) followed — on the `EOG|INVOKES|RETURNS` closure — by a
+//! write to a state variable. The callee can re-enter before the state is
+//! updated (the DAO pattern). Conditions of relevancy: the call target is
+//! address-typed and not a compile-time constant (the attacker can be, or
+//! can influence, the callee). Mitigations: emit-only effects after the
+//! call, constructor-fixed targets, and mutex locks.
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{AstRole, EdgeKind, NodeId, NodeKind};
+
+/// Whether the call target is effectively constant: a literal address or a
+/// field only written in constructors (the Listing 17 exclusion of sources
+/// that are literals or constructor parameters).
+fn target_is_fixed(ctx: &Ctx, base: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    let mut cone: Vec<NodeId> = ctx.dfg_sources(base).into_iter().collect();
+    cone.push(base);
+    // If msg.sender / tx.origin or a public param reaches the base, the
+    // target is attacker-influencable: not fixed.
+    if ctx.flows_from_code(base, &["msg.sender", "tx.origin"])
+        || ctx.flows_from_public_param(base).is_some()
+    {
+        return false;
+    }
+    // Field-held targets: fixed only if every write happens in a
+    // constructor.
+    for n in &cone {
+        if g.node(*n).kind == NodeKind::FieldDeclaration {
+            let written_outside_ctor = g.in_kind(*n, EdgeKind::Dfg).any(|writer| {
+                matches!(
+                    g.node(writer).kind,
+                    NodeKind::DeclaredReferenceExpression
+                        | NodeKind::MemberExpression
+                        | NodeKind::SubscriptExpression
+                ) && !ctx.in_constructor(writer)
+            });
+            if written_outside_ctor {
+                return false;
+            }
+        }
+    }
+    // Mapping/array reads keyed by attacker data are not fixed either.
+    for n in &cone {
+        if g.node(*n).kind == NodeKind::SubscriptExpression {
+            if let Some(index) = g.ast_child(*n, AstRole::SubscriptExpression) {
+                if ctx.attacker_controlled(index) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether a mutex-style lock guards the call: a boolean field is both
+/// checked in a guard before the call and written before the call.
+fn mutex_locked(ctx: &Ctx, call: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    let before = g.reach_backward(call, |k| k == EdgeKind::Eog, ctx.max_path);
+    // Fields written before the call...
+    let written_before: Vec<NodeId> = ctx
+        .field_writes()
+        .into_iter()
+        .filter(|(writer, _)| before.contains(writer))
+        .map(|(_, field)| field)
+        .collect();
+    if written_before.is_empty() {
+        return false;
+    }
+    // ...that also appear in a guard before the call.
+    for guard in ctx.guards_before(call) {
+        for cond in ctx.guard_condition(guard) {
+            let cone = ctx.dfg_sources(cond);
+            if written_before.iter().any(|f| cone.contains(f)) {
+                // Only boolean-ish lock fields qualify; balance checks
+                // (`require(balances[msg.sender] >= x)`) do not lock.
+                let is_lock = written_before.iter().any(|f| {
+                    cone.contains(f)
+                        && g.node(*f)
+                            .props
+                            .ty
+                            .as_deref()
+                            .map(|t| t == "bool")
+                            .unwrap_or(false)
+                });
+                if is_lock {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Listing 17 — call paths through external calls vulnerable to reentrancy.
+pub fn reentrancy(ctx: &Ctx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for call in ctx.calls_named(&["call", "callcode", "delegatecall"]) {
+        let Some(base) = ctx.call_base(call) else { continue };
+        // Only value-bearing or raw calls on address-typed bases; a
+        // delegatecall into a fixed library is handled by Listing 12.
+        if target_is_fixed(ctx, base) {
+            continue;
+        }
+        // State write after the call on the interprocedural closure.
+        let after = ctx.eog_interproc_after(call);
+        let write_after = ctx
+            .field_writes()
+            .into_iter()
+            .find(|(writer, _)| after.contains(writer));
+        let Some((writer, _field)) = write_after else { continue };
+        let _ = writer;
+        if mutex_locked(ctx, call) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::Reentrancy, call));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        reentrancy(&ctx)
+    }
+
+    #[test]
+    fn dao_pattern_is_flagged() {
+        let findings = check(
+            "contract Dao { mapping(address => uint) balances; \
+             function withdraw() public { \
+               uint amount = balances[msg.sender]; \
+               msg.sender.call{value: amount}(\"\"); \
+               balances[msg.sender] = 0; } }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].query, QueryId::Reentrancy);
+    }
+
+    #[test]
+    fn checks_effects_interactions_is_clean() {
+        let findings = check(
+            "contract Bank { mapping(address => uint) balances; \
+             function withdraw() public { \
+               uint amount = balances[msg.sender]; \
+               balances[msg.sender] = 0; \
+               msg.sender.call{value: amount}(\"\"); } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn mutex_lock_is_clean() {
+        let findings = check(
+            "contract Bank { bool locked; mapping(address => uint) balances; \
+             function withdraw() public { \
+               require(!locked); \
+               locked = true; \
+               msg.sender.call{value: balances[msg.sender]}(\"\"); \
+               balances[msg.sender] = 0; \
+               locked = false; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn transfer_is_not_reentrant() {
+        // transfer forwards 2300 gas — not enough to re-enter.
+        let findings = check(
+            "contract Bank { mapping(address => uint) balances; \
+             function withdraw() public { \
+               msg.sender.transfer(balances[msg.sender]); \
+               balances[msg.sender] = 0; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn constructor_fixed_target_is_clean() {
+        let findings = check(
+            "contract C { address lib; uint hits; \
+             constructor(address l) { lib = l; } \
+             function f(bytes d) public { lib.call(d); hits += 1; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn settable_target_is_flagged() {
+        let findings = check(
+            "contract C { address lib; uint hits; \
+             function setLib(address l) public { lib = l; } \
+             function f(bytes d) public { lib.call(d); hits += 1; } }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn paper_figure_7_snippet_is_flagged() {
+        // The Ethereum Stack Exchange snippet of Figure 7 (reentrancy
+        // before zeroing the balance, legacy .call.value form).
+        let findings = check(
+            "function withdrawBalance() public { \
+               uint amountToWithdraw = userBalances[msg.sender]; \
+               if (!(msg.sender.call.value(amountToWithdraw)())) { throw; } \
+               userBalances[msg.sender] = 0; }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Short Address queries (Listings 5 and 6 of Appendix B).
+//!
+//! A transaction whose last argument is an address can be padded by the EVM
+//! when the caller sends a truncated address, shifting the remaining
+//! calldata. Functions taking an `address` parameter *before* an amount
+//! parameter are exposed when both reach a transfer (call-site variant,
+//! Listing 5) or a state write (state variant, Listing 6).
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{AstRole, NodeId, NodeKind};
+
+/// Parameters of the function enclosing `node`, ordered by index.
+fn params_of(ctx: &Ctx, function: NodeId) -> Vec<NodeId> {
+    let mut params: Vec<NodeId> = ctx
+        .cpg
+        .graph
+        .ast_children_role(function, AstRole::Parameters)
+        .collect();
+    params.sort_by_key(|p| ctx.cpg.graph.node(*p).props.index.unwrap_or(usize::MAX));
+    params
+}
+
+fn is_address_param(ctx: &Ctx, param: NodeId) -> bool {
+    ctx.cpg
+        .graph
+        .node(param)
+        .props
+        .ty
+        .as_deref()
+        .map(|t| t.starts_with("address"))
+        .unwrap_or(false)
+}
+
+/// The vulnerable parameter pair, if any: an address parameter at a lower
+/// index than an integer amount parameter, both flowing into `sink`.
+fn padded_pair(ctx: &Ctx, function: NodeId, sink: NodeId) -> Option<(NodeId, NodeId)> {
+    let params = params_of(ctx, function);
+    let sources = ctx.dfg_sources(sink);
+    let mut address = None;
+    let mut amount = None;
+    for param in &params {
+        if !sources.contains(param) {
+            continue;
+        }
+        let props = &ctx.cpg.graph.node(*param).props;
+        if is_address_param(ctx, *param) && address.is_none() {
+            address = Some((*param, props.index.unwrap_or(0)));
+        } else if props.ty.as_deref().map(|t| t.starts_with("uint") || t.starts_with("int")).unwrap_or(false)
+        {
+            amount = Some((*param, props.index.unwrap_or(0)));
+        }
+    }
+    match (address, amount) {
+        (Some((a, ai)), Some((m, mi))) if ai < mi => Some((a, m)),
+        _ => None,
+    }
+}
+
+/// Whether the function validates calldata length (the standard
+/// `onlyPayloadSize` mitigation) — a guard involving `msg.data`.
+fn validates_payload(ctx: &Ctx, sink: NodeId) -> bool {
+    ctx.guards_before(sink)
+        .into_iter()
+        .any(|guard| ctx.guard_involves(guard, &["msg.data", "msg.data.length"]))
+}
+
+/// Listing 5 — address padding issues at call sites: both parameters reach
+/// an external transfer call.
+pub fn at_call_sites(ctx: &Ctx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for call in ctx.calls_named(&["transfer", "send", "call", "transferFrom"]) {
+        if !ctx.is_external_call(call) && ctx.cpg.graph.node(call).props.local_name != "transferFrom" {
+            continue;
+        }
+        let Some(function) = ctx.function_of(call) else { continue };
+        if !ctx.is_externally_callable(function) || ctx.in_constructor(call) {
+            continue;
+        }
+        if padded_pair(ctx, function, call).is_none() {
+            continue;
+        }
+        if validates_payload(ctx, call) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::ShortAddressCall, call));
+    }
+    findings
+}
+
+/// Listing 6 — writes to contract state vulnerable to address padding: the
+/// address parameter keys a mapping write whose value comes from a
+/// later amount parameter (classic vulnerable `transfer(address,uint)`
+/// token implementations).
+pub fn at_state_writes(ctx: &Ctx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (writer, _field) in ctx.field_writes() {
+        if ctx.cpg.graph.node(writer).kind != NodeKind::SubscriptExpression {
+            continue;
+        }
+        let Some(function) = ctx.function_of(writer) else { continue };
+        if !ctx.is_externally_callable(function) || ctx.in_constructor(writer) {
+            continue;
+        }
+        // The subscript index is an address parameter; the written value
+        // comes from a later integer parameter.
+        let Some(index_node) = ctx
+            .cpg
+            .graph
+            .ast_child(writer, AstRole::SubscriptExpression)
+        else {
+            continue;
+        };
+        let params = params_of(ctx, function);
+        let index_sources = ctx.dfg_sources(index_node);
+        let addr = params.iter().find(|p| {
+            is_address_param(ctx, **p) && (index_sources.contains(*p) || index_node == **p)
+        });
+        let Some(addr) = addr else { continue };
+        let addr_index = ctx.cpg.graph.node(*addr).props.index.unwrap_or(0);
+        // The assignment writing through the subscript.
+        let value_sources: std::collections::HashSet<NodeId> =
+            ctx.dfg_sources(writer).into_iter().collect();
+        let amount_after = params.iter().any(|p| {
+            let props = &ctx.cpg.graph.node(*p).props;
+            props.index.unwrap_or(0) > addr_index
+                && props.ty.as_deref().map(|t| t.starts_with("uint") || t.starts_with("int")).unwrap_or(false)
+                && value_sources.contains(p)
+        });
+        if !amount_after {
+            continue;
+        }
+        if validates_payload(ctx, writer) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::ShortAddressStateWrite, writer));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str, f: fn(&Ctx) -> Vec<Finding>) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        f(&ctx)
+    }
+
+    #[test]
+    fn vulnerable_transfer_call_site() {
+        let findings = check(
+            "contract C { function pay(address to, uint amount) public { \
+               to.transfer(amount); } }",
+            at_call_sites,
+        );
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn payload_size_check_mitigates_call_site() {
+        let findings = check(
+            "contract C { function pay(address to, uint amount) public { \
+               require(msg.data.length == 68); to.transfer(amount); } }",
+            at_call_sites,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn amount_before_address_is_clean() {
+        let findings = check(
+            "contract C { function pay(uint amount, address to) public { \
+               to.transfer(amount); } }",
+            at_call_sites,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn vulnerable_token_transfer_state_write() {
+        let findings = check(
+            "contract Token { mapping(address => uint) balances; \
+             function transfer(address to, uint value) public { \
+               balances[msg.sender] -= value; \
+               balances[to] += value; } }",
+            at_state_writes,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn payload_check_mitigates_state_write() {
+        let findings = check(
+            "contract Token { mapping(address => uint) balances; \
+             function transfer(address to, uint value) public { \
+               require(msg.data.length >= 68); \
+               balances[to] += value; } }",
+            at_state_writes,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn internal_function_is_clean() {
+        let findings = check(
+            "contract Token { mapping(address => uint) balances; \
+             function move_(address to, uint value) internal { \
+               balances[to] += value; } }",
+            at_state_writes,
+        );
+        assert!(findings.is_empty());
+    }
+}

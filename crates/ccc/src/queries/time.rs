@@ -1,0 +1,125 @@
+//! Time Manipulation query (Listing 18 of Appendix B): transactions where a
+//! miner can choose the timestamp to change the outcome.
+//!
+//! `block.timestamp` (and `now`) can be shifted by ~15 seconds by the miner
+//! producing the block. When a comparison over the timestamp decides
+//! whether ether moves or state changes, the miner can influence the
+//! outcome of the transaction.
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{EdgeKind, NodeId, NodeKind};
+
+/// Timestamp sources. `now` is normalized to `block.timestamp` by the CPG
+/// builder; `block.number` as a proxy for time is also flagged.
+const TIME_SOURCES: &[&str] = &["block.timestamp", "block.number"];
+
+fn time_source_nodes(ctx: &Ctx) -> Vec<NodeId> {
+    let g = &ctx.cpg.graph;
+    g.nodes_of_kind(NodeKind::MemberExpression)
+        .filter(|n| TIME_SOURCES.contains(&g.node(*n).props.code.as_str()))
+        .collect()
+}
+
+/// Whether the branch/guard influenced by the timestamp has a consequence
+/// worth manipulating: an ether transfer or a state write on one side.
+fn branch_has_consequence(ctx: &Ctx, branch: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    let after = g.reach_forward(branch, |k| k == EdgeKind::Eog, ctx.max_path);
+    let transfers = after
+        .iter()
+        .any(|n| g.node(*n).kind == NodeKind::CallExpression && ctx.is_ether_transfer(*n));
+    let writes = ctx
+        .field_writes()
+        .into_iter()
+        .any(|(writer, _)| after.contains(&writer));
+    transfers || writes
+}
+
+/// Listing 18 — timestamp-dependent outcomes.
+pub fn timestamp_dependence(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+    for source in time_source_nodes(ctx) {
+        // The timestamp must flow into a comparison...
+        let forward = g.reach_forward(source, |k| k == EdgeKind::Dfg, ctx.max_path);
+        let comparison = forward.iter().copied().find(|n| {
+            matches!(
+                g.node(*n).props.operator_code.as_deref(),
+                Some("<") | Some(">") | Some("<=") | Some(">=") | Some("==") | Some("!=")
+            )
+        });
+        let Some(comparison) = comparison else { continue };
+        // ...that feeds a guard or branch...
+        if !ctx.feeds_guard(comparison) {
+            continue;
+        }
+        // ...whose outcome matters. The guard node itself is found on the
+        // forward EOG of the comparison.
+        let guard_matters = g
+            .reach_forward(comparison, |k| k == EdgeKind::Eog, 4)
+            .into_iter()
+            .chain([comparison])
+            .any(|n| branch_has_consequence(ctx, n));
+        if !guard_matters {
+            continue;
+        }
+        // Equality against an exact timestamp is un-influencable in
+        // practice but the paper's query reports it too (it is miner
+        // pickable) — keep it.
+        findings.push(Finding::new(ctx, QueryId::TimestampDependence, source));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        timestamp_dependence(&ctx)
+    }
+
+    #[test]
+    fn timestamp_gated_payout_is_flagged() {
+        let findings = check(
+            "contract Sale { uint start; \
+             function buy() public payable { \
+               require(block.timestamp >= start); \
+               msg.sender.transfer(1); } }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn now_alias_is_flagged() {
+        let findings = check(
+            "contract C { uint deadline; uint pot; \
+             function close() public { \
+               if (now > deadline) { msg.sender.transfer(pot); } } }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn timestamp_storage_is_clean() {
+        let findings = check(
+            "contract C { uint lastSeen; \
+             function ping() public { lastSeen = block.timestamp; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn branch_without_consequence_is_clean() {
+        let findings = check(
+            "contract C { function fresh(uint t) public returns (bool) { \
+               return block.timestamp > t; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

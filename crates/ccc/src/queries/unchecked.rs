@@ -1,0 +1,120 @@
+//! Unchecked Low Level Calls query (Listing 10 of Appendix B).
+//!
+//! `send`, `call`, `delegatecall`, `callcode` and `staticcall` return a
+//! success flag instead of reverting. Ignoring that flag silently swallows
+//! failures (the #4 DASP category and by far the largest label set in
+//! SmartBugs Curated).
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{EdgeKind, NodeId, NodeKind};
+
+/// Low-level calls whose boolean result must be checked. `transfer` is
+/// excluded: it reverts on failure by itself.
+const CHECKED_CALLS: &[&str] = &["send", "call", "delegatecall", "callcode", "staticcall"];
+
+/// Whether the call result is consumed: it flows into a guard, an
+/// assignment, a return, a variable declaration or a logical operation.
+fn result_is_used(ctx: &Ctx, call: NodeId) -> bool {
+    let g = &ctx.cpg.graph;
+    g.out_kind(call, EdgeKind::Dfg).any(|user| {
+        let node = g.node(user);
+        match node.kind {
+            NodeKind::CallExpression => {
+                matches!(node.props.local_name.as_str(), "require" | "assert")
+            }
+            NodeKind::Rollback => true,
+            NodeKind::IfStatement
+            | NodeKind::WhileStatement
+            | NodeKind::DoStatement
+            | NodeKind::ConditionalExpression
+            | NodeKind::ReturnStatement
+            | NodeKind::VariableDeclaration
+            | NodeKind::TupleExpression => true,
+            NodeKind::BinaryOperator | NodeKind::UnaryOperator => true,
+            NodeKind::DeclaredReferenceExpression
+            | NodeKind::MemberExpression
+            | NodeKind::SubscriptExpression => true,
+            _ => false,
+        }
+    })
+}
+
+/// Listing 10 — critical calls whose return values are ignored.
+pub fn unchecked_call(ctx: &Ctx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for call in ctx.calls_named(CHECKED_CALLS) {
+        // Only genuine low-level calls on a base (`a.send(..)`), not
+        // user-defined functions that happen to be named `call`.
+        if ctx.call_base(call).is_none() {
+            continue;
+        }
+        if result_is_used(ctx, call) {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::UncheckedCall, call));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        unchecked_call(&ctx)
+    }
+
+    #[test]
+    fn bare_send_is_flagged() {
+        let findings = check("function f(address to) public { to.send(1 ether); }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].query, QueryId::UncheckedCall);
+    }
+
+    #[test]
+    fn required_send_is_clean() {
+        let findings = check("function f(address to) public { require(to.send(1 ether)); }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn if_checked_call_is_clean() {
+        let findings = check(
+            "function f(address to) public { if (!to.send(1)) { revert(); } }",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn assigned_result_is_clean() {
+        let findings = check(
+            "function f(address to) public { bool ok = to.call{value: 1}(\"\"); g(ok); }",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn transfer_is_not_flagged() {
+        let findings = check("function f(address to) public { to.transfer(1); }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn bare_low_level_call_is_flagged() {
+        let findings = check("function f(address t, bytes d) public { t.call(d); }");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn tuple_destructured_result_is_clean() {
+        let findings = check(
+            "function f(address t) public { (bool ok, bytes memory ret) = t.call(\"\"); require(ok); }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Unknown Unknowns query (Listing 15 of Appendix B): writes to local
+//! structs that can unintentionally overwrite state variables.
+//!
+//! Before Solidity 0.5, a local struct or array declared without a data
+//! location defaulted to `storage` — an *uninitialized storage pointer*
+//! aliasing slot 0. Writing through it silently corrupts the first state
+//! variables (a classic honeypot trick, cf. `Uninitialised Struct`).
+
+use crate::dasp::QueryId;
+use crate::helpers::Ctx;
+use crate::Finding;
+use cpg::{AstRole, EdgeKind, NodeKind};
+
+/// Listing 15 — uninitialized local storage declarations that are written.
+pub fn uninitialized_storage_pointer(ctx: &Ctx) -> Vec<Finding> {
+    let g = &ctx.cpg.graph;
+    let mut findings = Vec::new();
+
+    // User-defined struct names declared in the unit.
+    let struct_names: Vec<String> = g
+        .nodes_of_kind(NodeKind::RecordDeclaration)
+        .filter(|r| g.node(*r).props.record_kind.as_deref() == Some("struct"))
+        .map(|r| g.node(r).props.local_name.clone())
+        .collect();
+
+    for decl in g.nodes_of_kind(NodeKind::VariableDeclaration) {
+        let node = g.node(decl);
+        let storage_kw = node.props.extra.get("storage").map(String::as_str);
+        // Explicit memory/calldata is safe.
+        if matches!(storage_kw, Some("memory") | Some("calldata")) {
+            continue;
+        }
+        let ty = node.props.ty.clone().unwrap_or_default();
+        let is_aliasing_type = storage_kw == Some("storage")
+            || struct_names.iter().any(|s| ty == *s)
+            || ty.ends_with("[]");
+        if !is_aliasing_type {
+            continue;
+        }
+        // Must be uninitialized: no INITIALIZER edge.
+        if g.ast_child(decl, AstRole::Initializer).is_some() {
+            continue;
+        }
+        // Must be written in a non-constructor function.
+        let written = g.in_kind(decl, EdgeKind::Dfg).any(|writer| {
+            matches!(
+                g.node(writer).kind,
+                NodeKind::DeclaredReferenceExpression
+                    | NodeKind::MemberExpression
+                    | NodeKind::SubscriptExpression
+            ) && !ctx.in_constructor(writer)
+        });
+        if !written {
+            continue;
+        }
+        findings.push(Finding::new(ctx, QueryId::UninitializedStoragePointer, decl));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let cpg = Cpg::from_snippet(src).unwrap();
+        let ctx = Ctx::new(&cpg, usize::MAX);
+        uninitialized_storage_pointer(&ctx)
+    }
+
+    #[test]
+    fn uninitialized_struct_write_is_flagged() {
+        let findings = check(
+            "contract Wallet { address owner; uint unlockTime; \
+             struct Deposit { uint amount; uint time; } \
+             function deposit() public payable { \
+               Deposit d; \
+               d.amount = msg.value; \
+               d.time = block.timestamp; } }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn memory_struct_is_clean() {
+        let findings = check(
+            "contract Wallet { struct Deposit { uint amount; } \
+             function deposit() public payable { \
+               Deposit memory d; \
+               d.amount = msg.value; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn initialized_storage_pointer_is_clean() {
+        let findings = check(
+            "contract Wallet { struct Deposit { uint amount; } \
+             Deposit[] deposits; \
+             function touch(uint i) public { \
+               Deposit storage d = deposits[i]; \
+               d.amount = 1; } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn plain_value_local_is_clean() {
+        let findings = check("function f() public { uint x; x = 1; }");
+        assert!(findings.is_empty());
+    }
+}

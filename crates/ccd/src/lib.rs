@@ -1,0 +1,43 @@
+//! CCD — the Contract Clone Detector.
+//!
+//! Detects Type I (exact), Type II (renamed) and Type III (near-miss)
+//! clones of Solidity code snippets across large contract corpora (§5 of
+//! the paper), via the pipeline of Figure 4:
+//!
+//! 1. **Parsing** ([`solidity`], snippet-tolerant; comments/whitespace
+//!    vanish in the lexer → Type I),
+//! 2. **Normalization** ([`normalize`]: identifier renaming, type-based
+//!    variable names, string-literal folding, visibility removal →
+//!    Type II),
+//! 3. **Tokenization** ([`tokenize`]: per-contract/per-function token
+//!    streams split on symbols),
+//! 4. **Fingerprinting** ([`fingerprint`]: token-wise fuzzy hashing;
+//!    `.`/`:` separators between functions/contracts),
+//! 5. **Matching** ([`matcher`]: η N-gram pre-filter + Algorithm 1
+//!    order-independent edit-distance similarity ε → Type III).
+//!
+//! ```
+//! use ccd::{CcdParams, CloneDetector};
+//!
+//! let mut detector = CloneDetector::new(CcdParams::best());
+//! detector.insert_source(1, "contract Wallet { \
+//!     function takeOut(uint amount) public { msg.sender.transfer(amount); } }");
+//! let query = CloneDetector::fingerprint_source(
+//!     "contract Unsafe { function w(uint v) public { msg.sender.transfer(v); } }",
+//! ).unwrap();
+//! let matches = detector.matches(&query);
+//! assert_eq!(matches[0].doc, 1); // Type II clone found
+//! ```
+
+
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod matcher;
+pub mod normalize;
+pub mod sweep;
+pub mod tokenize;
+
+pub use fingerprint::Fingerprint;
+pub use matcher::{order_independent_similarity, CcdParams, CloneDetector, CloneMatch};
+pub use sweep::{evaluate, parameter_grid, sweep, LabelledCorpus, SweepPoint};

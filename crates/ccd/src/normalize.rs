@@ -1,0 +1,615 @@
+//! Source normalization (§5.2 of the paper).
+//!
+//! To detect Type-I and Type-II clones, the source is parsed and the AST is
+//! rewritten:
+//!
+//! * contract names → `c`, library names → `l`, interface names → `i`,
+//! * function names → `f`, modifier names → `m`,
+//! * parameters and variables → their declared type (default `uint` when
+//!   the declaration is missing from the snippet),
+//! * string literals → `stringLiteral`,
+//! * function visibility and mutability are removed.
+//!
+//! Numeric constants are deliberately left untouched: a changed constant
+//! can flip a contract from vulnerable to safe (§5.2).
+
+use solidity::ast::*;
+use std::collections::HashMap;
+
+/// Builtin *member* names (`msg.sender`, `x.transfer`, `a.length`) that are
+/// never renamed in member position.
+const MEMBER_BUILTINS: &[&str] = &[
+    "sender", "value", "data", "sig", "gas", "origin", "gasprice", "timestamp", "number",
+    "difficulty", "coinbase", "gaslimit", "blockhash", "transfer", "send", "call",
+    "delegatecall", "callcode", "staticcall", "length", "push", "pop", "balance", "encode",
+    "encodePacked", "encodeWithSelector", "encodeWithSignature", "decode", "min", "max",
+];
+
+/// Builtin *bare* identifiers that are never renamed in identifier
+/// position. A user variable named `value` is still renamed to its type —
+/// only genuine globals are protected.
+const IDENT_BUILTINS: &[&str] = &[
+    "msg", "tx", "block", "now", "this", "super", "abi", "require", "assert", "revert",
+    "selfdestruct", "suicide", "keccak256", "sha3", "sha256", "ripemd160", "ecrecover",
+    "addmod", "mulmod", "gasleft", "blockhash", "type", "stringLiteral", "_",
+];
+
+/// Normalize a parsed source unit in place, returning the renaming that was
+/// applied (useful for debugging and tests).
+pub fn normalize_unit(unit: &mut SourceUnit) -> HashMap<String, String> {
+    let mut n = Normalizer::default();
+    n.collect_unit(unit);
+    // Second collection pass: subscript-base usage of undeclared names.
+    {
+        struct SubscriptScan<'a>(&'a mut Normalizer);
+        impl solidity::visitor::Visit for SubscriptScan<'_> {
+            fn visit_expr(&mut self, expr: &Expr) {
+                if let ExprKind::Index { base, .. } = &expr.kind {
+                    if let ExprKind::Ident(name) = &base.kind {
+                        if !self.0.renames.contains_key(name)
+                            && !self.0.var_types.contains_key(name)
+                        {
+                            self.0.subscripted.insert(name.clone());
+                        }
+                    }
+                }
+                solidity::visitor::walk_expr(self, expr);
+            }
+        }
+        let mut scan = SubscriptScan(&mut n);
+        solidity::visitor::walk_unit(&mut scan, unit);
+    }
+    for item in &mut unit.items {
+        n.item(item);
+    }
+    n.renames
+}
+
+#[derive(Default)]
+struct Normalizer {
+    /// Global renaming decisions: original → replacement.
+    renames: HashMap<String, String>,
+    /// Variable → declared type (canonical), feeding the type-renaming.
+    var_types: HashMap<String, String>,
+    /// Undeclared names observed as subscript bases (`x[..]`): renamed to
+    /// `mapping` rather than the flat default, so a snippet missing the
+    /// `mapping(...)` declaration still normalizes like the full contract.
+    subscripted: std::collections::HashSet<String>,
+}
+
+impl Normalizer {
+    // ---- collection pass: decide every rename up front -------------------
+
+    fn collect_unit(&mut self, unit: &SourceUnit) {
+        for item in &unit.items {
+            match item {
+                SourceItem::Contract(c) => {
+                    let replacement = match c.kind {
+                        ContractKind::Library => "l",
+                        ContractKind::Interface => "i",
+                        _ => "c",
+                    };
+                    self.renames.insert(c.name.clone(), replacement.to_string());
+                    for part in &c.parts {
+                        self.collect_part(part);
+                    }
+                }
+                SourceItem::Function(f) => self.collect_function(f),
+                SourceItem::Modifier(m) => self.collect_modifier(m),
+                SourceItem::Variable(v) => {
+                    self.var_types.insert(v.name.clone(), type_token(&v.ty));
+                }
+                SourceItem::Struct(s) => {
+                    self.renames.insert(s.name.clone(), "s".into());
+                    for field in &s.fields {
+                        if let Some(name) = &field.name {
+                            self.var_types.insert(name.clone(), type_token(&field.ty));
+                        }
+                    }
+                }
+                SourceItem::Event(e) => {
+                    self.renames.insert(e.name.clone(), "e".into());
+                }
+                SourceItem::ErrorDef(e) => {
+                    self.renames.insert(e.name.clone(), "err".into());
+                }
+                SourceItem::Statement(s) => self.collect_stmt(s),
+                _ => {}
+            }
+        }
+    }
+
+    fn collect_part(&mut self, part: &ContractPart) {
+        match part {
+            ContractPart::Variable(v) => {
+                self.var_types.insert(v.name.clone(), type_token(&v.ty));
+            }
+            ContractPart::Function(f) => self.collect_function(f),
+            ContractPart::Modifier(m) => self.collect_modifier(m),
+            ContractPart::Struct(s) => {
+                self.renames.insert(s.name.clone(), "s".into());
+            }
+            ContractPart::Event(e) => {
+                self.renames.insert(e.name.clone(), "e".into());
+            }
+            ContractPart::ErrorDef(e) => {
+                self.renames.insert(e.name.clone(), "err".into());
+            }
+            _ => {}
+        }
+    }
+
+    fn collect_function(&mut self, f: &FunctionDef) {
+        if let Some(name) = &f.name {
+            self.renames.insert(name.clone(), "f".into());
+        }
+        for p in f.params.iter().chain(&f.returns) {
+            if let Some(name) = &p.name {
+                self.var_types.insert(name.clone(), type_token(&p.ty));
+            }
+        }
+        if let Some(body) = &f.body {
+            for s in &body.statements {
+                self.collect_stmt(s);
+            }
+        }
+    }
+
+    fn collect_modifier(&mut self, m: &ModifierDef) {
+        self.renames.insert(m.name.clone(), "m".into());
+        for p in &m.params {
+            if let Some(name) = &p.name {
+                self.var_types.insert(name.clone(), type_token(&p.ty));
+            }
+        }
+        if let Some(body) = &m.body {
+            for s in &body.statements {
+                self.collect_stmt(s);
+            }
+        }
+    }
+
+    fn collect_stmt(&mut self, s: &Statement) {
+        match &s.kind {
+            StatementKind::VariableDecl { parts, .. } => {
+                for part in parts {
+                    let ty = part
+                        .ty
+                        .as_ref()
+                        .map(type_token)
+                        .unwrap_or_else(|| "uint".to_string());
+                    self.var_types.insert(part.name.clone(), ty);
+                }
+            }
+            StatementKind::Block(b) | StatementKind::Unchecked(b) => {
+                for inner in &b.statements {
+                    self.collect_stmt(inner);
+                }
+            }
+            StatementKind::If { then, alt, .. } => {
+                self.collect_stmt(then);
+                if let Some(alt) = alt {
+                    self.collect_stmt(alt);
+                }
+            }
+            StatementKind::While { body, .. } | StatementKind::DoWhile { body, .. } => {
+                self.collect_stmt(body);
+            }
+            StatementKind::For { init, body, .. } => {
+                if let Some(init) = init {
+                    self.collect_stmt(init);
+                }
+                self.collect_stmt(body);
+            }
+            StatementKind::Try { success, catches, .. } => {
+                for inner in &success.statements {
+                    self.collect_stmt(inner);
+                }
+                for c in catches {
+                    for inner in &c.statements {
+                        self.collect_stmt(inner);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn rename(&self, name: &str) -> String {
+        if let Some(replacement) = self.renames.get(name) {
+            return replacement.clone();
+        }
+        if let Some(ty) = self.var_types.get(name) {
+            return ty.clone();
+        }
+        if IDENT_BUILTINS.contains(&name) {
+            return name.to_string();
+        }
+        if self.subscripted.contains(name) {
+            return "mapping".to_string();
+        }
+        // Missing declaration (incomplete snippet): the paper's default.
+        "uint".to_string()
+    }
+
+    // ---- rewrite pass ------------------------------------------------------
+
+    fn item(&mut self, item: &mut SourceItem) {
+        match item {
+            SourceItem::Contract(c) => {
+                c.name = self.rename(&c.name);
+                for base in &mut c.bases {
+                    base.name = self.rename(&base.name);
+                    for arg in &mut base.args {
+                        self.expr(arg);
+                    }
+                }
+                for part in &mut c.parts {
+                    self.part(part);
+                }
+            }
+            SourceItem::Function(f) => self.function(f),
+            SourceItem::Modifier(m) => self.modifier(m),
+            SourceItem::Variable(v) => self.state_var(v),
+            SourceItem::Statement(s) => self.stmt(s),
+            SourceItem::Struct(s) => {
+                s.name = self.rename(&s.name);
+                for field in &mut s.fields {
+                    self.param(field);
+                }
+            }
+            SourceItem::Event(e) => {
+                e.name = self.rename(&e.name);
+                for p in &mut e.params {
+                    self.param(p);
+                }
+            }
+            SourceItem::ErrorDef(e) => {
+                e.name = self.rename(&e.name);
+                for p in &mut e.params {
+                    self.param(p);
+                }
+            }
+            SourceItem::UsingFor(u) => {
+                u.library = self.rename(&u.library);
+            }
+            _ => {}
+        }
+    }
+
+    fn part(&mut self, part: &mut ContractPart) {
+        match part {
+            ContractPart::Variable(v) => self.state_var(v),
+            ContractPart::Function(f) => self.function(f),
+            ContractPart::Modifier(m) => self.modifier(m),
+            ContractPart::Struct(s) => {
+                s.name = self.rename(&s.name);
+                for field in &mut s.fields {
+                    self.param(field);
+                }
+            }
+            ContractPart::Event(e) => {
+                e.name = self.rename(&e.name);
+                for p in &mut e.params {
+                    self.param(p);
+                }
+            }
+            ContractPart::ErrorDef(e) => {
+                e.name = self.rename(&e.name);
+            }
+            ContractPart::UsingFor(u) => {
+                u.library = self.rename(&u.library);
+            }
+            ContractPart::Enum(e) => {
+                e.name = self.rename(&e.name);
+            }
+            ContractPart::Placeholder(_) => {}
+        }
+    }
+
+    fn state_var(&mut self, v: &mut StateVarDecl) {
+        self.ty(&mut v.ty);
+        v.visibility = None;
+        v.name = self.rename(&v.name);
+        if let Some(init) = &mut v.initializer {
+            self.expr(init);
+        }
+    }
+
+    fn function(&mut self, f: &mut FunctionDef) {
+        if let Some(name) = &f.name {
+            f.name = Some(self.rename(name));
+        }
+        // Visibility and mutability are removed entirely (§5.2).
+        f.visibility = None;
+        f.mutability = None;
+        f.is_virtual = false;
+        f.is_override = false;
+        for p in f.params.iter_mut().chain(f.returns.iter_mut()) {
+            self.param(p);
+        }
+        for m in &mut f.modifiers {
+            m.name = self.rename(&m.name);
+            for arg in &mut m.args {
+                self.expr(arg);
+            }
+        }
+        if let Some(body) = &mut f.body {
+            self.block(body);
+        }
+    }
+
+    fn modifier(&mut self, m: &mut ModifierDef) {
+        m.name = self.rename(&m.name);
+        for p in &mut m.params {
+            self.param(p);
+        }
+        if let Some(body) = &mut m.body {
+            self.block(body);
+        }
+    }
+
+    fn param(&mut self, p: &mut Param) {
+        self.ty(&mut p.ty);
+        // The parameter is renamed to its type; dropping the name achieves
+        // the same token stream as the paper's `function f(uint)` example.
+        // The data location is kept (it is semantics, not naming).
+        p.name = None;
+        p.indexed = false;
+    }
+
+    fn ty(&mut self, ty: &mut TypeName) {
+        match ty {
+            TypeName::UserDefined(name) => {
+                *name = self.rename(name);
+            }
+            TypeName::Mapping(k, v) => {
+                self.ty(k);
+                self.ty(v);
+            }
+            TypeName::Array(inner, len) => {
+                self.ty(inner);
+                if let Some(len) = len {
+                    self.expr(len);
+                }
+            }
+            TypeName::Function { params, returns } => {
+                for t in params.iter_mut().chain(returns.iter_mut()) {
+                    self.ty(t);
+                }
+            }
+            TypeName::Elementary(_) | TypeName::Unknown => {}
+        }
+    }
+
+    fn block(&mut self, b: &mut Block) {
+        for s in &mut b.statements {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &mut Statement) {
+        match &mut s.kind {
+            StatementKind::Block(b) | StatementKind::Unchecked(b) => self.block(b),
+            StatementKind::If { cond, then, alt } => {
+                self.expr(cond);
+                self.stmt(then);
+                if let Some(alt) = alt {
+                    self.stmt(alt);
+                }
+            }
+            StatementKind::While { cond, body } => {
+                self.expr(cond);
+                self.stmt(body);
+            }
+            StatementKind::DoWhile { body, cond } => {
+                self.stmt(body);
+                self.expr(cond);
+            }
+            StatementKind::For { init, cond, update, body } => {
+                if let Some(init) = init {
+                    self.stmt(init);
+                }
+                if let Some(cond) = cond {
+                    self.expr(cond);
+                }
+                if let Some(update) = update {
+                    self.expr(update);
+                }
+                self.stmt(body);
+            }
+            StatementKind::Expression(e) | StatementKind::Emit(e) => self.expr(e),
+            StatementKind::VariableDecl { parts, value } => {
+                for part in parts {
+                    if let Some(ty) = &mut part.ty {
+                        self.ty(ty);
+                    }
+                    // Data locations are *kept*: `storage` vs `memory`
+                    // changes behavior (uninitialized storage pointers!),
+                    // so collapsing them would merge vulnerable and safe
+                    // code into one clone class.
+                    let ty = part
+                        .ty
+                        .as_ref()
+                        .map(type_token)
+                        .unwrap_or_else(|| "uint".to_string());
+                    part.name = ty;
+                }
+                if let Some(value) = value {
+                    self.expr(value);
+                }
+            }
+            StatementKind::Return(value) | StatementKind::Revert(value) => {
+                if let Some(value) = value {
+                    self.expr(value);
+                }
+            }
+            StatementKind::Try { expr, success, catches } => {
+                self.expr(expr);
+                self.block(success);
+                for c in catches {
+                    self.block(c);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) {
+        match &mut e.kind {
+            ExprKind::Ident(name) => {
+                *name = self.rename(name);
+            }
+            ExprKind::Literal(lit) => {
+                if let Lit::Str(_) = lit {
+                    // String literals → the `stringLiteral` keyword (§5.2).
+                    e.kind = ExprKind::Ident("stringLiteral".into());
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Unary { operand, .. } => self.expr(operand),
+            ExprKind::Ternary { cond, then, alt } => {
+                self.expr(cond);
+                self.expr(then);
+                self.expr(alt);
+            }
+            ExprKind::Call { callee, options, args, .. } => {
+                self.expr(callee);
+                for (_, option) in options {
+                    self.expr(option);
+                }
+                for arg in args {
+                    self.expr(arg);
+                }
+            }
+            ExprKind::Member { base, member } => {
+                self.expr(base);
+                if !MEMBER_BUILTINS.contains(&member.as_str()) {
+                    *member = self.rename(member);
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.expr(base);
+                if let Some(index) = index {
+                    self.expr(index);
+                }
+            }
+            ExprKind::Tuple(entries) => {
+                for entry in entries.iter_mut().flatten() {
+                    self.expr(entry);
+                }
+            }
+            ExprKind::New(ty) => self.ty(ty),
+            ExprKind::ElementaryType(_) | ExprKind::Ellipsis => {}
+        }
+    }
+}
+
+/// The single-token type name used for variable renaming: `uint` for
+/// `uint`/`uint256`, the canonical text otherwise, `uint` for unknown.
+fn type_token(ty: &TypeName) -> String {
+    match ty {
+        TypeName::Elementary(t) => t.split(' ').next().unwrap_or("uint").to_string(),
+        TypeName::UserDefined(_) => "s".to_string(),
+        TypeName::Mapping(..) => "mapping".to_string(),
+        TypeName::Array(..) => "array".to_string(),
+        TypeName::Function { .. } => "function".to_string(),
+        TypeName::Unknown => "uint".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solidity::parse_snippet;
+    use solidity::printer::print_unit;
+
+    fn normalize(src: &str) -> String {
+        let mut unit = parse_snippet(src).unwrap();
+        normalize_unit(&mut unit);
+        print_unit(&unit)
+    }
+
+    #[test]
+    fn paper_example() {
+        // The §5.2 example: contract Test → c, test → f, amount → uint.
+        let out = normalize(
+            "contract Test { function test(uint amount) { msg.sender.transfer(amount); } }",
+        );
+        assert!(out.contains("contract c"), "{out}");
+        assert!(out.contains("function f(uint)"), "{out}");
+        assert!(out.contains("msg.sender.transfer(uint)"), "{out}");
+    }
+
+    #[test]
+    fn type_ii_clones_normalize_identically() {
+        let a = normalize(
+            "contract Bank { function pay(uint amount) public { msg.sender.transfer(amount); } }",
+        );
+        let b = normalize(
+            "contract Vault { function withdraw(uint sum) external { msg.sender.transfer(sum); } }",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_literals_are_replaced() {
+        let out = normalize("function f() public { revert(\"nope\"); }");
+        assert!(out.contains("stringLiteral"), "{out}");
+        assert!(!out.contains("nope"), "{out}");
+    }
+
+    #[test]
+    fn numeric_constants_are_preserved() {
+        let out = normalize("function f() public { x = 1337; }");
+        assert!(out.contains("1337"), "{out}");
+    }
+
+    #[test]
+    fn library_renamed_to_l() {
+        let out = normalize("library SafeMath { function add(uint a, uint b) internal {} }");
+        assert!(out.contains("library l"), "{out}");
+    }
+
+    #[test]
+    fn modifiers_renamed_to_m() {
+        let out = normalize(
+            "contract C { modifier onlyOwner() { _; } function f() public onlyOwner() {} }",
+        );
+        assert!(out.contains("modifier m"), "{out}");
+        assert!(out.contains("function f() m"), "{out}");
+    }
+
+    #[test]
+    fn visibility_is_removed() {
+        let out = normalize("contract C { uint public x; function f() public view {} }");
+        assert!(!out.contains("public"), "{out}");
+        assert!(!out.contains("view"), "{out}");
+    }
+
+    #[test]
+    fn undeclared_variables_default_to_uint() {
+        let out = normalize("balances[to] += amount;");
+        assert!(out.contains("uint"), "{out}");
+        assert!(!out.contains("amount"), "{out}");
+    }
+
+    #[test]
+    fn builtins_survive() {
+        let out = normalize("function f() public { require(msg.sender == tx.origin); }");
+        assert!(out.contains("msg.sender"), "{out}");
+        assert!(out.contains("tx.origin"), "{out}");
+        assert!(out.contains("require"), "{out}");
+    }
+
+    #[test]
+    fn state_variables_renamed_by_type() {
+        let out = normalize(
+            "contract C { address owner; function f() public { owner = msg.sender; } }",
+        );
+        assert!(out.contains("address = msg.sender"), "{out}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Parameter sweep over the CCD grid (Table 9 / Figure 9 of the paper).
+//!
+//! The paper evaluates N ∈ {3, 5, 7}, η ∈ {0.5..0.9} and ε ∈ {0.5..0.9}
+//! against a labelled clone dataset and reports precision/recall per
+//! combination. This module runs the same grid against any labelled corpus.
+
+use crate::fingerprint::Fingerprint;
+use crate::matcher::{CcdParams, CloneDetector};
+use ngram_index::DocId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The paper's parameter grid (Table 9).
+pub fn parameter_grid() -> Vec<CcdParams> {
+    let mut grid = Vec::new();
+    for n in [3usize, 5, 7] {
+        for eta in [0.5, 0.6, 0.7, 0.8, 0.9] {
+            for epsilon in [50.0, 60.0, 70.0, 80.0, 90.0] {
+                grid.push(CcdParams { ngram_size: n, eta, epsilon });
+            }
+        }
+    }
+    grid
+}
+
+/// A labelled clone-detection dataset: documents plus ground-truth clone
+/// pairs (unordered).
+#[derive(Debug, Default, Clone)]
+pub struct LabelledCorpus {
+    /// (id, source) documents.
+    pub documents: Vec<(DocId, String)>,
+    /// Ground-truth clone pairs, stored with `a < b`.
+    pub clone_pairs: HashSet<(DocId, DocId)>,
+}
+
+impl LabelledCorpus {
+    /// Add a document.
+    pub fn add_document(&mut self, id: DocId, source: impl Into<String>) {
+        self.documents.push((id, source.into()));
+    }
+
+    /// Mark two documents as true clones.
+    pub fn add_clone_pair(&mut self, a: DocId, b: DocId) {
+        self.clone_pairs.insert((a.min(b), a.max(b)));
+    }
+
+    /// Whether a pair is a ground-truth clone.
+    pub fn is_clone(&self, a: DocId, b: DocId) -> bool {
+        self.clone_pairs.contains(&(a.min(b), a.max(b)))
+    }
+}
+
+/// Precision/recall outcome of one parameter combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Parameters evaluated.
+    pub params: CcdParams,
+    /// True positives (reported pairs that are ground-truth clones).
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives (ground-truth pairs not reported).
+    pub fn_: usize,
+}
+
+impl SweepPoint {
+    /// Precision; 1.0 when nothing was reported.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall; 1.0 when there is nothing to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Evaluate one parameter combination against a labelled corpus: every
+/// document is matched against every other (the §5.7.1 methodology) and
+/// reported pairs are scored against the ground truth.
+pub fn evaluate(corpus: &LabelledCorpus, params: CcdParams) -> SweepPoint {
+    // Build the detector over all fingerprintable documents.
+    let mut detector = CloneDetector::new(params);
+    let mut fingerprints: Vec<(DocId, Fingerprint)> = Vec::new();
+    for (id, source) in &corpus.documents {
+        if let Some(fp) = CloneDetector::fingerprint_source(source) {
+            detector.insert_fingerprint(*id, fp.clone());
+            fingerprints.push((*id, fp));
+        }
+    }
+
+    let mut reported: HashSet<(DocId, DocId)> = HashSet::new();
+    for (id, fp) in &fingerprints {
+        for m in detector.matches(fp) {
+            if m.doc != *id {
+                reported.insert((m.doc.min(*id), m.doc.max(*id)));
+            }
+        }
+    }
+
+    let tp = reported.iter().filter(|(a, b)| corpus.is_clone(*a, *b)).count();
+    let fp = reported.len() - tp;
+    let fn_ = corpus
+        .clone_pairs
+        .iter()
+        .filter(|(a, b)| !reported.contains(&(*a, *b)))
+        .count();
+    SweepPoint { params, tp, fp, fn_ }
+}
+
+/// Run the full Table 9 grid.
+pub fn sweep(corpus: &LabelledCorpus) -> Vec<SweepPoint> {
+    parameter_grid().into_iter().map(|p| evaluate(corpus, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> LabelledCorpus {
+        let mut corpus = LabelledCorpus::default();
+        corpus.add_document(
+            0,
+            "contract A { function w(uint v) public { msg.sender.transfer(v); } }",
+        );
+        // Type II clone of 0.
+        corpus.add_document(
+            1,
+            "contract B { function out(uint x) public { msg.sender.transfer(x); } }",
+        );
+        // Unrelated.
+        corpus.add_document(
+            2,
+            "contract V { mapping(address => bool) voted; uint tally; \
+             function vote() public { require(!voted[msg.sender]); \
+             voted[msg.sender] = true; tally += 1; } }",
+        );
+        corpus.add_clone_pair(0, 1);
+        corpus
+    }
+
+    #[test]
+    fn grid_has_75_points() {
+        assert_eq!(parameter_grid().len(), 75);
+    }
+
+    #[test]
+    fn perfect_detection_on_tiny_corpus() {
+        let point = evaluate(&tiny_corpus(), CcdParams::best());
+        assert_eq!(point.tp, 1, "{point:?}");
+        assert_eq!(point.fp, 0, "{point:?}");
+        assert_eq!(point.fn_, 0, "{point:?}");
+        assert_eq!(point.precision(), 1.0);
+        assert_eq!(point.recall(), 1.0);
+        assert_eq!(point.f1(), 1.0);
+    }
+
+    #[test]
+    fn stricter_epsilon_cannot_increase_recall() {
+        let corpus = tiny_corpus();
+        let loose = evaluate(&corpus, CcdParams { epsilon: 50.0, ..CcdParams::best() });
+        let strict = evaluate(&corpus, CcdParams { epsilon: 90.0, ..CcdParams::best() });
+        assert!(strict.recall() <= loose.recall() + 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus_is_well_defined() {
+        let point = evaluate(&LabelledCorpus::default(), CcdParams::best());
+        assert_eq!(point.precision(), 1.0);
+        assert_eq!(point.recall(), 1.0);
+    }
+}

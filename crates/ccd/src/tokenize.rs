@@ -1,0 +1,212 @@
+//! Structured tokenization (§5.3 of the paper).
+//!
+//! The normalized source is split into tokens per contract and per
+//! function: state-variable and event declarations are ignored, and only
+//! contract declarations, function declarations and function-level
+//! statements are kept. Code is divided on symbols, preserving member
+//! access dots and operators but dropping grouping punctuation — e.g.
+//! `msg.sender.transfer(uint)` becomes
+//! `['msg', '.', 'sender', '.', 'transfer', 'uint']`.
+
+use solidity::ast::*;
+use solidity::lexer::lex;
+use solidity::printer;
+use solidity::token::TokenKind;
+
+/// Token streams of one normalized source unit, structured for
+/// fingerprinting: functions grouped under their contract.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TokenizedUnit {
+    /// One entry per contract (snippet-level functions and statements are
+    /// collected under synthetic contracts).
+    pub contracts: Vec<TokenizedContract>,
+}
+
+/// Token streams of one contract.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TokenizedContract {
+    /// Tokens of the contract header (`contract c is c2`).
+    pub header: Vec<String>,
+    /// Tokens of each function body (including its header), in source
+    /// order.
+    pub functions: Vec<Vec<String>>,
+}
+
+impl TokenizedUnit {
+    /// Total token count across all contracts and functions.
+    pub fn token_count(&self) -> usize {
+        self.contracts
+            .iter()
+            .map(|c| {
+                c.header.len() + c.functions.iter().map(Vec::len).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether nothing tokenizable was found.
+    pub fn is_empty(&self) -> bool {
+        self.token_count() == 0
+    }
+}
+
+/// Punctuation kept as tokens (operators and member access); everything
+/// else (brackets, separators) is dropped.
+fn keep_punct(p: &str) -> bool {
+    !matches!(p, "(" | ")" | "{" | "}" | "[" | "]" | ";" | ",")
+}
+
+/// Split a source fragment into tokens using the Solidity lexer, dropping
+/// grouping punctuation.
+pub fn split_tokens(fragment: &str) -> Vec<String> {
+    let Ok(tokens) = lex(fragment) else {
+        return Vec::new();
+    };
+    tokens
+        .into_iter()
+        .filter_map(|t| match t.kind {
+            TokenKind::Ident(s) => Some(s),
+            TokenKind::Keyword(k) => Some(k.as_str().to_string()),
+            TokenKind::Number(n) => Some(n),
+            TokenKind::Str(_) => Some("stringLiteral".to_string()),
+            TokenKind::HexStr(h) => Some(h),
+            TokenKind::Punct(p) if keep_punct(p) => Some(p.to_string()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Tokenize a (normalized) source unit.
+pub fn tokenize_unit(unit: &SourceUnit) -> TokenizedUnit {
+    let mut out = TokenizedUnit::default();
+    // Free-standing functions and bare statements are grouped under
+    // synthetic contracts so every fingerprint has the same two-level
+    // structure.
+    let mut loose_functions: Vec<Vec<String>> = Vec::new();
+    let mut loose_statements: Vec<String> = Vec::new();
+
+    for item in &unit.items {
+        match item {
+            SourceItem::Contract(c) => out.contracts.push(tokenize_contract(c)),
+            SourceItem::Function(f) => loose_functions.push(tokenize_function(f)),
+            SourceItem::Modifier(m) => loose_functions.push(tokenize_modifier(m)),
+            SourceItem::Statement(s) => {
+                loose_statements.push(printer::print_stmt(s));
+            }
+            // State variables and events are ignored (§5.3).
+            _ => {}
+        }
+    }
+
+    if !loose_statements.is_empty() {
+        loose_functions.push(split_tokens(&loose_statements.join("\n")));
+    }
+    if !loose_functions.is_empty() {
+        out.contracts.push(TokenizedContract {
+            header: Vec::new(),
+            functions: loose_functions,
+        });
+    }
+    out.contracts.retain(|c| !c.functions.is_empty() || !c.header.is_empty());
+    out
+}
+
+fn tokenize_contract(c: &ContractDef) -> TokenizedContract {
+    let mut header = vec![c.kind.as_str().to_string(), c.name.clone()];
+    for base in &c.bases {
+        header.push("is".to_string());
+        header.push(base.name.clone());
+    }
+    let mut functions = Vec::new();
+    for part in &c.parts {
+        match part {
+            ContractPart::Function(f) => functions.push(tokenize_function(f)),
+            ContractPart::Modifier(m) => functions.push(tokenize_modifier(m)),
+            // State variables and events are ignored (§5.3).
+            _ => {}
+        }
+    }
+    TokenizedContract { header, functions }
+}
+
+fn tokenize_function(f: &FunctionDef) -> Vec<String> {
+    split_tokens(&printer::print_function(f))
+}
+
+fn tokenize_modifier(m: &ModifierDef) -> Vec<String> {
+    let header = format!("modifier {}", m.name);
+    let body = m
+        .body
+        .as_ref()
+        .map(|b| {
+            b.statements
+                .iter()
+                .map(printer::print_stmt)
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .unwrap_or_default();
+    split_tokens(&format!("{header} {body}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solidity::parse_snippet;
+
+    #[test]
+    fn paper_tokenization_example() {
+        let tokens = split_tokens("msg.sender.transfer(uint)");
+        assert_eq!(
+            tokens,
+            vec!["msg", ".", "sender", ".", "transfer", "uint"]
+        );
+    }
+
+    #[test]
+    fn operators_are_kept() {
+        let tokens = split_tokens("a += b * 2;");
+        assert_eq!(tokens, vec!["a", "+=", "b", "*", "2"]);
+    }
+
+    #[test]
+    fn contract_and_functions_are_structured() {
+        let unit = parse_snippet(
+            "contract c { uint x; \
+             function f(uint) { msg.sender.transfer(uint); } \
+             function f(uint) { x = uint; } }",
+        )
+        .unwrap();
+        let t = tokenize_unit(&unit);
+        assert_eq!(t.contracts.len(), 1);
+        assert_eq!(t.contracts[0].header[0], "contract");
+        assert_eq!(t.contracts[0].functions.len(), 2);
+    }
+
+    #[test]
+    fn state_vars_and_events_are_ignored() {
+        let unit = parse_snippet(
+            "contract c { uint balance; event E(uint x); function f() {} }",
+        )
+        .unwrap();
+        let t = tokenize_unit(&unit);
+        let all: Vec<&String> = t.contracts[0].functions.iter().flatten().collect();
+        assert!(!all.iter().any(|t| *t == "balance"));
+        assert!(!all.iter().any(|t| *t == "E"));
+    }
+
+    #[test]
+    fn loose_statements_form_synthetic_function() {
+        let unit = parse_snippet("x = 1;\ny = x + 2;").unwrap();
+        let t = tokenize_unit(&unit);
+        assert_eq!(t.contracts.len(), 1);
+        assert_eq!(t.contracts[0].functions.len(), 1);
+        assert!(t.contracts[0].functions[0].contains(&"+".to_string()));
+    }
+
+    #[test]
+    fn empty_unit_is_empty() {
+        let unit = parse_snippet("pragma solidity ^0.8.0;").unwrap();
+        let t = tokenize_unit(&unit);
+        assert!(t.is_empty());
+    }
+}

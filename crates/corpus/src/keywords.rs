@@ -1,0 +1,180 @@
+//! Language keyword filtering (§6.1 of the paper).
+//!
+//! Q&A posts tagged "solidity" also contain JavaScript (web3 client code)
+//! and pseudo-code. The paper filters non-Solidity snippets by keeping only
+//! snippets containing at least one keyword that is *unique* to Solidity —
+//! of Solidity's keyword set, the ones not shared with JavaScript
+//! (`var`, `public`, `new`, ... are shared; `contract`, `mapping`,
+//! `payable`, `uint256`, ... are unique).
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// JavaScript keywords, reserved words and ubiquitous globals, as a
+/// crawler-side filter would use them.
+pub fn javascript_keywords() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| {
+        [
+            // Reserved words.
+            "await", "break", "case", "catch", "class", "const", "continue", "debugger",
+            "default", "delete", "do", "else", "enum", "export", "extends", "false",
+            "finally", "for", "function", "if", "implements", "import", "in", "instanceof",
+            "interface", "let", "new", "null", "package", "private", "protected", "public",
+            "return", "static", "super", "switch", "this", "throw", "true", "try", "typeof",
+            "var", "void", "while", "with", "yield",
+            // Common globals and members seen in web3 snippets.
+            "console", "log", "require", "module", "exports", "window", "document",
+            "undefined", "NaN", "Infinity", "Promise", "async", "Array", "Object", "String",
+            "Number", "Boolean", "Math", "JSON", "Date", "RegExp", "Error", "Map", "Set",
+            "Symbol", "Proxy", "Reflect", "parseInt", "parseFloat", "isNaN", "eval",
+            "arguments", "constructor", "prototype", "then", "resolve", "reject", "fetch",
+            "setTimeout", "setInterval", "get", "set", "of", "as", "from", "target",
+            "length", "push", "pop", "shift", "unshift", "slice", "splice", "concat",
+            "join", "indexOf", "forEach", "map", "filter", "reduce", "keys", "values",
+            "entries", "assign", "freeze", "test", "exec", "match", "replace", "split",
+            "toString", "valueOf", "hasOwnProperty", "call", "apply", "bind", "web3",
+            "ethers", "send", "error",
+        ]
+        .into_iter()
+        .collect()
+    })
+}
+
+/// The full Solidity keyword set: language keywords, reserved words,
+/// global builtins, and the sized elementary types.
+pub fn solidity_keywords() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| {
+        let mut set: HashSet<&'static str> = [
+            "abstract", "address", "anonymous", "as", "assembly", "bool", "break", "byte",
+            "bytes", "calldata", "catch", "constant", "constructor", "continue", "contract",
+            "days", "delete", "do", "else", "emit", "enum", "error", "ether", "event",
+            "external", "fallback", "false", "finney", "fixed", "for", "function", "gwei",
+            "hours", "if", "immutable", "import", "indexed", "interface", "internal", "is",
+            "library", "mapping", "memory", "minutes", "modifier", "new", "override",
+            "payable", "pragma", "private", "public", "pure", "receive", "return",
+            "returns", "seconds", "solidity", "storage", "string", "struct", "szabo",
+            "throw", "true", "try", "type", "ufixed", "unchecked", "using", "var", "view",
+            "virtual", "weeks", "wei", "while", "years", "uint", "int",
+            // Globals specific to the EVM environment. Deliberately *not*
+            // prose-prone member names like `balance` or `sender`: the
+            // filter must not classify English text or web3 JavaScript as
+            // Solidity.
+            // (`tx` is deliberately absent: it is a ubiquitous JavaScript
+            // variable name and would misclassify web3 client code.)
+            "msg", "gasprice", "coinbase", "gaslimit", "blockhash", "revert",
+            "selfdestruct", "suicide", "keccak256", "sha3", "ecrecover", "addmod",
+            "mulmod", "gasleft", "delegatecall", "callcode", "staticcall",
+        ]
+        .into_iter()
+        .collect();
+        set.extend(SIZED_TYPES.iter().copied());
+        set
+    })
+}
+
+/// The sized elementary type names `uint8`..`uint256`, `int8`..`int256`,
+/// `bytes1`..`bytes32` (96 keywords).
+pub static SIZED_TYPES: &[&str] = &[
+    "uint8", "uint16", "uint24", "uint32", "uint40", "uint48", "uint56", "uint64",
+    "uint72", "uint80", "uint88", "uint96", "uint104", "uint112", "uint120", "uint128",
+    "uint136", "uint144", "uint152", "uint160", "uint168", "uint176", "uint184", "uint192",
+    "uint200", "uint208", "uint216", "uint224", "uint232", "uint240", "uint248", "uint256",
+    "int8", "int16", "int24", "int32", "int40", "int48", "int56", "int64", "int72",
+    "int80", "int88", "int96", "int104", "int112", "int120", "int128", "int136", "int144",
+    "int152", "int160", "int168", "int176", "int184", "int192", "int200", "int208",
+    "int216", "int224", "int232", "int240", "int248", "int256", "bytes1", "bytes2",
+    "bytes3", "bytes4", "bytes5", "bytes6", "bytes7", "bytes8", "bytes9", "bytes10",
+    "bytes11", "bytes12", "bytes13", "bytes14", "bytes15", "bytes16", "bytes17", "bytes18",
+    "bytes19", "bytes20", "bytes21", "bytes22", "bytes23", "bytes24", "bytes25", "bytes26",
+    "bytes27", "bytes28", "bytes29", "bytes30", "bytes31", "bytes32",
+];
+
+/// Keywords unique to Solidity: the Solidity set minus everything
+/// JavaScript shares (§6.1 — the paper arrives at 166 unique keywords).
+pub fn unique_solidity_keywords() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| {
+        solidity_keywords()
+            .difference(javascript_keywords())
+            .copied()
+            .collect()
+    })
+}
+
+/// Whether a snippet looks like Solidity: it contains at least one keyword
+/// unique to Solidity as a standalone word.
+pub fn looks_like_solidity(snippet: &str) -> bool {
+    let unique = unique_solidity_keywords();
+    words(snippet).any(|w| unique.contains(w))
+}
+
+fn words(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_set_sizes_are_plausible() {
+        // The paper reports 124 JavaScript keywords, 251 Solidity keywords
+        // and 166 unique ones; our curated sets land in the same regime.
+        let js = javascript_keywords().len();
+        let sol = solidity_keywords().len();
+        let unique = unique_solidity_keywords().len();
+        assert!((100..=160).contains(&js), "js = {js}");
+        assert!((160..=280).contains(&sol), "sol = {sol}");
+        assert!((130..=230).contains(&unique), "unique = {unique}");
+        assert!(unique < sol);
+    }
+
+    #[test]
+    fn shared_keywords_are_not_unique() {
+        let unique = unique_solidity_keywords();
+        for shared in ["var", "public", "new", "function", "this", "true"] {
+            assert!(!unique.contains(shared), "{shared} should be shared with JS");
+        }
+        for only_sol in ["contract", "mapping", "payable", "uint256", "pragma", "wei"] {
+            assert!(unique.contains(only_sol), "{only_sol} should be unique");
+        }
+    }
+
+    #[test]
+    fn solidity_snippets_pass_the_filter() {
+        assert!(looks_like_solidity("contract C { uint x; }"));
+        assert!(looks_like_solidity("pragma solidity ^0.8.0;"));
+        assert!(looks_like_solidity("mapping(address => uint256) balances;"));
+    }
+
+    #[test]
+    fn javascript_snippets_fail_the_filter() {
+        assert!(!looks_like_solidity(
+            "const balance = await web3.eth.getBalance(account); console.log(balance);"
+        ));
+        assert!(!looks_like_solidity("function add(a, b) { return a + b; }"));
+    }
+
+    #[test]
+    fn prose_fails_the_filter() {
+        assert!(!looks_like_solidity(
+            "You should check the balance before sending the transaction."
+        ));
+    }
+
+    #[test]
+    fn substrings_do_not_count() {
+        // `contractor` contains `contract` but is not the keyword.
+        assert!(!looks_like_solidity("the contractor signed the papers"));
+    }
+
+    #[test]
+    fn sized_types_cover_the_grid() {
+        assert_eq!(SIZED_TYPES.len(), 96);
+        assert!(SIZED_TYPES.contains(&"uint256"));
+        assert!(SIZED_TYPES.contains(&"bytes32"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Synthetic corpora (under construction).
+
+#![warn(missing_docs)]
+
+pub mod contracts;
+pub mod smartbugs;
+pub mod honeypots;
+pub mod keywords;
+pub mod mutate;
+pub mod qa;
+pub mod templates;

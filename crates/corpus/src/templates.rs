@@ -1,0 +1,1040 @@
+//! Parameterized Solidity snippet templates.
+//!
+//! The generators below produce the code population of the study: for every
+//! CCC query there is a *vulnerable* template (exercising the query's base
+//! pattern) and a *mitigated* counterpart (exercising its negated
+//! mitigation sub-pattern), plus benign everyday templates (voting,
+//! escrow, tokens, getters). Identifier names are drawn from pools so the
+//! same template yields Type-II-diverse instances; rendering is fully
+//! deterministic in the RNG.
+
+use ccc::QueryId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Hierarchy level at which a snippet is rendered (§6.1: 54.2% contract,
+/// 38% function, 7.8% statements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Full contract definition.
+    Contract,
+    /// Bare function definition(s) — the contract body without its wrapper
+    /// (how multi-function snippets appear in Q&A answers).
+    Function,
+    /// Only the single function carrying the vulnerable/core statements —
+    /// how the paper's *Functions* dataset extracts labelled functions
+    /// into their own files (§4.6.1).
+    CoreFunction,
+    /// Bare statements.
+    Statements,
+}
+
+/// A generated snippet with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// Source text.
+    pub text: String,
+    /// Seeded vulnerability, if any.
+    pub vuln: Option<QueryId>,
+    /// Template family name (clone ground truth: instances of the same
+    /// family are intentional Type-II clones of each other).
+    pub family: &'static str,
+}
+
+/// A snippet template.
+#[derive(Clone, Copy)]
+pub struct Template {
+    /// Family name.
+    pub name: &'static str,
+    /// The vulnerability this template seeds, if any.
+    pub vuln: Option<QueryId>,
+    render: fn(&mut StdRng, Level) -> String,
+}
+
+impl Template {
+    /// Render an instance at the given level.
+    pub fn render(&self, rng: &mut StdRng, level: Level) -> Generated {
+        Generated {
+            text: (self.render)(rng, level),
+            vuln: self.vuln,
+            family: self.name,
+        }
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+fn contract_name(rng: &mut StdRng) -> &'static str {
+    pick(
+        rng,
+        &[
+            "Bank", "Wallet", "Vault", "Token", "Crowdsale", "Lottery", "Game", "Escrow",
+            "Registry", "Store", "Fund", "Pool", "Market", "Auction", "Faucet", "Splitter",
+            "Locker", "Treasury", "Manager", "Ledger",
+        ],
+    )
+}
+
+fn owner_name(rng: &mut StdRng) -> &'static str {
+    pick(rng, &["owner", "admin", "creator", "deployer", "boss", "manager"])
+}
+
+fn amount_name(rng: &mut StdRng) -> &'static str {
+    pick(rng, &["amount", "value", "sum", "total", "quantity", "wad", "funds"])
+}
+
+fn balances_name(rng: &mut StdRng) -> &'static str {
+    pick(rng, &["balances", "accounts", "deposits", "credits", "holdings", "userBalances"])
+}
+
+fn fn_name(rng: &mut StdRng, options: &[&'static str]) -> &'static str {
+    pick(rng, options)
+}
+
+/// Wrap a body of members into a contract at the requested level.
+fn at_level(level: Level, name: &str, members: &str, fallback_stmts: &str) -> String {
+    match level {
+        Level::Contract => format!("contract {name} {{\n{members}\n}}"),
+        Level::Function => members.to_string(),
+        Level::CoreFunction => extract_core_function(members, fallback_stmts),
+        Level::Statements => fallback_stmts.to_string(),
+    }
+}
+
+/// Extract, from a member list, the single function whose body contains
+/// the first core statement — the §4.6.1 Functions-dataset extraction.
+/// Falls back to the first function, then to the whole member list.
+fn extract_core_function(members: &str, core_stmts: &str) -> String {
+    let needle = core_stmts.lines().next().unwrap_or("").trim().to_string();
+    let mut blocks: Vec<String> = Vec::new();
+    let mut current: Option<(String, i32)> = None;
+    for line in members.lines() {
+        let opens = line.matches('{').count() as i32;
+        let closes = line.matches('}').count() as i32;
+        match &mut current {
+            Some((block, depth)) => {
+                block.push_str(line);
+                block.push('\n');
+                *depth += opens - closes;
+                if *depth <= 0 {
+                    blocks.push(std::mem::take(block));
+                    current = None;
+                }
+            }
+            None => {
+                let t = line.trim_start();
+                if (t.starts_with("function") || t.starts_with("constructor") || t.starts_with("modifier"))
+                    && opens > 0
+                {
+                    let depth = opens - closes;
+                    if depth <= 0 {
+                        blocks.push(format!("{line}\n"));
+                    } else {
+                        current = Some((format!("{line}\n"), depth));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((block, _)) = current {
+        blocks.push(block);
+    }
+    if !needle.is_empty() {
+        if let Some(block) = blocks
+            .iter()
+            .find(|b| b.lines().any(|l| l.trim() == needle))
+        {
+            return block.clone();
+        }
+    }
+    blocks
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| members.to_string())
+}
+
+// ===== vulnerable templates =================================================
+
+fn reentrancy_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let bal = balances_name(rng);
+    let amt = amount_name(rng);
+    let f = fn_name(rng, &["withdraw", "withdrawBalance", "getMoney", "takeOut", "redeem"]);
+    let members = format!(
+        "    mapping(address => uint) {bal};\n\
+         \n\
+             function deposit() public payable {{\n\
+                 {bal}[msg.sender] += msg.value;\n\
+             }}\n\
+         \n\
+             function {f}() public {{\n\
+                 uint {amt} = {bal}[msg.sender];\n\
+                 msg.sender.call{{value: {amt}}}(\"\");\n\
+                 {bal}[msg.sender] = 0;\n\
+             }}"
+    );
+    let stmts = format!(
+        "uint {amt} = {bal}[msg.sender];\n\
+         msg.sender.call{{value: {amt}}}(\"\");\n\
+         {bal}[msg.sender] = 0;"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn reentrancy_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let bal = balances_name(rng);
+    let amt = amount_name(rng);
+    let members = format!(
+        "    mapping(address => uint) {bal};\n\
+         \n\
+             function deposit() public payable {{\n\
+                 {bal}[msg.sender] += msg.value;\n\
+             }}\n\
+         \n\
+             function withdraw() public {{\n\
+                 uint {amt} = {bal}[msg.sender];\n\
+                 {bal}[msg.sender] = 0;\n\
+                 require(msg.sender.call{{value: {amt}}}(\"\"));\n\
+             }}"
+    );
+    let stmts = format!(
+        "uint {amt} = {bal}[msg.sender];\n\
+         {bal}[msg.sender] = 0;\n\
+         require(msg.sender.call{{value: {amt}}}(\"\"));"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn unchecked_send_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let to = pick(rng, &["to", "recipient", "dest", "receiver", "target"]);
+    let amt = amount_name(rng);
+    let f = fn_name(rng, &["pay", "payout", "sendFunds", "distribute", "forward"]);
+    let members = format!(
+        "    function {f}(address {to}, uint {amt}) public {{\n\
+                 {to}.send({amt});\n\
+             }}"
+    );
+    let stmts = format!("{to}.send({amt});");
+    at_level(level, c, &members, &stmts)
+}
+
+fn unchecked_send_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let to = pick(rng, &["to", "recipient", "dest", "receiver"]);
+    let amt = amount_name(rng);
+    let members = format!(
+        "    function pay(address {to}, uint {amt}) public {{\n\
+                 require(msg.data.length == 68);\n\
+                 require({to}.send({amt}));\n\
+             }}"
+    );
+    let stmts = format!("require(msg.data.length == 68);\nrequire({to}.send({amt}));");
+    at_level(level, c, &members, &stmts)
+}
+
+fn tx_origin_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let owner = owner_name(rng);
+    let f = fn_name(rng, &["withdrawAll", "sendTo", "transferTo", "moveFunds"]);
+    let members = format!(
+        "    address {owner};\n\
+         \n\
+             constructor() {{\n\
+                 {owner} = msg.sender;\n\
+             }}\n\
+         \n\
+             function {f}(address to) public {{\n\
+                 require(tx.origin == {owner});\n\
+                 to.transfer(this.balance);\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(tx.origin == {owner});\n\
+         to.transfer(this.balance);"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn tx_origin_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let owner = owner_name(rng);
+    let members = format!(
+        "    address {owner};\n\
+         \n\
+             constructor() {{\n\
+                 {owner} = msg.sender;\n\
+             }}\n\
+         \n\
+             function withdrawAll(address to) public {{\n\
+                 require(msg.sender == {owner});\n\
+                 to.transfer(this.balance);\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(msg.sender == {owner});\n\
+         to.transfer(this.balance);"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn selfdestruct_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let f = fn_name(rng, &["kill", "destroy", "close", "shutdown", "cleanup"]);
+    let members = format!(
+        "    function {f}() public {{\n\
+                 selfdestruct(msg.sender);\n\
+             }}"
+    );
+    at_level(level, c, &members, "selfdestruct(msg.sender);")
+}
+
+fn selfdestruct_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let owner = owner_name(rng);
+    let members = format!(
+        "    address {owner};\n\
+         \n\
+             modifier onlyOwner() {{\n\
+                 require(msg.sender == {owner}, \"not owner\");\n\
+                 _;\n\
+             }}\n\
+         \n\
+             constructor() {{\n\
+                 {owner} = msg.sender;\n\
+             }}\n\
+         \n\
+             function kill() public onlyOwner() {{\n\
+                 selfdestruct({owner});\n\
+             }}"
+    );
+    at_level(
+        level,
+        c,
+        &members,
+        "require(msg.sender == owner);\nselfdestruct(owner);",
+    )
+}
+
+fn owner_write_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let owner = owner_name(rng);
+    let f = fn_name(rng, &["setOwner", "changeOwner", "updateAdmin", "transferOwnership"]);
+    let members = format!(
+        "    address {owner};\n\
+         \n\
+             constructor() {{\n\
+                 {owner} = msg.sender;\n\
+             }}\n\
+         \n\
+             function {f}(address newOwner) public {{\n\
+                 {owner} = newOwner;\n\
+             }}\n\
+         \n\
+             function withdraw() public {{\n\
+                 require(msg.sender == {owner});\n\
+                 msg.sender.transfer(this.balance);\n\
+             }}"
+    );
+    let stmts = format!("{owner} = newOwner;");
+    at_level(level, c, &members, &stmts)
+}
+
+fn owner_write_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let owner = owner_name(rng);
+    let members = format!(
+        "    address {owner};\n\
+         \n\
+             constructor() {{\n\
+                 {owner} = msg.sender;\n\
+             }}\n\
+         \n\
+             function setOwner(address newOwner) public {{\n\
+                 require(msg.sender == {owner});\n\
+                 {owner} = newOwner;\n\
+             }}\n\
+         \n\
+             function withdraw() public {{\n\
+                 require(msg.sender == {owner});\n\
+                 msg.sender.transfer(this.balance);\n\
+             }}"
+    );
+    let stmts = format!("require(msg.sender == {owner});\n{owner} = newOwner;");
+    at_level(level, c, &members, &stmts)
+}
+
+fn proxy_delegate_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let lib = pick(rng, &["lib", "library_", "impl", "logic", "delegate"]);
+    let members = format!(
+        "    address {lib};\n\
+         \n\
+             function() payable {{\n\
+                 {lib}.delegatecall(msg.data);\n\
+             }}"
+    );
+    let stmts = format!("{lib}.delegatecall(msg.data);");
+    at_level(level, c, &members, &stmts)
+}
+
+fn proxy_delegate_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let lib = pick(rng, &["lib", "impl", "logic"]);
+    let members = format!(
+        "    address {lib};\n\
+         \n\
+             function() payable {{\n\
+                 require(msg.data.length == 0);\n\
+                 require({lib}.delegatecall(msg.data));\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(msg.data.length == 0);\nrequire({lib}.delegatecall(msg.data));"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn timestamp_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let deadline = pick(rng, &["deadline", "endTime", "closing", "expiry"]);
+    let f = fn_name(rng, &["claim", "finish", "settle", "closeRound"]);
+    let members = format!(
+        "    uint {deadline};\n\
+             uint pot;\n\
+         \n\
+             function {f}() public {{\n\
+                 if (block.timestamp > {deadline}) {{\n\
+                     msg.sender.transfer(pot);\n\
+                 }}\n\
+             }}"
+    );
+    let stmts = format!(
+        "if (block.timestamp > {deadline}) {{\n    msg.sender.transfer(pot);\n}}"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn timestamp_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let members = "    uint lastSeen;\n\
+         \n\
+             function ping() public {\n\
+                 lastSeen = block.timestamp;\n\
+             }"
+        .to_string();
+    let _ = rng;
+    at_level(level, c, &members, "lastSeen = block.timestamp;")
+}
+
+fn randomness_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let players = pick(rng, &["players", "entries", "tickets", "participants"]);
+    let f = fn_name(rng, &["draw", "pickWinner", "roll", "spin"]);
+    let source = pick(rng, &["block.timestamp", "block.difficulty", "block.number"]);
+    let members = format!(
+        "    address[] {players};\n\
+         \n\
+             function enter() public payable {{\n\
+                 {players}.push(msg.sender);\n\
+             }}\n\
+         \n\
+             function {f}() public {{\n\
+                 uint winner = uint(keccak256({source})) % {players}.length;\n\
+                 {players}[winner].transfer(this.balance);\n\
+             }}"
+    );
+    let stmts = format!(
+        "uint winner = uint(keccak256({source})) % {players}.length;\n\
+         {players}[winner].transfer(this.balance);"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn randomness_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let members = "    uint deadline;\n\
+         \n\
+             function expired() public returns (bool) {\n\
+                 return block.number > deadline;\n\
+             }"
+        .to_string();
+    let _ = rng;
+    at_level(level, c, &members, "bool late = block.number > deadline;")
+}
+
+fn overflow_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let bal = balances_name(rng);
+    let to = pick(rng, &["to", "dst", "recipient"]);
+    let v = amount_name(rng);
+    let members = format!(
+        "    mapping(address => uint) {bal};\n\
+         \n\
+             function transfer(address {to}, uint {v}) public {{\n\
+                 {bal}[msg.sender] -= {v};\n\
+                 {bal}[{to}] += {v};\n\
+             }}"
+    );
+    let stmts = format!(
+        "{bal}[msg.sender] -= {v};\n{bal}[{to}] += {v};"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn overflow_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let bal = balances_name(rng);
+    let to = pick(rng, &["to", "dst", "recipient"]);
+    let v = amount_name(rng);
+    let members = format!(
+        "    mapping(address => uint) {bal};\n\
+         \n\
+             function transfer(address {to}, uint {v}) public {{\n\
+                 require(msg.data.length >= 68);\n\
+                 require({bal}[msg.sender] >= {v});\n\
+                 {bal}[msg.sender] -= {v};\n\
+                 {bal}[{to}] += {v};\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(msg.data.length >= 68);\nrequire({bal}[msg.sender] >= {v});\n\
+         {bal}[msg.sender] -= {v};\n{bal}[{to}] += {v};"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn short_address_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let to = pick(rng, &["to", "dest", "receiver"]);
+    let amt = amount_name(rng);
+    let members = format!(
+        "    function pay(address {to}, uint {amt}) public {{\n\
+                 require({amt} > 0);\n\
+                 {to}.transfer({amt});\n\
+             }}"
+    );
+    let stmts = format!("{to}.transfer({amt});");
+    at_level(level, c, &members, &stmts)
+}
+
+fn short_address_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let to = pick(rng, &["to", "dest", "receiver"]);
+    let amt = amount_name(rng);
+    let members = format!(
+        "    function pay(address {to}, uint {amt}) public {{\n\
+                 require(msg.data.length == 68);\n\
+                 {to}.transfer({amt});\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(msg.data.length == 68);\n{to}.transfer({amt});"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn dos_loop_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let holders = pick(rng, &["holders", "investors", "members", "stakers"]);
+    let owed = pick(rng, &["owed", "rewards", "dividends", "payouts"]);
+    let members = format!(
+        "    address[] {holders};\n\
+             mapping(address => uint) {owed};\n\
+         \n\
+             function join() public payable {{\n\
+                 {holders}.push(msg.sender);\n\
+             }}\n\
+         \n\
+             function payAll() public {{\n\
+                 for (uint i = 0; i < {holders}.length; i++) {{\n\
+                     {holders}[i].transfer({owed}[{holders}[i]]);\n\
+                 }}\n\
+             }}"
+    );
+    let stmts = format!(
+        "for (uint i = 0; i < {holders}.length; i++) {{\n\
+             {holders}[i].transfer({owed}[{holders}[i]]);\n\
+         }}"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn dos_loop_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let owed = pick(rng, &["owed", "rewards", "dividends"]);
+    let members = format!(
+        "    mapping(address => uint) {owed};\n\
+         \n\
+             function claim() public {{\n\
+                 uint amount = {owed}[msg.sender];\n\
+                 {owed}[msg.sender] = 0;\n\
+                 msg.sender.transfer(amount);\n\
+             }}"
+    );
+    let stmts = format!(
+        "uint amount = {owed}[msg.sender];\n\
+         {owed}[msg.sender] = 0;\n\
+         msg.sender.transfer(amount);"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn dos_king_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let king = pick(rng, &["king", "leader", "champion", "top"]);
+    let members = format!(
+        "    address {king};\n\
+             uint prize;\n\
+         \n\
+             function claimThrone() public payable {{\n\
+                 require(msg.value > prize);\n\
+                 {king}.transfer(prize);\n\
+                 {king} = msg.sender;\n\
+                 prize = msg.value;\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(msg.value > prize);\n\
+         {king}.transfer(prize);\n\
+         {king} = msg.sender;\n\
+         prize = msg.value;"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn front_running_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let hash = pick(rng, &["answerHash", "secretHash", "puzzleHash", "solutionHash"]);
+    let f = fn_name(rng, &["solve", "guess", "answer", "crack"]);
+    let members = format!(
+        "    bytes32 {hash};\n\
+             uint prize;\n\
+         \n\
+             function {f}(string solution) public {{\n\
+                 require(keccak256(solution) == {hash});\n\
+                 msg.sender.transfer(prize);\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(keccak256(solution) == {hash});\n\
+         msg.sender.transfer(prize);"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn storage_pointer_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let s = pick(rng, &["Deposit", "Entry", "Record", "Position"]);
+    let members = format!(
+        "    address owner;\n\
+             uint unlockTime;\n\
+         \n\
+             struct {s} {{\n\
+                 uint amount;\n\
+                 uint time;\n\
+             }}\n\
+         \n\
+             function put() public payable {{\n\
+                 {s} d;\n\
+                 d.amount = msg.value;\n\
+                 d.time = block.timestamp;\n\
+             }}"
+    );
+    let stmts = format!(
+        "{s} d;\nd.amount = msg.value;\nd.time = block.timestamp;"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn storage_pointer_safe(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let s = pick(rng, &["Deposit", "Entry", "Record"]);
+    let members = format!(
+        "    struct {s} {{\n\
+                 uint amount;\n\
+                 uint time;\n\
+             }}\n\
+         \n\
+             function put() public payable {{\n\
+                 {s} memory d;\n\
+                 d.amount = msg.value;\n\
+                 d.time = block.timestamp;\n\
+             }}"
+    );
+    let stmts = format!(
+        "{s} memory d;\nd.amount = msg.value;\nd.time = block.timestamp;"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn clearable_collection_vulnerable(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let payees = pick(rng, &["payees", "beneficiaries", "recipients", "winners"]);
+    let members = format!(
+        "    address[] {payees};\n\
+         \n\
+             function reset() public {{\n\
+                 delete {payees};\n\
+             }}\n\
+         \n\
+             function payFirst() public {{\n\
+                 {payees}[0].transfer(1 ether);\n\
+             }}"
+    );
+    let stmts = format!("delete {payees};\n{payees}[0].transfer(1 ether);");
+    at_level(level, c, &members, &stmts)
+}
+
+// ===== benign templates =====================================================
+
+fn benign_erc20(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let supply = pick(rng, &["totalSupply", "supply", "cap"]);
+    let members = format!(
+        "    mapping(address => uint) balanceOf;\n\
+             uint {supply};\n\
+         \n\
+             function transfer(address to, uint value) public returns (bool) {{\n\
+                 require(balanceOf[msg.sender] >= value);\n\
+                 require(msg.data.length >= 68);\n\
+                 balanceOf[msg.sender] -= value;\n\
+                 balanceOf[to] += value;\n\
+                 return true;\n\
+             }}\n\
+         \n\
+             function totalTokens() public returns (uint) {{\n\
+                 return {supply};\n\
+             }}"
+    );
+    at_level(
+        level,
+        c,
+        &members,
+        "require(balanceOf[msg.sender] >= value);\nbalanceOf[to] += value;",
+    )
+}
+
+fn benign_voting(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let yes = pick(rng, &["yes", "approvals", "ayes"]);
+    let no = pick(rng, &["no", "rejections", "nays"]);
+    let members = format!(
+        "    mapping(address => bool) voted;\n\
+             uint {yes};\n\
+             uint {no};\n\
+         \n\
+             function vote(bool support) public {{\n\
+                 require(!voted[msg.sender]);\n\
+                 voted[msg.sender] = true;\n\
+                 if (support) {{\n\
+                     {yes} += 1;\n\
+                 }} else {{\n\
+                     {no} += 1;\n\
+                 }}\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(!voted[msg.sender]);\nvoted[msg.sender] = true;\n{yes} += 1;"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn benign_getter_setter(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let field = pick(rng, &["price", "rate", "fee", "limit", "threshold", "quota"]);
+    let owner = owner_name(rng);
+    let members = format!(
+        "    uint {field};\n\
+             address {owner};\n\
+         \n\
+             constructor() {{\n\
+                 {owner} = msg.sender;\n\
+             }}\n\
+         \n\
+             function set(uint v) public {{\n\
+                 require(msg.sender == {owner});\n\
+                 {field} = v;\n\
+             }}\n\
+         \n\
+             function get() public returns (uint) {{\n\
+                 return {field};\n\
+             }}"
+    );
+    let stmts = format!("require(msg.sender == {owner});\n{field} = v;");
+    at_level(level, c, &members, &stmts)
+}
+
+fn benign_events(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let event = pick(rng, &["Paid", "Deposited", "Logged", "Updated", "Received"]);
+    let members = format!(
+        "    event {event}(address indexed who, uint value);\n\
+         \n\
+             function deposit() public payable {{\n\
+                 emit {event}(msg.sender, msg.value);\n\
+             }}"
+    );
+    let stmts = format!("emit {event}(msg.sender, msg.value);");
+    at_level(level, c, &members, &stmts)
+}
+
+fn benign_safemath(rng: &mut StdRng, level: Level) -> String {
+    let _ = rng;
+    let members = "    function add(uint a, uint b) internal pure returns (uint) {\n\
+                 uint c = a + b;\n\
+                 require(c >= a);\n\
+                 return c;\n\
+             }\n\
+         \n\
+             function sub(uint a, uint b) internal pure returns (uint) {\n\
+                 require(b <= a);\n\
+                 return a - b;\n\
+             }"
+        .to_string();
+    match level {
+        Level::Contract => format!("library SafeMath {{\n{members}\n}}"),
+        Level::Function => members,
+        Level::CoreFunction => extract_core_function(&members, "uint c = a + b;"),
+        Level::Statements => "uint c = a + b;\nrequire(c >= a);".to_string(),
+    }
+}
+
+fn benign_escrow(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let buyer = pick(rng, &["buyer", "payer", "client"]);
+    let seller = pick(rng, &["seller", "payee", "vendor"]);
+    let members = format!(
+        "    address {buyer};\n\
+             address {seller};\n\
+             bool released;\n\
+         \n\
+             constructor(address s) {{\n\
+                 {buyer} = msg.sender;\n\
+                 {seller} = s;\n\
+             }}\n\
+         \n\
+             function release() public {{\n\
+                 require(msg.sender == {buyer});\n\
+                 require(!released);\n\
+                 released = true;\n\
+                 {seller}.transfer(this.balance);\n\
+             }}"
+    );
+    let stmts = format!(
+        "require(msg.sender == {buyer});\nreleased = true;\n{seller}.transfer(this.balance);"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+/// A benign pattern that pattern-based analysis flags as Front Running —
+/// the §6.5 FP class of "harmless patterns to delegate allowances of money
+/// transfers being reported as Front Running issues".
+fn benign_reward_claim(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let rewards = pick(rng, &["rewards", "bounty", "refund", "dividend"]);
+    let members = format!(
+        "    uint {rewards};\n\
+         \n\
+             function fund() public payable {{\n\
+                 {rewards} += msg.value;\n\
+             }}\n\
+         \n\
+             function claim() public {{\n\
+                 require({rewards} > 0);\n\
+                 msg.sender.transfer({rewards});\n\
+             }}"
+    );
+    let stmts = format!("require({rewards} > 0);\nmsg.sender.transfer({rewards});");
+    at_level(level, c, &members, &stmts)
+}
+
+/// A benign use of block values that pattern-based analysis flags as Bad
+/// Randomness — the §6.5 FP class of "a legitimate block number use
+/// incorrectly flagged".
+fn benign_block_id(rng: &mut StdRng, level: Level) -> String {
+    let c = contract_name(rng);
+    let series = pick(rng, &["seriesId", "batchId", "epochId"]);
+    let members = format!(
+        "    uint {series};\n\
+             event Matched(address who);\n\
+         \n\
+             function tag() public {{\n\
+                 uint id = uint(keccak256(block.number)) % 1000000;\n\
+                 if (id == {series}) {{\n\
+                     emit Matched(msg.sender);\n\
+                 }}\n\
+             }}"
+    );
+    let stmts = format!(
+        "uint id = uint(keccak256(block.number)) % 1000000;\nif (id == {series}) {{\n    emit Matched(msg.sender);\n}}"
+    );
+    at_level(level, c, &members, &stmts)
+}
+
+fn benign_interface(rng: &mut StdRng, level: Level) -> String {
+    let name = pick(rng, &["IERC20", "IToken", "IVault", "IOracle"]);
+    let text = format!(
+        "interface {name} {{\n\
+             function transfer(address to, uint256 value) external returns (bool);\n\
+             function balanceOf(address who) external view returns (uint256);\n\
+         }}"
+    );
+    match level {
+        Level::Contract => text,
+        Level::Function | Level::CoreFunction => {
+            "function balanceOf(address who) external view returns (uint256);".to_string()
+        }
+        Level::Statements => "uint b = token.balanceOf(msg.sender);".to_string(),
+    }
+}
+
+/// All vulnerable templates, one (or more) per CCC query.
+pub fn vulnerable_templates() -> Vec<Template> {
+    vec![
+        Template { name: "reentrancy_withdraw", vuln: Some(QueryId::Reentrancy), render: reentrancy_vulnerable },
+        Template { name: "unchecked_send", vuln: Some(QueryId::UncheckedCall), render: unchecked_send_vulnerable },
+        Template { name: "tx_origin_auth", vuln: Some(QueryId::AcTxOrigin), render: tx_origin_vulnerable },
+        Template { name: "open_selfdestruct", vuln: Some(QueryId::AcSelfDestruct), render: selfdestruct_vulnerable },
+        Template { name: "open_owner_write", vuln: Some(QueryId::AcUnrestrictedWrite), render: owner_write_vulnerable },
+        Template { name: "proxy_delegate", vuln: Some(QueryId::AcDefaultProxyDelegate), render: proxy_delegate_vulnerable },
+        Template { name: "timestamp_payout", vuln: Some(QueryId::TimestampDependence), render: timestamp_vulnerable },
+        Template { name: "block_lottery", vuln: Some(QueryId::BadRandomnessSource), render: randomness_vulnerable },
+        Template { name: "overflow_token", vuln: Some(QueryId::ArithmeticOverflow), render: overflow_vulnerable },
+        Template { name: "short_address_pay", vuln: Some(QueryId::ShortAddressCall), render: short_address_vulnerable },
+        Template { name: "payout_loop", vuln: Some(QueryId::DosExpensiveLoop), render: dos_loop_vulnerable },
+        Template { name: "king_of_ether", vuln: Some(QueryId::DosExternalCallState), render: dos_king_vulnerable },
+        Template { name: "guessing_game", vuln: Some(QueryId::FrontRunnableBenefit), render: front_running_vulnerable },
+        Template { name: "storage_pointer", vuln: Some(QueryId::UninitializedStoragePointer), render: storage_pointer_vulnerable },
+        Template { name: "clearable_payees", vuln: Some(QueryId::DosClearableCollection), render: clearable_collection_vulnerable },
+    ]
+}
+
+/// Mitigated counterparts and everyday benign templates.
+pub fn benign_templates() -> Vec<Template> {
+    vec![
+        Template { name: "reentrancy_safe", vuln: None, render: reentrancy_safe },
+        Template { name: "checked_send", vuln: None, render: unchecked_send_safe },
+        Template { name: "msg_sender_auth", vuln: None, render: tx_origin_safe },
+        Template { name: "guarded_selfdestruct", vuln: None, render: selfdestruct_safe },
+        Template { name: "guarded_owner_write", vuln: None, render: owner_write_safe },
+        Template { name: "sanitized_proxy", vuln: None, render: proxy_delegate_safe },
+        Template { name: "timestamp_bookkeeping", vuln: None, render: timestamp_safe },
+        Template { name: "block_deadline", vuln: None, render: randomness_safe },
+        Template { name: "guarded_token", vuln: None, render: overflow_safe },
+        Template { name: "payload_checked_pay", vuln: None, render: short_address_safe },
+        Template { name: "pull_payments", vuln: None, render: dos_loop_safe },
+        Template { name: "memory_struct", vuln: None, render: storage_pointer_safe },
+        Template { name: "erc20_basic", vuln: None, render: benign_erc20 },
+        Template { name: "voting", vuln: None, render: benign_voting },
+        Template { name: "getter_setter", vuln: None, render: benign_getter_setter },
+        Template { name: "event_logger", vuln: None, render: benign_events },
+        Template { name: "safemath_lib", vuln: None, render: benign_safemath },
+        Template { name: "escrow", vuln: None, render: benign_escrow },
+        Template { name: "erc20_interface", vuln: None, render: benign_interface },
+        Template { name: "reward_claim", vuln: None, render: benign_reward_claim },
+        Template { name: "block_id", vuln: None, render: benign_block_id },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc::Checker;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn all_templates_parse_at_all_levels() {
+        let mut r = rng();
+        for template in vulnerable_templates().iter().chain(&benign_templates()) {
+            for level in [Level::Contract, Level::Function, Level::Statements] {
+                let g = template.render(&mut r, level);
+                assert!(
+                    solidity::parse_snippet(&g.text).is_ok(),
+                    "template {} at {level:?} does not parse:\n{}",
+                    template.name,
+                    g.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vulnerable_templates_trigger_their_query() {
+        let mut r = rng();
+        let checker = Checker::new();
+        for template in vulnerable_templates() {
+            let g = template.render(&mut r, Level::Contract);
+            let findings = checker.check_snippet(&g.text).unwrap();
+            let expected = template.vuln.unwrap();
+            assert!(
+                findings.iter().any(|f| f.query == expected),
+                "template {} does not trigger {expected:?}; findings {:?}\n{}",
+                template.name,
+                findings.iter().map(|f| f.query).collect::<Vec<_>>(),
+                g.text
+            );
+        }
+    }
+
+    #[test]
+    fn benign_templates_do_not_trigger_their_counterpart() {
+        let mut r = rng();
+        let checker = Checker::new();
+        // Map each safe counterpart to the query it mitigates.
+        let expectations: &[(&str, QueryId)] = &[
+            ("reentrancy_safe", QueryId::Reentrancy),
+            ("checked_send", QueryId::UncheckedCall),
+            ("msg_sender_auth", QueryId::AcTxOrigin),
+            ("guarded_selfdestruct", QueryId::AcSelfDestruct),
+            ("guarded_owner_write", QueryId::AcUnrestrictedWrite),
+            ("sanitized_proxy", QueryId::AcDefaultProxyDelegate),
+            ("timestamp_bookkeeping", QueryId::TimestampDependence),
+            ("block_deadline", QueryId::BadRandomnessSource),
+            ("guarded_token", QueryId::ArithmeticOverflow),
+            ("payload_checked_pay", QueryId::ShortAddressCall),
+            ("memory_struct", QueryId::UninitializedStoragePointer),
+        ];
+        for (name, query) in expectations {
+            let template = benign_templates()
+                .into_iter()
+                .find(|t| t.name == *name)
+                .unwrap();
+            let g = template.render(&mut r, Level::Contract);
+            let findings = checker.check_snippet(&g.text).unwrap();
+            assert!(
+                !findings.iter().any(|f| f.query == *query),
+                "safe template {name} still triggers {query:?}:\n{}",
+                g.text
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let t = &vulnerable_templates()[0];
+        let a = t.render(&mut rng(), Level::Contract);
+        let b = t.render(&mut rng(), Level::Contract);
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn name_pools_create_type_ii_variety() {
+        let t = vulnerable_templates()
+            .into_iter()
+            .find(|t| t.name == "reentrancy_withdraw")
+            .unwrap();
+        let mut r = rng();
+        let instances: Vec<String> =
+            (0..10).map(|_| t.render(&mut r, Level::Contract).text).collect();
+        let distinct: std::collections::HashSet<&String> = instances.iter().collect();
+        assert!(distinct.len() > 3, "expected identifier variety, got {distinct:?}");
+    }
+}

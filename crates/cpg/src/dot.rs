@@ -1,0 +1,98 @@
+//! Graphviz DOT export of a code property graph.
+//!
+//! Reproduces the presentation of the paper's Figure 2: syntax (AST role)
+//! edges dashed gray, EOG edges green, DFG edges blue.
+
+use crate::graph::Graph;
+use crate::kinds::{EdgeKind, NodeKind};
+
+/// Render the whole graph in DOT format.
+pub fn to_dot(graph: &Graph) -> String {
+    to_dot_filtered(graph, |_| true)
+}
+
+/// Render only the nodes accepted by `keep` (plus edges between them).
+pub fn to_dot_filtered(graph: &Graph, keep: impl Fn(NodeKind) -> bool) -> String {
+    let mut out = String::from("digraph cpg {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for id in graph.node_ids() {
+        let node = graph.node(id);
+        if !keep(node.kind) {
+            continue;
+        }
+        let label = format!(
+            "{}\\n{}",
+            node.kind.label(),
+            escape(&truncate(&node.props.code, 40))
+        );
+        out.push_str(&format!("  n{} [label=\"{}\"];\n", id.0, label));
+    }
+    for id in graph.node_ids() {
+        if !keep(graph.node(id).kind) {
+            continue;
+        }
+        for edge in graph.out_edges(id) {
+            if !keep(graph.node(edge.to).kind) {
+                continue;
+            }
+            let (color, style, label) = match edge.kind {
+                EdgeKind::Ast(role) => ("gray", "dashed", role.label().to_string()),
+                EdgeKind::Eog => ("green", "solid", "EOG".to_string()),
+                EdgeKind::Dfg => ("blue", "solid", "DFG".to_string()),
+                EdgeKind::RefersTo => ("black", "dotted", "REFERS_TO".to_string()),
+                EdgeKind::Invokes => ("red", "solid", "INVOKES".to_string()),
+                EdgeKind::Returns => ("orange", "solid", "RETURNS".to_string()),
+            };
+            out.push_str(&format!(
+                "  n{} -> n{} [color={color}, style={style}, label=\"{label}\", fontsize=8];\n",
+                edge.from.0, edge.to.0
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..s.char_indices().take_while(|(i, _)| *i < max).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Cpg;
+
+    #[test]
+    fn figure_2_dot_contains_expected_edges() {
+        let cpg = Cpg::from_snippet("if (msg.sender == owner) {}").unwrap();
+        let dot = to_dot(&cpg.graph);
+        assert!(dot.starts_with("digraph cpg {"));
+        assert!(dot.contains("msg.sender"));
+        assert!(dot.contains("color=green")); // EOG
+        assert!(dot.contains("color=blue")); // DFG
+        assert!(dot.contains("style=dashed")); // AST
+        assert!(dot.contains("LHS"));
+        assert!(dot.contains("CONDITION"));
+    }
+
+    #[test]
+    fn filtered_export_drops_kinds() {
+        let cpg = Cpg::from_snippet("if (msg.sender == owner) {}").unwrap();
+        let dot = to_dot_filtered(&cpg.graph, |k| k != NodeKind::TranslationUnit);
+        assert!(!dot.contains("TranslationUnit"));
+    }
+
+    #[test]
+    fn escaping_and_truncation() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(truncate("short", 10), "short");
+        assert!(truncate(&"x".repeat(100), 40).len() < 50);
+    }
+}

@@ -1,0 +1,506 @@
+//! The property-graph arena.
+//!
+//! Nodes carry a [`NodeKind`] label plus a property bag; edges are typed by
+//! [`EdgeKind`]. The graph offers the traversal primitives the vulnerability
+//! detectors and the query engine build on: kind-filtered iteration,
+//! in/out-edge walks, and bounded transitive reachability over edge-kind
+//! sets (the `-[:DFG*]->` / `-[:EOG|INVOKES*]->` patterns of the paper's
+//! Cypher queries).
+
+use crate::kinds::{AstRole, EdgeKind, NodeKind};
+use serde::{Deserialize, Serialize};
+use solidity::Span;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the node arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Properties of a graph node. Field names mirror the upstream CPG property
+/// keys used in queries (`code`, `localName`, `operatorCode`, `value`, ...).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Props {
+    /// Canonical source form of the node (`msg.sender`, `a + b`, ...).
+    pub code: String,
+    /// Unqualified name: the member name of a member expression, the callee
+    /// name of a call, the declared name of a declaration.
+    pub local_name: String,
+    /// Operator text for binary/unary operators (`+`, `==`, `+=`, ...).
+    pub operator_code: Option<String>,
+    /// Literal value text.
+    pub value: Option<String>,
+    /// Declared or inferred type, canonical text form.
+    pub ty: Option<String>,
+    /// Parameter position (0-based) for `ParamVariableDeclaration`s.
+    pub index: Option<usize>,
+    /// Whether the node was synthesized during inference (missing outer
+    /// declarations of a snippet, cf. §4.2).
+    pub is_inferred: bool,
+    /// Record kind: `contract`, `interface`, `library`, `struct`.
+    pub record_kind: Option<String>,
+    /// Declared visibility for functions and fields.
+    pub visibility: Option<String>,
+    /// Anything else, e.g. `pragma` on the translation unit.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl Props {
+    /// Property lookup by upstream key name, for the query engine.
+    pub fn get(&self, key: &str) -> Option<String> {
+        match key {
+            "code" => Some(self.code.clone()),
+            "localName" => Some(self.local_name.clone()),
+            "operatorCode" => self.operator_code.clone(),
+            "value" => self.value.clone(),
+            "type" => self.ty.clone(),
+            "index" => self.index.map(|i| i.to_string()),
+            "isInferred" => Some(self.is_inferred.to_string()),
+            "kind" => self.record_kind.clone(),
+            "visibility" => self.visibility.clone(),
+            other => self.extra.get(other).cloned(),
+        }
+    }
+}
+
+/// A node: label + properties + source span.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Label.
+    pub kind: NodeKind,
+    /// Property bag.
+    pub props: Props,
+    /// Source span in the translated text.
+    pub span: Span,
+}
+
+/// A directed, typed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Edge type.
+    pub kind: EdgeKind,
+    /// Target node.
+    pub to: NodeId,
+}
+
+/// The code property graph.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    out: Vec<Vec<Edge>>,
+    inc: Vec<Vec<Edge>>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(|edges| edges.len()).sum()
+    }
+
+    /// Add a node and return its id.
+    pub fn add_node(&mut self, kind: NodeKind, props: Props, span: Span) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, props, span });
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Add a typed edge. Parallel edges of the same kind are deduplicated.
+    pub fn add_edge(&mut self, from: NodeId, kind: EdgeKind, to: NodeId) {
+        let edge = Edge { from, kind, to };
+        if self.out[from.index()].contains(&edge) {
+            return;
+        }
+        self.out[from.index()].push(edge);
+        self.inc[to.index()].push(edge);
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access (used by passes to refine properties).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All nodes of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(move |id| self.node(*id).kind == kind)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> &[Edge] {
+        &self.out[id.index()]
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, id: NodeId) -> &[Edge] {
+        &self.inc[id.index()]
+    }
+
+    /// Outgoing neighbors over edges matching `pred`.
+    pub fn out_by<'a>(
+        &'a self,
+        id: NodeId,
+        pred: impl Fn(EdgeKind) -> bool + 'a,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.out[id.index()]
+            .iter()
+            .filter(move |edge| pred(edge.kind))
+            .map(|edge| edge.to)
+    }
+
+    /// Incoming neighbors over edges matching `pred`.
+    pub fn in_by<'a>(
+        &'a self,
+        id: NodeId,
+        pred: impl Fn(EdgeKind) -> bool + 'a,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.inc[id.index()]
+            .iter()
+            .filter(move |edge| pred(edge.kind))
+            .map(|edge| edge.from)
+    }
+
+    /// Outgoing neighbors over exactly one edge kind.
+    pub fn out_kind<'a>(&'a self, id: NodeId, kind: EdgeKind) -> impl Iterator<Item = NodeId> + 'a {
+        self.out_by(id, move |k| k == kind)
+    }
+
+    /// Incoming neighbors over exactly one edge kind.
+    pub fn in_kind<'a>(&'a self, id: NodeId, kind: EdgeKind) -> impl Iterator<Item = NodeId> + 'a {
+        self.in_by(id, move |k| k == kind)
+    }
+
+    /// Outgoing AST children of any role.
+    pub fn ast_children<'a>(&'a self, id: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+        self.out_by(id, |k| k.is_ast())
+    }
+
+    /// The AST child in a specific role, if any.
+    pub fn ast_child(&self, id: NodeId, role: AstRole) -> Option<NodeId> {
+        self.out_kind(id, EdgeKind::Ast(role)).next()
+    }
+
+    /// All AST children in a specific role.
+    pub fn ast_children_role<'a>(
+        &'a self,
+        id: NodeId,
+        role: AstRole,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.out_kind(id, EdgeKind::Ast(role))
+    }
+
+    /// The AST parent, if any.
+    pub fn ast_parent(&self, id: NodeId) -> Option<NodeId> {
+        self.in_by(id, |k| k.is_ast()).next()
+    }
+
+    /// Walk up AST parents until a node satisfies `pred`.
+    pub fn enclosing(&self, id: NodeId, pred: impl Fn(&Node) -> bool) -> Option<NodeId> {
+        let mut current = self.ast_parent(id);
+        while let Some(node) = current {
+            if pred(self.node(node)) {
+                return Some(node);
+            }
+            current = self.ast_parent(node);
+        }
+        None
+    }
+
+    /// The enclosing function or constructor of a node, if any.
+    pub fn enclosing_function(&self, id: NodeId) -> Option<NodeId> {
+        if self.node(id).kind.is_function_like() {
+            return Some(id);
+        }
+        self.enclosing(id, |n| n.kind.is_function_like())
+    }
+
+    /// The enclosing record (contract) of a node, if any.
+    pub fn enclosing_record(&self, id: NodeId) -> Option<NodeId> {
+        if self.node(id).kind == NodeKind::RecordDeclaration {
+            return Some(id);
+        }
+        self.enclosing(id, |n| n.kind == NodeKind::RecordDeclaration)
+    }
+
+    /// All AST descendants of a node (excluding the node itself).
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut result = Vec::new();
+        let mut stack: Vec<NodeId> = self.ast_children(id).collect();
+        while let Some(node) = stack.pop() {
+            result.push(node);
+            stack.extend(self.ast_children(node));
+        }
+        result
+    }
+
+    /// Forward reachability over edge kinds matching `pred`, up to
+    /// `max_depth` hops (`usize::MAX` for unbounded). Returns the set of
+    /// reached nodes, excluding the start unless it lies on a cycle.
+    ///
+    /// `max_depth` is the lever behind the paper's second validation phase
+    /// (§6.3): iteratively reducing the maximal data-flow path length to
+    /// avoid path explosion.
+    pub fn reach_forward(
+        &self,
+        start: NodeId,
+        pred: impl Fn(EdgeKind) -> bool,
+        max_depth: usize,
+    ) -> HashSet<NodeId> {
+        self.reach(start, &pred, max_depth, true)
+    }
+
+    /// Backward reachability over edge kinds matching `pred`.
+    pub fn reach_backward(
+        &self,
+        start: NodeId,
+        pred: impl Fn(EdgeKind) -> bool,
+        max_depth: usize,
+    ) -> HashSet<NodeId> {
+        self.reach(start, &pred, max_depth, false)
+    }
+
+    fn reach(
+        &self,
+        start: NodeId,
+        pred: &impl Fn(EdgeKind) -> bool,
+        max_depth: usize,
+        forward: bool,
+    ) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back((start, 0usize));
+        while let Some((node, depth)) = queue.pop_front() {
+            if depth >= max_depth {
+                continue;
+            }
+            let edges = if forward { &self.out[node.index()] } else { &self.inc[node.index()] };
+            for edge in edges {
+                if !pred(edge.kind) {
+                    continue;
+                }
+                let next = if forward { edge.to } else { edge.from };
+                if seen.insert(next) {
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `to` is reachable from `from` over edges matching `pred`
+    /// within `max_depth` hops.
+    pub fn reaches(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        pred: impl Fn(EdgeKind) -> bool,
+        max_depth: usize,
+    ) -> bool {
+        if from == to {
+            return true;
+        }
+        // Targeted BFS with early exit.
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back((from, 0usize));
+        while let Some((node, depth)) = queue.pop_front() {
+            if depth >= max_depth {
+                continue;
+            }
+            for edge in &self.out[node.index()] {
+                if !pred(edge.kind) {
+                    continue;
+                }
+                if edge.to == to {
+                    return true;
+                }
+                if seen.insert(edge.to) {
+                    queue.push_back((edge.to, depth + 1));
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether data flows from `from` to `to` (`-[:DFG*]->`), unbounded.
+    pub fn dfg_reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.reaches(from, to, |k| k == EdgeKind::Dfg, usize::MAX)
+    }
+
+    /// Whether `to` is evaluation-order reachable from `from`
+    /// (`-[:EOG*]->`), unbounded.
+    pub fn eog_reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.reaches(from, to, |k| k == EdgeKind::Eog, usize::MAX)
+    }
+
+    /// One shortest path (list of node ids, start and end inclusive) from
+    /// `from` to `to` over edges matching `pred`, if one exists.
+    pub fn shortest_path(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        pred: impl Fn(EdgeKind) -> bool,
+    ) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        while let Some(node) = queue.pop_front() {
+            for edge in &self.out[node.index()] {
+                if !pred(edge.kind) || prev.contains_key(&edge.to) || edge.to == from {
+                    continue;
+                }
+                prev.insert(edge.to, node);
+                if edge.to == to {
+                    let mut path = vec![to];
+                    let mut current = to;
+                    while let Some(&parent) = prev.get(&current) {
+                        path.push(parent);
+                        current = parent;
+                        if current == from {
+                            break;
+                        }
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(edge.to);
+            }
+        }
+        None
+    }
+
+    /// The declaration a reference resolves to, if resolved.
+    pub fn refers_to(&self, reference: NodeId) -> Option<NodeId> {
+        self.out_kind(reference, EdgeKind::RefersTo).next()
+    }
+
+    /// All references resolving to a declaration.
+    pub fn references_of<'a>(&'a self, decl: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+        self.in_kind(decl, EdgeKind::RefersTo)
+    }
+
+    /// Whether the node has no outgoing EOG edge — i.e. it terminates a
+    /// program path (queries match `not exists ((last)-[:EOG]->())`).
+    pub fn is_eog_exit(&self, id: NodeId) -> bool {
+        self.out_kind(id, EdgeKind::Eog).next().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(g: &mut Graph, kind: NodeKind, code: &str) -> NodeId {
+        g.add_node(
+            kind,
+            Props { code: code.into(), ..Props::default() },
+            Span::DUMMY,
+        )
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut g = Graph::new();
+        let a = n(&mut g, NodeKind::CallExpression, "f()");
+        let b = n(&mut g, NodeKind::FieldDeclaration, "x");
+        g.add_edge(a, EdgeKind::Dfg, b);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.dfg_reaches(a, b));
+        assert!(!g.dfg_reaches(b, a));
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = Graph::new();
+        let a = n(&mut g, NodeKind::Literal, "1");
+        let b = n(&mut g, NodeKind::Literal, "2");
+        g.add_edge(a, EdgeKind::Eog, b);
+        g.add_edge(a, EdgeKind::Eog, b);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn transitive_reachability_with_depth_limit() {
+        let mut g = Graph::new();
+        let chain: Vec<NodeId> =
+            (0..5).map(|i| n(&mut g, NodeKind::Literal, &i.to_string())).collect();
+        for w in chain.windows(2) {
+            g.add_edge(w[0], EdgeKind::Dfg, w[1]);
+        }
+        assert!(g.reaches(chain[0], chain[4], |k| k == EdgeKind::Dfg, usize::MAX));
+        assert!(g.reaches(chain[0], chain[4], |k| k == EdgeKind::Dfg, 4));
+        assert!(!g.reaches(chain[0], chain[4], |k| k == EdgeKind::Dfg, 3));
+    }
+
+    #[test]
+    fn reach_handles_cycles() {
+        let mut g = Graph::new();
+        let a = n(&mut g, NodeKind::Literal, "a");
+        let b = n(&mut g, NodeKind::Literal, "b");
+        g.add_edge(a, EdgeKind::Eog, b);
+        g.add_edge(b, EdgeKind::Eog, a);
+        let reached = g.reach_forward(a, |k| k == EdgeKind::Eog, usize::MAX);
+        assert!(reached.contains(&a));
+        assert!(reached.contains(&b));
+    }
+
+    #[test]
+    fn shortest_path_found() {
+        let mut g = Graph::new();
+        let a = n(&mut g, NodeKind::Literal, "a");
+        let b = n(&mut g, NodeKind::Literal, "b");
+        let c = n(&mut g, NodeKind::Literal, "c");
+        g.add_edge(a, EdgeKind::Eog, b);
+        g.add_edge(b, EdgeKind::Eog, c);
+        g.add_edge(a, EdgeKind::Dfg, c);
+        let p = g.shortest_path(a, c, |k| k == EdgeKind::Eog).unwrap();
+        assert_eq!(p, vec![a, b, c]);
+        assert!(g.shortest_path(c, a, |k| k == EdgeKind::Eog).is_none());
+    }
+
+    #[test]
+    fn props_lookup_by_key() {
+        let props = Props {
+            code: "a + b".into(),
+            operator_code: Some("+".into()),
+            is_inferred: true,
+            ..Props::default()
+        };
+        assert_eq!(props.get("code").as_deref(), Some("a + b"));
+        assert_eq!(props.get("operatorCode").as_deref(), Some("+"));
+        assert_eq!(props.get("isInferred").as_deref(), Some("true"));
+        assert_eq!(props.get("missing"), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! Code property graph for Solidity snippets and contracts.
+//!
+//! A code property graph (CPG) is a directed attributed graph representing
+//! source code: nodes embody syntactic elements, edges carry semantics
+//! (cf. §2.3 of the paper):
+//!
+//! * **Syntax** — the AST forms the node structure, connected by role-typed
+//!   `AST` edges (`LHS`, `CONDITION`, `ARGUMENTS`, ...).
+//! * **Order** — `EOG` edges model evaluation order and control flow,
+//!   including the Solidity-specific `Rollback` termination semantics of
+//!   `require`/`revert`/`throw` (§4.2.1).
+//! * **Data flow** — `DFG` edges model how data is transferred and
+//!   processed, including the indirect flows needed by the vulnerability
+//!   queries (§4.2.3).
+//!
+//! The translation accepts *incomplete* snippets: missing outer contract or
+//! function declarations are complemented with inferred declarations, and
+//! unresolved identifiers become inferred fields (§4.2). Modifier
+//! applications are expanded into function bodies (§4.2.2).
+//!
+//! ```
+//! use cpg::Cpg;
+//!
+//! let cpg = Cpg::from_snippet("if (msg.sender == owner) {}").unwrap();
+//! // The snippet's `owner` resolves to an inferred field declaration.
+//! assert!(cpg.graph.node_count() > 4);
+//! ```
+
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dot;
+pub mod expand;
+pub mod graph;
+pub mod kinds;
+
+pub use builder::{BuildOptions, Cpg};
+pub use graph::{Edge, Graph, Node, NodeId, Props};
+pub use kinds::{AstRole, EdgeKind, NodeKind};

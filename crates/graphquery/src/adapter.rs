@@ -1,0 +1,184 @@
+//! [`GraphSource`] adapter for [`cpg::Graph`], letting queries run directly
+//! against a translated code property graph.
+
+use crate::eval::GraphSource;
+use cpg::{EdgeKind, Graph, NodeId, NodeKind};
+
+/// Wraps a [`cpg::Graph`] for querying.
+pub struct CpgSource<'a> {
+    graph: &'a Graph,
+}
+
+impl<'a> CpgSource<'a> {
+    /// Wrap a graph.
+    pub fn new(graph: &'a Graph) -> Self {
+        CpgSource { graph }
+    }
+}
+
+/// Labels carried by a node kind, including the upstream CPG label
+/// inheritance: constructors are also `FunctionDeclaration`s, every
+/// expression-like node is also an `Expression`, and every node is a `Node`.
+fn labels_of(kind: NodeKind) -> Vec<&'static str> {
+    let mut labels = vec![kind.label(), "Node"];
+    if kind == NodeKind::ConstructorDeclaration {
+        labels.push("FunctionDeclaration");
+    }
+    if matches!(
+        kind,
+        NodeKind::DeclaredReferenceExpression
+            | NodeKind::MemberExpression
+            | NodeKind::SubscriptExpression
+            | NodeKind::CallExpression
+            | NodeKind::NewExpression
+            | NodeKind::BinaryOperator
+            | NodeKind::UnaryOperator
+            | NodeKind::Literal
+            | NodeKind::TupleExpression
+            | NodeKind::ConditionalExpression
+            | NodeKind::CastExpression
+    ) {
+        labels.push("Expression");
+    }
+    if kind.is_declaration() {
+        labels.push("Declaration");
+    }
+    labels
+}
+
+/// Whether a relationship-type string matches an edge kind. `AST` matches
+/// any syntax role.
+fn kind_matches(edge: EdgeKind, label: &str) -> bool {
+    if label == "AST" {
+        return edge.is_ast();
+    }
+    edge.label() == label
+}
+
+impl GraphSource for CpgSource<'_> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn labels(&self, node: u32) -> Vec<&'static str> {
+        labels_of(self.graph.node(NodeId(node)).kind)
+    }
+
+    fn prop(&self, node: u32, key: &str) -> Option<String> {
+        self.graph.node(NodeId(node)).props.get(key)
+    }
+
+    fn neighbors_out(&self, node: u32, kind: Option<&str>) -> Vec<u32> {
+        self.graph
+            .out_edges(NodeId(node))
+            .iter()
+            .filter(|e| kind.map(|k| kind_matches(e.kind, k)).unwrap_or(true))
+            .map(|e| e.to.0)
+            .collect()
+    }
+
+    fn neighbors_in(&self, node: u32, kind: Option<&str>) -> Vec<u32> {
+        self.graph
+            .in_edges(NodeId(node))
+            .iter()
+            .filter(|e| kind.map(|k| kind_matches(e.kind, k)).unwrap_or(true))
+            .map(|e| e.from.0)
+            .collect()
+    }
+
+    fn nodes_with_label(&self, label: &str) -> Vec<u32> {
+        self.graph
+            .node_ids()
+            .filter(|id| labels_of(self.graph.node(*id).kind).contains(&label))
+            .map(|id| id.0)
+            .collect()
+    }
+}
+
+/// Run a query text against a CPG and return the node ids bound to `var`.
+pub fn query_cpg(graph: &Graph, query_text: &str, var: &str) -> Result<Vec<NodeId>, crate::syntax::QueryError> {
+    let query = crate::syntax::parse_query(query_text)?;
+    let source = CpgSource::new(graph);
+    Ok(crate::eval::run_var(&query, &source, var)
+        .into_iter()
+        .map(NodeId)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::Cpg;
+
+    #[test]
+    fn query_figure_2_snippet() {
+        let cpg = Cpg::from_snippet("if (msg.sender == owner) {}").unwrap();
+        // The simplified query from §4.3 of the paper, adapted to this
+        // snippet: find comparisons whose LHS is msg.sender.
+        let hits = query_cpg(
+            &cpg.graph,
+            "MATCH (b:BinaryOperator {operatorCode: '=='})-[:LHS]->(m:MemberExpression {code: 'msg.sender'}) RETURN b",
+            "b",
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn query_param_to_field_flow() {
+        let cpg = Cpg::from_snippet(
+            "contract C { uint total; function add(uint amount) public { total += amount; } }",
+        )
+        .unwrap();
+        // The paper's §4.3 example query.
+        let hits = query_cpg(
+            &cpg.graph,
+            "MATCH (p:ParamVariableDeclaration)-[:DFG*]->(f:FieldDeclaration) RETURN p",
+            "p",
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn constructor_is_also_function_declaration() {
+        let cpg = Cpg::from_snippet(
+            "contract C { address owner; constructor() { owner = msg.sender; } }",
+        )
+        .unwrap();
+        let hits = query_cpg(
+            &cpg.graph,
+            "MATCH (f:FunctionDeclaration) WHERE 'ConstructorDeclaration' IN labels(f) RETURN f",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn rollback_paths_queryable() {
+        let cpg = Cpg::from_snippet(
+            "function f() public { require(msg.sender == owner); total += 1; }",
+        )
+        .unwrap();
+        let hits = query_cpg(
+            &cpg.graph,
+            "MATCH (c:CallExpression {localName: 'require'})-[:EOG]->(r:Rollback) RETURN r",
+            "r",
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn ast_wildcard_matches_any_role() {
+        let cpg = Cpg::from_snippet("x = a + b;").unwrap();
+        let hits = query_cpg(
+            &cpg.graph,
+            "MATCH (op:BinaryOperator {operatorCode: '+'})-[:AST]->(r) RETURN r",
+            "r",
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 2); // both operands
+    }
+}

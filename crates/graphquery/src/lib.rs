@@ -1,0 +1,36 @@
+//! Declarative pattern queries over property graphs.
+//!
+//! The paper persists its code property graphs into a Neo4j database and
+//! expresses vulnerability patterns as Cypher queries (§4.3). This crate is
+//! the in-process substitute: a small query language with the Cypher
+//! constructs those queries rely on — labelled node patterns, directed edge
+//! patterns with alternatives (`:A|B`) and transitive closure (`*`),
+//! property predicates, and (negated) existential subqueries — evaluated by
+//! a backtracking matcher directly over the graph arena.
+//!
+//! ```
+//! use cpg::Cpg;
+//! use graphquery::query_cpg;
+//!
+//! let cpg = Cpg::from_snippet(
+//!     "contract C { uint total; function add(uint amount) public { total += amount; } }",
+//! ).unwrap();
+//! // §4.3's example: parameters whose data is persisted to a field.
+//! let hits = query_cpg(
+//!     &cpg.graph,
+//!     "MATCH (p:ParamVariableDeclaration)-[:DFG*]->(f:FieldDeclaration) RETURN p",
+//!     "p",
+//! ).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod eval;
+pub mod syntax;
+
+pub use adapter::{query_cpg, CpgSource};
+pub use eval::{run, run_var, Bindings, GraphSource};
+pub use syntax::{parse_query, Query, QueryError};

@@ -1,0 +1,737 @@
+//! Lexer, AST and parser for the pattern query language.
+//!
+//! The language is a compact subset of the Cypher dialect the paper's
+//! Appendix B queries are written in:
+//!
+//! ```text
+//! MATCH (p:ParamVariableDeclaration)-[:DFG*]->(f:FieldDeclaration)
+//! WHERE p.code CONTAINS 'address'
+//!   AND NOT EXISTS { (f)<-[:DFG]-(:Literal) }
+//! RETURN p
+//! ```
+//!
+//! Supported constructs: node patterns with labels and inline property
+//! equality, directed edge patterns with `|`-alternatives and `*` closure,
+//! multiple comma-separated path patterns, `WHERE` with `AND`/`OR`/`NOT`,
+//! comparisons (`=`, `<>`, `IN`, `CONTAINS`, `STARTS WITH`), `toUpper(...)`,
+//! and (negated) `EXISTS { ... }` subpatterns with their own `WHERE`.
+
+use std::fmt;
+
+/// A literal value in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// String literal.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// List literal, e.g. `['call', 'send']`.
+    List(Vec<Value>),
+    /// `null`.
+    Null,
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A node pattern `(var:LabelA:LabelB {prop: 'lit'})`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePat {
+    /// Variable name to bind, if any.
+    pub var: Option<String>,
+    /// Required labels (conjunction).
+    pub labels: Vec<String>,
+    /// Required property equalities.
+    pub props: Vec<(String, Value)>,
+}
+
+/// Direction of an edge pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `-[..]->`
+    Right,
+    /// `<-[..]-`
+    Left,
+}
+
+/// An edge pattern `-[:DFG|EOG*]->`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgePat {
+    /// Allowed relationship types (disjunction); empty means any.
+    pub kinds: Vec<String>,
+    /// Kleene closure (`*`): one-or-more hops. Without it exactly one hop.
+    pub star: bool,
+    /// Direction of traversal relative to reading order.
+    pub direction: Direction,
+}
+
+/// A path pattern: alternating nodes and edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPat {
+    /// Node patterns, one more than edges.
+    pub nodes: Vec<NodePat>,
+    /// Edge patterns between consecutive nodes.
+    pub edges: Vec<EdgePat>,
+}
+
+/// A value-producing operand in a condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// `var.prop`
+    Prop(String, String),
+    /// Bare variable (for `a <> b` identity comparison).
+    Var(String),
+    /// Literal.
+    Lit(Value),
+    /// `toUpper(operand)`
+    ToUpper(Box<Operand>),
+    /// `labels(var)` — the label set of the bound node.
+    Labels(String),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `IN`
+    In,
+    /// `CONTAINS`
+    Contains,
+    /// `STARTS WITH`
+    StartsWith,
+}
+
+/// A boolean condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+    /// `EXISTS { patterns [WHERE cond] }` — an existential subquery sharing
+    /// outer bindings.
+    Exists {
+        /// Subpatterns to match.
+        patterns: Vec<PathPat>,
+        /// Optional inner condition.
+        cond: Option<Box<Cond>>,
+    },
+    /// Binary comparison.
+    Cmp {
+        /// Left operand.
+        lhs: Operand,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `var.prop IS NULL`.
+    IsNull(Operand),
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Path patterns from the MATCH clause(s).
+    pub patterns: Vec<PathPat>,
+    /// WHERE condition, if present.
+    pub cond: Option<Cond>,
+    /// Variables to return.
+    pub returns: Vec<String>,
+}
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryError {
+    /// Description of the failure.
+    pub message: String,
+    /// Byte offset in the query text.
+    pub offset: usize,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+// ===== lexer ===============================================================
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Num(f64),
+    Punct(&'static str),
+    Eof,
+}
+
+const QPUNCTS: &[&str] = &[
+    "<-[", "]->", "]-", "-[", "<>", "(", ")", "{", "}", "[", "]", ":", ",", ".", "*", "|",
+    "=",
+];
+
+fn qlex(src: &str) -> Result<Vec<(Tok, usize)>, QueryError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if b == b'\'' || b == b'"' {
+            let quote = b;
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != quote {
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(QueryError { message: "unterminated string".into(), offset: i });
+            }
+            out.push((Tok::Str(src[start..j].to_string()), i));
+            i = j + 1;
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            let n: f64 = src[start..i].parse().map_err(|_| QueryError {
+                message: format!("bad number `{}`", &src[start..i]),
+                offset: start,
+            })?;
+            out.push((Tok::Num(n), start));
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push((Tok::Word(src[start..i].to_string()), start));
+            continue;
+        }
+        for p in QPUNCTS {
+            if src[i..].starts_with(p) {
+                out.push((Tok::Punct(p), i));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(QueryError {
+            message: format!("unexpected character `{}`", b as char),
+            offset: i,
+        });
+    }
+    out.push((Tok::Eof, src.len()));
+    Ok(out)
+}
+
+// ===== parser ==============================================================
+
+/// Parse a query text into a [`Query`].
+pub fn parse_query(src: &str) -> Result<Query, QueryError> {
+    let tokens = qlex(src)?;
+    let mut p = QParser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct QParser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl QParser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].0
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].0.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError { message: message.into(), offset: self.offset() }
+    }
+
+    fn at_word_ci(&self, word: &str) -> bool {
+        matches!(self.peek(), Tok::Word(w) if w.eq_ignore_ascii_case(word))
+    }
+
+    fn eat_word_ci(&mut self, word: &str) -> bool {
+        if self.at_word_ci(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(q) if *q == p)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), QueryError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), QueryError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err("trailing input after query"))
+        }
+    }
+
+    fn word(&mut self) -> Result<String, QueryError> {
+        match self.bump() {
+            Tok::Word(w) => Ok(w),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        let mut patterns = Vec::new();
+        if !self.eat_word_ci("match") {
+            return Err(self.err("query must start with MATCH"));
+        }
+        loop {
+            patterns.push(self.path()?);
+            if self.eat_punct(",") {
+                continue;
+            }
+            if self.eat_word_ci("match") {
+                continue;
+            }
+            break;
+        }
+        let cond = if self.eat_word_ci("where") {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        let mut returns = Vec::new();
+        if self.eat_word_ci("return") {
+            loop {
+                returns.push(self.word()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        Ok(Query { patterns, cond, returns })
+    }
+
+    fn path(&mut self) -> Result<PathPat, QueryError> {
+        // Optional `p =` path binding is accepted and ignored (path
+        // variables are not supported; detectors needing paths use the
+        // programmatic API).
+        if let Tok::Word(_) = self.peek() {
+            if matches!(self.tokens.get(self.pos + 1).map(|t| &t.0), Some(Tok::Punct("="))) {
+                self.bump();
+                self.bump();
+            }
+        }
+        let mut nodes = vec![self.node_pat()?];
+        let mut edges = Vec::new();
+        loop {
+            if self.at_punct("-[") {
+                self.bump();
+                let (kinds, star) = self.edge_body()?;
+                self.expect_punct("]->").map_err(|_| self.err("expected `]->`"))?;
+                edges.push(EdgePat { kinds, star, direction: Direction::Right });
+            } else if self.at_punct("<-[") {
+                self.bump();
+                let (kinds, star) = self.edge_body()?;
+                self.expect_punct("]-").map_err(|_| self.err("expected `]-`"))?;
+                edges.push(EdgePat { kinds, star, direction: Direction::Left });
+            } else {
+                break;
+            }
+            nodes.push(self.node_pat()?);
+        }
+        Ok(PathPat { nodes, edges })
+    }
+
+    fn edge_body(&mut self) -> Result<(Vec<String>, bool), QueryError> {
+        // `[r:KIND|KIND2*]` — the optional leading variable is ignored.
+        let mut kinds = Vec::new();
+        if let Tok::Word(_) = self.peek() {
+            // Either a variable (followed by `:`) or nothing else valid.
+            self.bump();
+        }
+        if self.eat_punct(":") {
+            loop {
+                kinds.push(self.word()?);
+                if !self.eat_punct("|") {
+                    break;
+                }
+            }
+        }
+        let star = self.eat_punct("*");
+        Ok((kinds, star))
+    }
+
+    fn node_pat(&mut self) -> Result<NodePat, QueryError> {
+        self.expect_punct("(")?;
+        let mut pat = NodePat::default();
+        if let Tok::Word(_) = self.peek() {
+            pat.var = Some(self.word()?);
+        }
+        while self.eat_punct(":") {
+            pat.labels.push(self.word()?);
+        }
+        if self.eat_punct("{") {
+            loop {
+                let key = self.word()?;
+                self.expect_punct(":")?;
+                let value = self.literal()?;
+                pat.props.push((key, value));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct("}")?;
+        }
+        self.expect_punct(")")?;
+        Ok(pat)
+    }
+
+    fn literal(&mut self) -> Result<Value, QueryError> {
+        match self.bump() {
+            Tok::Str(s) => Ok(Value::Str(s)),
+            Tok::Num(n) => Ok(Value::Num(n)),
+            Tok::Word(w) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Tok::Word(w) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Tok::Word(w) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Tok::Punct("[") => {
+                let mut items = Vec::new();
+                if !self.at_punct("]") {
+                    loop {
+                        items.push(self.literal()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct("]")?;
+                Ok(Value::List(items))
+            }
+            other => Err(self.err(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    // cond := or
+    fn cond(&mut self) -> Result<Cond, QueryError> {
+        let mut lhs = self.cond_and()?;
+        while self.eat_word_ci("or") {
+            let rhs = self.cond_and()?;
+            lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_and(&mut self) -> Result<Cond, QueryError> {
+        let mut lhs = self.cond_unary()?;
+        while self.eat_word_ci("and") {
+            let rhs = self.cond_unary()?;
+            lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_unary(&mut self) -> Result<Cond, QueryError> {
+        if self.eat_word_ci("not") {
+            let inner = self.cond_unary()?;
+            return Ok(Cond::Not(Box::new(inner)));
+        }
+        if self.at_word_ci("exists") {
+            self.bump();
+            // EXISTS { patterns [WHERE cond] } or EXISTS ( pattern ).
+            let brace = if self.eat_punct("{") {
+                true
+            } else {
+                self.expect_punct("(")?;
+                false
+            };
+            let mut patterns = vec![self.path()?];
+            while self.eat_punct(",") || self.eat_word_ci("match") {
+                patterns.push(self.path()?);
+            }
+            let cond = if self.eat_word_ci("where") {
+                Some(Box::new(self.cond()?))
+            } else {
+                None
+            };
+            if brace {
+                self.expect_punct("}")?;
+            } else {
+                self.expect_punct(")")?;
+            }
+            return Ok(Cond::Exists { patterns, cond });
+        }
+        if self.at_punct("(") {
+            // Could be a parenthesized condition or an inline pattern used
+            // as a boolean (rare in our queries) — we only support the
+            // former.
+            let save = self.pos;
+            self.bump();
+            if let Ok(inner) = self.cond() {
+                if self.eat_punct(")") {
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<Cond, QueryError> {
+        let lhs = self.operand()?;
+        if self.eat_word_ci("is") {
+            if self.eat_word_ci("null") {
+                return Ok(Cond::IsNull(lhs));
+            }
+            if self.eat_word_ci("not") && self.eat_word_ci("null") {
+                return Ok(Cond::Not(Box::new(Cond::IsNull(lhs))));
+            }
+            return Err(self.err("expected NULL after IS"));
+        }
+        let op = if self.eat_punct("=") {
+            CmpOp::Eq
+        } else if self.eat_punct("<>") {
+            CmpOp::Ne
+        } else if self.eat_word_ci("in") {
+            CmpOp::In
+        } else if self.eat_word_ci("contains") {
+            CmpOp::Contains
+        } else if self.eat_word_ci("starts") {
+            if !self.eat_word_ci("with") {
+                return Err(self.err("expected WITH after STARTS"));
+            }
+            CmpOp::StartsWith
+        } else {
+            return Err(self.err("expected comparison operator"));
+        };
+        let rhs = self.operand()?;
+        Ok(Cond::Cmp { lhs, op, rhs })
+    }
+
+    fn operand(&mut self) -> Result<Operand, QueryError> {
+        match self.bump() {
+            Tok::Word(w) if w.eq_ignore_ascii_case("toUpper") => {
+                self.expect_punct("(")?;
+                let inner = self.operand()?;
+                self.expect_punct(")")?;
+                Ok(Operand::ToUpper(Box::new(inner)))
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("labels") => {
+                self.expect_punct("(")?;
+                let var = self.word()?;
+                self.expect_punct(")")?;
+                Ok(Operand::Labels(var))
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("true") => {
+                Ok(Operand::Lit(Value::Bool(true)))
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("false") => {
+                Ok(Operand::Lit(Value::Bool(false)))
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("null") => Ok(Operand::Lit(Value::Null)),
+            Tok::Word(var) => {
+                if self.eat_punct(".") {
+                    let prop = self.word()?;
+                    Ok(Operand::Prop(var, prop))
+                } else {
+                    Ok(Operand::Var(var))
+                }
+            }
+            Tok::Str(s) => Ok(Operand::Lit(Value::Str(s))),
+            Tok::Num(n) => Ok(Operand::Lit(Value::Num(n))),
+            Tok::Punct("[") => {
+                let mut items = Vec::new();
+                if !self.at_punct("]") {
+                    loop {
+                        items.push(self.literal()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct("]")?;
+                Ok(Operand::Lit(Value::List(items)))
+            }
+            other => Err(self.err(format!("expected operand, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_match() {
+        let q = parse_query("MATCH (p:Parameter)-[:DFG*]->(f:Field) RETURN p").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+        let path = &q.patterns[0];
+        assert_eq!(path.nodes.len(), 2);
+        assert_eq!(path.nodes[0].var.as_deref(), Some("p"));
+        assert_eq!(path.nodes[0].labels, vec!["Parameter"]);
+        assert!(path.edges[0].star);
+        assert_eq!(path.edges[0].kinds, vec!["DFG"]);
+        assert_eq!(q.returns, vec!["p"]);
+    }
+
+    #[test]
+    fn parse_props_and_alternative_kinds() {
+        let q = parse_query(
+            "MATCH (c:CallExpression {localName: 'call'})<-[:BASE|CALLEE*]-(x) RETURN x",
+        )
+        .unwrap();
+        let path = &q.patterns[0];
+        assert_eq!(
+            path.nodes[0].props,
+            vec![("localName".to_string(), Value::Str("call".into()))]
+        );
+        assert_eq!(path.edges[0].direction, Direction::Left);
+        assert_eq!(path.edges[0].kinds, vec!["BASE", "CALLEE"]);
+    }
+
+    #[test]
+    fn parse_where_exists() {
+        let q = parse_query(
+            "MATCH (f:FunctionDeclaration) \
+             WHERE NOT EXISTS { (f)-[:EOG*]->(:Rollback) } AND f.localName = 'kill' \
+             RETURN f",
+        )
+        .unwrap();
+        let Some(Cond::And(lhs, rhs)) = q.cond else { panic!("{:?}", q.cond) };
+        assert!(matches!(*lhs, Cond::Not(_)));
+        assert!(matches!(*rhs, Cond::Cmp { op: CmpOp::Eq, .. }));
+    }
+
+    #[test]
+    fn parse_in_and_toupper() {
+        let q = parse_query(
+            "MATCH (c:CallExpression) WHERE toUpper(c.localName) IN ['CALL', 'SEND'] RETURN c",
+        )
+        .unwrap();
+        let Some(Cond::Cmp { lhs, op: CmpOp::In, rhs }) = q.cond else { panic!() };
+        assert!(matches!(lhs, Operand::ToUpper(_)));
+        assert!(matches!(rhs, Operand::Lit(Value::List(_))));
+    }
+
+    #[test]
+    fn parse_path_variable_is_ignored() {
+        let q = parse_query("MATCH p=(a)-[:EOG*]->(b) RETURN a, b").unwrap();
+        assert_eq!(q.patterns[0].nodes.len(), 2);
+        assert_eq!(q.returns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parse_multiple_patterns() {
+        let q = parse_query("MATCH (a)-[:DFG]->(b), (b)-[:EOG]->(c) RETURN c").unwrap();
+        assert_eq!(q.patterns.len(), 2);
+    }
+
+    #[test]
+    fn parse_contains_and_starts_with() {
+        let q = parse_query(
+            "MATCH (v) WHERE v.code CONTAINS 'storage' OR v.code STARTS WITH 'msg' RETURN v",
+        )
+        .unwrap();
+        assert!(matches!(q.cond, Some(Cond::Or(_, _))));
+    }
+
+    #[test]
+    fn parse_is_null() {
+        let q = parse_query("MATCH (f) WHERE f.localName IS NULL RETURN f").unwrap();
+        assert!(matches!(q.cond, Some(Cond::IsNull(_))));
+    }
+
+    #[test]
+    fn parse_exists_with_inner_where() {
+        let q = parse_query(
+            "MATCH (f) WHERE EXISTS { (f)-[:EOG*]->(t) WHERE t.code = 'x' } RETURN f",
+        )
+        .unwrap();
+        let Some(Cond::Exists { cond: Some(_), .. }) = q.cond else { panic!() };
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("RETURN x").is_err());
+        assert!(parse_query("MATCH (a RETURN a").is_err());
+        assert!(parse_query("MATCH (a) WHERE a. RETURN a").is_err());
+        assert!(parse_query("MATCH (a) RETURN a garbage").is_err());
+    }
+
+    #[test]
+    fn edge_variable_is_tolerated() {
+        let q = parse_query("MATCH (a)-[r:DFG*]->(b) RETURN a").unwrap();
+        assert_eq!(q.patterns[0].edges[0].kinds, vec!["DFG"]);
+    }
+}

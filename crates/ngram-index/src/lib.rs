@@ -1,0 +1,248 @@
+//! Inverted N-gram index over fingerprints.
+//!
+//! The paper stores fingerprint N-grams in an Elasticsearch database and,
+//! when matching a fingerprint, first retrieves only candidates sharing at
+//! least a fraction η of its N-grams (§5.5, "Execution Time" challenge).
+//! This crate is the in-process substitute: an inverted index from N-gram to
+//! document ids with the same η-threshold candidate retrieval, turning the
+//! quadratic all-pairs edit-distance comparison into a cheap filter followed
+//! by a small number of exact comparisons.
+//!
+//! ```
+//! use ngram_index::NgramIndex;
+//!
+//! let mut index = NgramIndex::new(3);
+//! index.insert(0, "ABCDEFGH");
+//! index.insert(1, "ABCDXXXX");
+//! index.insert(2, "ZZZZZZZZ");
+//! let candidates = index.candidates("ABCDEFGG", 0.5);
+//! assert!(candidates.contains(&0));
+//! assert!(!candidates.contains(&2));
+//! ```
+
+
+#![warn(missing_docs)]
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Document identifier type.
+pub type DocId = u64;
+
+/// An inverted index from character N-grams to document ids.
+#[derive(Debug, Clone)]
+pub struct NgramIndex {
+    n: usize,
+    /// N-gram → sorted postings list of document ids.
+    postings: HashMap<Box<str>, Vec<DocId>>,
+    /// Document id → number of distinct N-grams it contains.
+    doc_grams: HashMap<DocId, usize>,
+}
+
+impl NgramIndex {
+    /// Create an index over N-grams of size `n` (the paper sweeps
+    /// N ∈ {3, 5, 7}; 3 performed best, Appendix C/D).
+    pub fn new(n: usize) -> Self {
+        NgramIndex { n: n.max(1), postings: HashMap::new(), doc_grams: HashMap::new() }
+    }
+
+    /// The configured N-gram size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_grams.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_grams.is_empty()
+    }
+
+    /// Distinct N-grams of a text under this index's `n`. Texts shorter
+    /// than `n` yield the whole text as a single gram so that short
+    /// fingerprints remain indexable.
+    pub fn grams(&self, text: &str) -> Vec<Box<str>> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut grams: Vec<Box<str>> = if chars.len() < self.n {
+            if chars.is_empty() {
+                Vec::new()
+            } else {
+                vec![text.into()]
+            }
+        } else {
+            chars
+                .windows(self.n)
+                .map(|w| w.iter().collect::<String>().into_boxed_str())
+                .collect()
+        };
+        grams.sort_unstable();
+        grams.dedup();
+        grams
+    }
+
+    /// Index a document. Re-inserting the same id replaces nothing — the
+    /// caller is expected to use fresh ids (documents are immutable
+    /// fingerprints).
+    pub fn insert(&mut self, id: DocId, text: &str) {
+        let grams = self.grams(text);
+        self.doc_grams.insert(id, grams.len());
+        for gram in grams {
+            match self.postings.entry(gram) {
+                Entry::Occupied(mut entry) => {
+                    let list = entry.get_mut();
+                    if list.last() != Some(&id) {
+                        list.push(id);
+                    }
+                }
+                Entry::Vacant(entry) => {
+                    entry.insert(vec![id]);
+                }
+            }
+        }
+    }
+
+    /// Retrieve document ids sharing at least `eta` (0..=1) of the query's
+    /// distinct N-grams — the paper's η-threshold candidate filter.
+    ///
+    /// An empty query matches nothing.
+    pub fn candidates(&self, text: &str, eta: f64) -> Vec<DocId> {
+        let grams = self.grams(text);
+        if grams.is_empty() {
+            return Vec::new();
+        }
+        let mut counts: HashMap<DocId, usize> = HashMap::new();
+        for gram in &grams {
+            if let Some(list) = self.postings.get(gram.as_ref()) {
+                for id in list {
+                    *counts.entry(*id).or_insert(0) += 1;
+                }
+            }
+        }
+        let needed = (eta * grams.len() as f64).ceil().max(1.0) as usize;
+        let mut result: Vec<DocId> = counts
+            .into_iter()
+            .filter(|(_, shared)| *shared >= needed)
+            .map(|(id, _)| id)
+            .collect();
+        result.sort_unstable();
+        result
+    }
+
+    /// Fraction of the query's distinct N-grams contained in `other` —
+    /// useful for tests and threshold tuning.
+    pub fn share(&self, query: &str, other: &str) -> f64 {
+        let q = self.grams(query);
+        if q.is_empty() {
+            return 0.0;
+        }
+        let o = self.grams(other);
+        let shared = q.iter().filter(|g| o.binary_search(g).is_ok()).count();
+        shared as f64 / q.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grams_of_short_text() {
+        let index = NgramIndex::new(3);
+        assert_eq!(index.grams("ab"), vec!["ab".into()]);
+        assert!(index.grams("").is_empty());
+    }
+
+    #[test]
+    fn grams_are_deduplicated() {
+        let index = NgramIndex::new(2);
+        assert_eq!(index.grams("aaaa").len(), 1);
+    }
+
+    #[test]
+    fn identical_text_is_always_a_candidate() {
+        let mut index = NgramIndex::new(3);
+        index.insert(7, "ABCDEFGHIJ");
+        assert_eq!(index.candidates("ABCDEFGHIJ", 1.0), vec![7]);
+    }
+
+    #[test]
+    fn eta_threshold_filters() {
+        let mut index = NgramIndex::new(3);
+        index.insert(0, "ABCDEFGH"); // shares the ABC/BCD/CDE prefix grams
+        index.insert(1, "WXYZWXYZ"); // shares nothing
+        let strict = index.candidates("ABCDEZZZ", 0.9);
+        assert!(strict.is_empty());
+        let loose = index.candidates("ABCDEZZZ", 0.3);
+        assert_eq!(loose, vec![0]);
+    }
+
+    #[test]
+    fn multiple_documents_ranked_by_threshold() {
+        let mut index = NgramIndex::new(3);
+        index.insert(0, "AAABBBCCC");
+        index.insert(1, "AAABBBZZZ");
+        index.insert(2, "ZZZYYYXXX");
+        let c = index.candidates("AAABBBCCC", 0.5);
+        assert!(c.contains(&0));
+        assert!(!c.contains(&2));
+    }
+
+    #[test]
+    fn share_fraction() {
+        let index = NgramIndex::new(3);
+        assert_eq!(index.share("ABCDEF", "ABCDEF"), 1.0);
+        assert_eq!(index.share("ABCDEF", "ZZZZZZ"), 0.0);
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let mut index = NgramIndex::new(3);
+        index.insert(0, "ABCDEF");
+        assert!(index.candidates("", 0.5).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn inserted_doc_is_its_own_candidate(text in "[A-Za-z0-9]{1,64}", n in 1usize..8) {
+            let mut index = NgramIndex::new(n);
+            index.insert(42, &text);
+            let c = index.candidates(&text, 1.0);
+            prop_assert!(c.contains(&42));
+        }
+
+        #[test]
+        fn candidates_subset_of_corpus(
+            docs in proptest::collection::vec("[A-D]{4,16}", 1..10),
+            query in "[A-D]{4,16}",
+            eta in 0.1f64..1.0,
+        ) {
+            let mut index = NgramIndex::new(3);
+            for (i, d) in docs.iter().enumerate() {
+                index.insert(i as DocId, d);
+            }
+            for id in index.candidates(&query, eta) {
+                prop_assert!((id as usize) < docs.len());
+            }
+        }
+
+        #[test]
+        fn higher_eta_never_adds_candidates(
+            docs in proptest::collection::vec("[A-D]{4,16}", 1..10),
+            query in "[A-D]{4,16}",
+        ) {
+            let mut index = NgramIndex::new(3);
+            for (i, d) in docs.iter().enumerate() {
+                index.insert(i as DocId, d);
+            }
+            let loose = index.candidates(&query, 0.3);
+            let strict = index.candidates(&query, 0.8);
+            for id in strict {
+                prop_assert!(loose.contains(&id));
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The end-to-end study pipeline (§6 of the paper).
+//!
+//! Wires the substrates together into the experiment of Figure 6:
+//!
+//! * [`funnel`] — Q&A data collection funnel (Table 4),
+//! * [`mapping`] — CCD snippet→contract clone mapping + deduplication,
+//! * [`temporal`] — All/Disseminator/Source grouping and the Spearman
+//!   popularity correlations (Table 5),
+//! * [`study`] — the two-phase vulnerability validation (Tables 6 and 7),
+//! * [`manual`] — the stratified oracle audit (Table 8),
+//! * [`eval_ccc`] — the CCC benchmark against eight baselines
+//!   (Tables 1 and 2),
+//! * [`eval_ccd`] — the CCD benchmark against SmartEmbed and the
+//!   parameter sweep (Tables 3 and 9, Figure 9),
+//! * [`report`] — plain-text table rendering.
+
+
+#![warn(missing_docs)]
+
+pub mod eval_ccc;
+pub mod eval_ccd;
+pub mod funnel;
+pub mod manual;
+pub mod mapping;
+pub mod report;
+pub mod study;
+pub mod temporal;
+
+pub use funnel::{run_funnel, FunnelOutput, UniqueSnippet};
+pub use manual::{run_audit, AuditGrid};
+pub use mapping::{dedup_contracts, map_snippets, CloneMapping};
+pub use study::{run_study, StudyConfig, StudyResult, ValidationOutcome};
+pub use temporal::{adoptions, correlations, Adoption, TemporalGroup};

@@ -1,0 +1,98 @@
+//! Plain-text table rendering for the `tables` binary and EXPERIMENTS.md.
+
+/// A simple monospace table builder.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title.
+    pub fn new(title: impl Into<String>) -> Table {
+        Table { title: title.into(), ..Table::default() }
+    }
+
+    /// Set the header row.
+    pub fn header(mut self, cells: &[&str]) -> Table {
+        self.header = cells.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("| ");
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:>width$} | "));
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&render_row(&self.header));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * columns + 1));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo").header(&["name", "count"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let out = t.render();
+        assert!(out.contains("== Demo =="));
+        assert!(out.contains("| longer |"));
+        let lines: Vec<&str> = out.lines().collect();
+        // Header, separator, two rows, title.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.9234), "92.3%");
+        assert_eq!(f3(0.28199), "0.282");
+    }
+}

@@ -1,0 +1,395 @@
+//! Lexer for Solidity source code and snippets.
+//!
+//! The lexer is deliberately forgiving: unknown characters become single-byte
+//! punctuation tokens or are skipped, `...`/`…` is lexed as a placeholder
+//! token, and unterminated strings are closed at the end of the line. This
+//! matches the requirement of parsing snippets from Q&A sites, which are
+//! frequently truncated or decorated.
+
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Errors produced by the lexer. The lexer recovers from everything it can;
+/// this only remains for inputs that cannot be tokenized at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the failure.
+    pub message: String,
+    /// Where it happened.
+    pub span: Span,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// All multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    ">>>=", "<<=", ">>=", "**=", "...", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=",
+    "*=", "/=", "%=", "|=", "&=", "^=", "=>", "->", "++", "--", "**", "<<", ">>", "(",
+    ")", "{", "}", "[", "]", ";", ",", ".", "?", ":", "=", "+", "-", "*", "/", "%", "!",
+    "<", ">", "&", "|", "^", "~",
+];
+
+/// Tokenize `src` into a token stream ending in [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    newline_pending: bool,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            newline_pending: false,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        while self.pos < self.bytes.len() {
+            self.skip_trivia();
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            self.next_token()?;
+        }
+        let span = Span::new(self.pos, self.pos, self.line, self.col);
+        self.push(TokenKind::Eof, span);
+        Ok(self.tokens)
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek_at(&self, offset: usize) -> u8 {
+        self.bytes.get(self.pos + offset).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.newline_pending = true;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        let newline_before = std::mem::take(&mut self.newline_pending);
+        self.tokens.push(Token { kind, span, newline_before });
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek_at(1) == b'*' => {
+                    self.bump();
+                    self.bump();
+                    while self.pos < self.bytes.len() {
+                        if self.peek() == b'*' && self.peek_at(1) == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                // Unicode ellipsis '…' (0xE2 0x80 0xA6) becomes a placeholder.
+                0xE2 if self.peek_at(1) == 0x80 && self.peek_at(2) == 0xA6 => {
+                    let start = self.pos;
+                    let (line, col) = (self.line, self.col);
+                    self.pos += 3;
+                    self.col += 1;
+                    let span = Span::new(start, self.pos, line, col);
+                    self.push(TokenKind::Ellipsis, span);
+                }
+                // Skip other non-ASCII bytes (smart quotes, arrows in prose).
+                b if b >= 0x80 => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        let b = self.peek();
+
+        if b.is_ascii_alphabetic() || b == b'_' || b == b'$' {
+            self.lex_word(start, line, col);
+            return Ok(());
+        }
+        if b.is_ascii_digit() {
+            self.lex_number(start, line, col);
+            return Ok(());
+        }
+        if b == b'"' || b == b'\'' {
+            self.lex_string(start, line, col);
+            return Ok(());
+        }
+
+        for punct in PUNCTS {
+            if self.src[self.pos..].starts_with(punct) {
+                for _ in 0..punct.len() {
+                    self.bump();
+                }
+                let span = Span::new(start, self.pos, line, col);
+                if *punct == "..." {
+                    self.push(TokenKind::Ellipsis, span);
+                } else {
+                    self.push(TokenKind::Punct(punct), span);
+                }
+                return Ok(());
+            }
+        }
+
+        // Unknown ASCII character (`#`, `@`, backtick from markdown fences,
+        // ...). Snippets contain these routinely; skip rather than fail.
+        self.bump();
+        Ok(())
+    }
+
+    fn lex_word(&mut self, start: usize, line: u32, col: u32) {
+        while {
+            let b = self.peek();
+            b.is_ascii_alphanumeric() || b == b'_' || b == b'$'
+        } {
+            self.bump();
+        }
+        let word = &self.src[start..self.pos];
+
+        // `hex"??"` string literal.
+        if word == "hex" && (self.peek() == b'"' || self.peek() == b'\'') {
+            let quote = self.bump();
+            let content_start = self.pos;
+            while self.pos < self.bytes.len() && self.peek() != quote && self.peek() != b'\n' {
+                self.bump();
+            }
+            let content = self.src[content_start..self.pos].to_string();
+            if self.peek() == quote {
+                self.bump();
+            }
+            let span = Span::new(start, self.pos, line, col);
+            self.push(TokenKind::HexStr(content), span);
+            return;
+        }
+
+        let span = Span::new(start, self.pos, line, col);
+        match Keyword::from_str(word) {
+            Some(kw) => self.push(TokenKind::Keyword(kw), span),
+            None => self.push(TokenKind::Ident(word.to_string()), span),
+        }
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32, col: u32) {
+        if self.peek() == b'0' && (self.peek_at(1) | 0x20) == b'x' {
+            self.bump();
+            self.bump();
+            while self.peek().is_ascii_hexdigit() || self.peek() == b'_' {
+                self.bump();
+            }
+        } else {
+            while self.peek().is_ascii_digit() || self.peek() == b'_' {
+                self.bump();
+            }
+            if self.peek() == b'.' && self.peek_at(1).is_ascii_digit() {
+                self.bump();
+                while self.peek().is_ascii_digit() || self.peek() == b'_' {
+                    self.bump();
+                }
+            }
+            if (self.peek() | 0x20) == b'e'
+                && (self.peek_at(1).is_ascii_digit()
+                    || (self.peek_at(1) == b'-' && self.peek_at(2).is_ascii_digit()))
+            {
+                self.bump();
+                if self.peek() == b'-' {
+                    self.bump();
+                }
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+        }
+        let span = Span::new(start, self.pos, line, col);
+        let text = self.src[start..self.pos].replace('_', "");
+        self.push(TokenKind::Number(text), span);
+    }
+
+    fn lex_string(&mut self, start: usize, line: u32, col: u32) {
+        let quote = self.bump();
+        let mut content = String::new();
+        while self.pos < self.bytes.len() {
+            let b = self.peek();
+            if b == quote {
+                self.bump();
+                break;
+            }
+            // Unterminated string: close at end of line (snippet tolerance).
+            if b == b'\n' {
+                break;
+            }
+            if b == b'\\' {
+                self.bump();
+                let escaped = self.bump();
+                content.push(match escaped {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'0' => '\0',
+                    other => other as char,
+                });
+                continue;
+            }
+            content.push(self.bump() as char);
+        }
+        let span = Span::new(start, self.pos, line, col);
+        self.push(TokenKind::Str(content), span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_statement() {
+        let ks = kinds("owner = msg.sender;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("owner".into()),
+                TokenKind::Punct("="),
+                TokenKind::Ident("msg".into()),
+                TokenKind::Punct("."),
+                TokenKind::Ident("sender".into()),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        let ks = kinds("contract function payable");
+        assert!(matches!(ks[0], TokenKind::Keyword(Keyword::Contract)));
+        assert!(matches!(ks[1], TokenKind::Keyword(Keyword::Function)));
+        assert!(matches!(ks[2], TokenKind::Keyword(Keyword::Payable)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // line comment\n/* block\ncomment */ b");
+        assert_eq!(ks.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn newline_before_is_tracked() {
+        let toks = lex("a\nb c").unwrap();
+        assert!(!toks[0].newline_before);
+        assert!(toks[1].newline_before);
+        assert!(!toks[2].newline_before);
+    }
+
+    #[test]
+    fn ellipsis_placeholder() {
+        let ks = kinds("... …");
+        assert_eq!(ks, vec![TokenKind::Ellipsis, TokenKind::Ellipsis, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        let ks = kinds("1 0x1F 1_000 2.5 1e18 3e-2");
+        assert_eq!(
+            ks[..6],
+            [
+                TokenKind::Number("1".into()),
+                TokenKind::Number("0x1F".into()),
+                TokenKind::Number("1000".into()),
+                TokenKind::Number("2.5".into()),
+                TokenKind::Number("1e18".into()),
+                TokenKind::Number("3e-2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let ks = kinds(r#""hello \"x\"" 'y'"#);
+        assert_eq!(ks[0], TokenKind::Str("hello \"x\"".into()));
+        assert_eq!(ks[1], TokenKind::Str("y".into()));
+    }
+
+    #[test]
+    fn unterminated_string_closes_at_newline() {
+        let ks = kinds("\"oops\nnext");
+        assert_eq!(ks[0], TokenKind::Str("oops".into()));
+        assert_eq!(ks[1], TokenKind::Ident("next".into()));
+    }
+
+    #[test]
+    fn hex_string() {
+        let ks = kinds(r#"hex"deadbeef""#);
+        assert_eq!(ks[0], TokenKind::HexStr("deadbeef".into()));
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let ks = kinds("a >>= b == c => d");
+        assert_eq!(ks[1], TokenKind::Punct(">>="));
+        assert_eq!(ks[3], TokenKind::Punct("=="));
+        assert_eq!(ks[5], TokenKind::Punct("=>"));
+    }
+
+    #[test]
+    fn garbage_bytes_are_skipped() {
+        let ks = kinds("a @ # ` b £");
+        assert_eq!(ks.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        let src = "uint x = 1;";
+        let toks = lex(src).unwrap();
+        assert_eq!(toks[0].span.text(src), "uint");
+        assert_eq!(toks[1].span.text(src), "x");
+        assert_eq!(toks[3].span.text(src), "1");
+    }
+}

@@ -1,0 +1,101 @@
+//! Byte-offset source spans with line/column information.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original source text,
+/// together with the 1-based line and column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Create a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Dummy spans are treated as identity elements so synthesized nodes do
+    /// not drag real spans down to offset zero.
+    pub fn to(self, other: Span) -> Span {
+        if self == Span::DUMMY {
+            return other;
+        }
+        if other == Span::DUMMY {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            col: if self.start <= other.start { self.col } else { other.col },
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extract the spanned text from the source it was produced from.
+    ///
+    /// Returns an empty string if the span is out of bounds for `src`
+    /// (e.g. a dummy span of a synthesized node).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_spans() {
+        let a = Span::new(4, 10, 1, 5);
+        let b = Span::new(12, 20, 2, 3);
+        let j = a.to(b);
+        assert_eq!(j.start, 4);
+        assert_eq!(j.end, 20);
+        assert_eq!(j.line, 1);
+    }
+
+    #[test]
+    fn dummy_is_identity() {
+        let a = Span::new(4, 10, 1, 5);
+        assert_eq!(Span::DUMMY.to(a), a);
+        assert_eq!(a.to(Span::DUMMY), a);
+    }
+
+    #[test]
+    fn text_extraction() {
+        let src = "hello world";
+        let s = Span::new(6, 11, 1, 7);
+        assert_eq!(s.text(src), "world");
+        assert_eq!(Span::new(100, 200, 1, 1).text(src), "");
+    }
+}

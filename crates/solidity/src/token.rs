@@ -1,0 +1,296 @@
+//! Token definitions for the Solidity lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Identifier or non-reserved word.
+    Ident(String),
+    /// Reserved keyword (`contract`, `function`, `require`, ...).
+    Keyword(Keyword),
+    /// Decimal or hexadecimal number literal, including scientific notation.
+    Number(String),
+    /// String literal, with quotes stripped.
+    Str(String),
+    /// Hex string literal `hex"..."`, with quotes stripped.
+    HexStr(String),
+    /// A punctuation or operator token, e.g. `+`, `==`, `=>`.
+    Punct(&'static str),
+    /// A `...`/`…` placeholder signaling elided code in a snippet.
+    Ellipsis,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Return the textual form of the token as it would appear in source.
+    pub fn text(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Keyword(k) => k.as_str().to_string(),
+            TokenKind::Number(s) => s.clone(),
+            TokenKind::Str(s) => format!("\"{s}\""),
+            TokenKind::HexStr(s) => format!("hex\"{s}\""),
+            TokenKind::Punct(p) => (*p).to_string(),
+            TokenKind::Ellipsis => "...".to_string(),
+            TokenKind::Eof => String::new(),
+        }
+    }
+}
+
+/// A token with its source span and layout information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+    /// Whether at least one newline separates this token from the previous
+    /// one. The parser uses this to accept newline-terminated statements
+    /// (cf. §4.1 "Statement Termination").
+    pub newline_before: bool,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.text())
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Reserved Solidity keywords recognized by the lexer.
+        ///
+        /// This covers the keyword set of Solidity up to 0.8 plus legacy
+        /// keywords (`throw`, `suicide`, `var`, `constant` on functions) so
+        /// that snippets written against any compiler era parse.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)] // each variant is the keyword it names
+        pub enum Keyword {
+            $($variant),+
+        }
+
+        impl Keyword {
+            /// The source text of the keyword.
+            pub fn as_str(self) -> &'static str {
+                match self { $(Keyword::$variant => $text),+ }
+            }
+
+            /// Look a word up in the keyword table.
+            pub fn from_str(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// All keywords, for table-driven tests and corpus filtering.
+            pub const ALL: &'static [Keyword] = &[$(Keyword::$variant),+];
+        }
+    };
+}
+
+keywords! {
+    Abstract => "abstract",
+    Address => "address",
+    Anonymous => "anonymous",
+    As => "as",
+    Assembly => "assembly",
+    Bool => "bool",
+    Break => "break",
+    Byte => "byte",
+    Bytes => "bytes",
+    Calldata => "calldata",
+    Catch => "catch",
+    Constant => "constant",
+    Constructor => "constructor",
+    Continue => "continue",
+    Contract => "contract",
+    Days => "days",
+    Delete => "delete",
+    Do => "do",
+    Else => "else",
+    Emit => "emit",
+    Enum => "enum",
+    Error => "error",
+    Ether => "ether",
+    Event => "event",
+    External => "external",
+    Fallback => "fallback",
+    False => "false",
+    Finney => "finney",
+    Fixed => "fixed",
+    For => "for",
+    Function => "function",
+    Gwei => "gwei",
+    Hours => "hours",
+    If => "if",
+    Immutable => "immutable",
+    Import => "import",
+    Indexed => "indexed",
+    Interface => "interface",
+    Internal => "internal",
+    Is => "is",
+    Library => "library",
+    Mapping => "mapping",
+    Memory => "memory",
+    Minutes => "minutes",
+    Modifier => "modifier",
+    New => "new",
+    Override => "override",
+    Payable => "payable",
+    Pragma => "pragma",
+    Private => "private",
+    Public => "public",
+    Pure => "pure",
+    Receive => "receive",
+    Return => "return",
+    Returns => "returns",
+    Seconds => "seconds",
+    Storage => "storage",
+    String => "string",
+    Struct => "struct",
+    Szabo => "szabo",
+    Throw => "throw",
+    True => "true",
+    Try => "try",
+    Type => "type",
+    Ufixed => "ufixed",
+    Unchecked => "unchecked",
+    Using => "using",
+    Var => "var",
+    View => "view",
+    Virtual => "virtual",
+    Weeks => "weeks",
+    Wei => "wei",
+    While => "while",
+    Years => "years",
+}
+
+impl Keyword {
+    /// Whether this keyword is a visibility specifier.
+    pub fn is_visibility(self) -> bool {
+        matches!(
+            self,
+            Keyword::Public | Keyword::Private | Keyword::Internal | Keyword::External
+        )
+    }
+
+    /// Whether this keyword is a state-mutability specifier.
+    pub fn is_mutability(self) -> bool {
+        matches!(
+            self,
+            Keyword::Pure | Keyword::View | Keyword::Payable | Keyword::Constant
+        )
+    }
+
+    /// Whether this keyword denotes an ether denomination (`wei`, `ether`, ...).
+    pub fn is_denomination(self) -> bool {
+        matches!(
+            self,
+            Keyword::Wei
+                | Keyword::Gwei
+                | Keyword::Szabo
+                | Keyword::Finney
+                | Keyword::Ether
+        )
+    }
+
+    /// Whether this keyword denotes a time unit (`seconds`, `days`, ...).
+    pub fn is_time_unit(self) -> bool {
+        matches!(
+            self,
+            Keyword::Seconds
+                | Keyword::Minutes
+                | Keyword::Hours
+                | Keyword::Days
+                | Keyword::Weeks
+                | Keyword::Years
+        )
+    }
+}
+
+/// Check whether a word names an elementary Solidity type (including the
+/// sized variants `uint8`..`uint256`, `int8`..`int256`, `bytes1`..`bytes32`).
+pub fn is_elementary_type(word: &str) -> bool {
+    match word {
+        "address" | "bool" | "string" | "var" | "byte" | "bytes" | "uint" | "int"
+        | "fixed" | "ufixed" => true,
+        _ => {
+            sized_int(word, "uint")
+                || sized_int(word, "int")
+                || sized_bytes(word)
+                || fixed_point(word)
+        }
+    }
+}
+
+fn sized_int(word: &str, prefix: &str) -> bool {
+    word.strip_prefix(prefix)
+        .and_then(|rest| rest.parse::<u32>().ok())
+        .map(|bits| bits >= 8 && bits <= 256 && bits % 8 == 0)
+        .unwrap_or(false)
+}
+
+fn sized_bytes(word: &str) -> bool {
+    word.strip_prefix("bytes")
+        .and_then(|rest| rest.parse::<u32>().ok())
+        .map(|n| (1..=32).contains(&n))
+        .unwrap_or(false)
+}
+
+fn fixed_point(word: &str) -> bool {
+    for prefix in ["ufixed", "fixed"] {
+        if let Some(rest) = word.strip_prefix(prefix) {
+            let mut parts = rest.splitn(2, 'x');
+            if let (Some(m), Some(n)) = (parts.next(), parts.next()) {
+                if m.parse::<u32>().is_ok() && n.parse::<u32>().is_ok() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in Keyword::ALL {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(*kw));
+        }
+    }
+
+    #[test]
+    fn unknown_word_is_not_keyword() {
+        assert_eq!(Keyword::from_str("banana"), None);
+        assert_eq!(Keyword::from_str("Contract"), None); // case-sensitive
+    }
+
+    #[test]
+    fn elementary_types() {
+        assert!(is_elementary_type("uint256"));
+        assert!(is_elementary_type("uint8"));
+        assert!(is_elementary_type("bytes32"));
+        assert!(is_elementary_type("address"));
+        assert!(is_elementary_type("ufixed128x18"));
+        assert!(!is_elementary_type("uint7"));
+        assert!(!is_elementary_type("uint512"));
+        assert!(!is_elementary_type("bytes33"));
+        assert!(!is_elementary_type("mapping"));
+    }
+
+    #[test]
+    fn specifier_classification() {
+        assert!(Keyword::Public.is_visibility());
+        assert!(!Keyword::Payable.is_visibility());
+        assert!(Keyword::Payable.is_mutability());
+        assert!(Keyword::Ether.is_denomination());
+        assert!(Keyword::Days.is_time_unit());
+    }
+}

@@ -1,0 +1,276 @@
+//! Generic AST traversal.
+//!
+//! [`Visit`] walks the tree in source order, calling the overridable hooks
+//! before descending. The default implementations recurse, so an
+//! implementation only overrides what it cares about and calls the `walk_*`
+//! functions to continue.
+
+use crate::ast::*;
+
+/// An AST visitor. All hooks default to plain recursion.
+pub trait Visit {
+    /// Called for every source item.
+    fn visit_item(&mut self, item: &SourceItem) {
+        walk_item(self, item);
+    }
+    /// Called for every contract definition.
+    fn visit_contract(&mut self, contract: &ContractDef) {
+        walk_contract(self, contract);
+    }
+    /// Called for every function definition.
+    fn visit_function(&mut self, function: &FunctionDef) {
+        walk_function(self, function);
+    }
+    /// Called for every modifier definition.
+    fn visit_modifier(&mut self, modifier: &ModifierDef) {
+        walk_modifier(self, modifier);
+    }
+    /// Called for every state variable.
+    fn visit_state_var(&mut self, var: &StateVarDecl) {
+        walk_state_var(self, var);
+    }
+    /// Called for every statement.
+    fn visit_stmt(&mut self, stmt: &Statement) {
+        walk_stmt(self, stmt);
+    }
+    /// Called for every expression.
+    fn visit_expr(&mut self, expr: &Expr) {
+        walk_expr(self, expr);
+    }
+}
+
+/// Walk a whole source unit.
+pub fn walk_unit<V: Visit + ?Sized>(v: &mut V, unit: &SourceUnit) {
+    for item in &unit.items {
+        v.visit_item(item);
+    }
+}
+
+/// Default recursion for a source item.
+pub fn walk_item<V: Visit + ?Sized>(v: &mut V, item: &SourceItem) {
+    match item {
+        SourceItem::Contract(c) => v.visit_contract(c),
+        SourceItem::Function(f) => v.visit_function(f),
+        SourceItem::Modifier(m) => v.visit_modifier(m),
+        SourceItem::Variable(var) => v.visit_state_var(var),
+        SourceItem::Statement(s) => v.visit_stmt(s),
+        SourceItem::Pragma(_)
+        | SourceItem::Import(_)
+        | SourceItem::Struct(_)
+        | SourceItem::Enum(_)
+        | SourceItem::Event(_)
+        | SourceItem::ErrorDef(_)
+        | SourceItem::UsingFor(_) => {}
+    }
+}
+
+/// Default recursion for a contract.
+pub fn walk_contract<V: Visit + ?Sized>(v: &mut V, contract: &ContractDef) {
+    for base in &contract.bases {
+        for arg in &base.args {
+            v.visit_expr(arg);
+        }
+    }
+    for part in &contract.parts {
+        match part {
+            ContractPart::Variable(var) => v.visit_state_var(var),
+            ContractPart::Function(f) => v.visit_function(f),
+            ContractPart::Modifier(m) => v.visit_modifier(m),
+            ContractPart::Struct(_)
+            | ContractPart::Enum(_)
+            | ContractPart::Event(_)
+            | ContractPart::ErrorDef(_)
+            | ContractPart::UsingFor(_)
+            | ContractPart::Placeholder(_) => {}
+        }
+    }
+}
+
+/// Default recursion for a function.
+pub fn walk_function<V: Visit + ?Sized>(v: &mut V, function: &FunctionDef) {
+    for m in &function.modifiers {
+        for arg in &m.args {
+            v.visit_expr(arg);
+        }
+    }
+    if let Some(body) = &function.body {
+        for s in &body.statements {
+            v.visit_stmt(s);
+        }
+    }
+}
+
+/// Default recursion for a modifier.
+pub fn walk_modifier<V: Visit + ?Sized>(v: &mut V, modifier: &ModifierDef) {
+    if let Some(body) = &modifier.body {
+        for s in &body.statements {
+            v.visit_stmt(s);
+        }
+    }
+}
+
+/// Default recursion for a state variable.
+pub fn walk_state_var<V: Visit + ?Sized>(v: &mut V, var: &StateVarDecl) {
+    if let Some(init) = &var.initializer {
+        v.visit_expr(init);
+    }
+}
+
+/// Default recursion for a statement.
+pub fn walk_stmt<V: Visit + ?Sized>(v: &mut V, stmt: &Statement) {
+    match &stmt.kind {
+        StatementKind::Block(b) | StatementKind::Unchecked(b) => {
+            for s in &b.statements {
+                v.visit_stmt(s);
+            }
+        }
+        StatementKind::If { cond, then, alt } => {
+            v.visit_expr(cond);
+            v.visit_stmt(then);
+            if let Some(alt) = alt {
+                v.visit_stmt(alt);
+            }
+        }
+        StatementKind::While { cond, body } => {
+            v.visit_expr(cond);
+            v.visit_stmt(body);
+        }
+        StatementKind::DoWhile { body, cond } => {
+            v.visit_stmt(body);
+            v.visit_expr(cond);
+        }
+        StatementKind::For { init, cond, update, body } => {
+            if let Some(init) = init {
+                v.visit_stmt(init);
+            }
+            if let Some(cond) = cond {
+                v.visit_expr(cond);
+            }
+            if let Some(update) = update {
+                v.visit_expr(update);
+            }
+            v.visit_stmt(body);
+        }
+        StatementKind::Expression(e) | StatementKind::Emit(e) => v.visit_expr(e),
+        StatementKind::VariableDecl { value, .. } => {
+            if let Some(value) = value {
+                v.visit_expr(value);
+            }
+        }
+        StatementKind::Return(value) | StatementKind::Revert(value) => {
+            if let Some(value) = value {
+                v.visit_expr(value);
+            }
+        }
+        StatementKind::Try { expr, success, catches } => {
+            v.visit_expr(expr);
+            for s in &success.statements {
+                v.visit_stmt(s);
+            }
+            for c in catches {
+                for s in &c.statements {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        StatementKind::Throw
+        | StatementKind::Break
+        | StatementKind::Continue
+        | StatementKind::ModifierPlaceholder
+        | StatementKind::Ellipsis
+        | StatementKind::Assembly(_) => {}
+    }
+}
+
+/// Default recursion for an expression.
+pub fn walk_expr<V: Visit + ?Sized>(v: &mut V, expr: &Expr) {
+    match &expr.kind {
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        ExprKind::Unary { operand, .. } => v.visit_expr(operand),
+        ExprKind::Ternary { cond, then, alt } => {
+            v.visit_expr(cond);
+            v.visit_expr(then);
+            v.visit_expr(alt);
+        }
+        ExprKind::Call { callee, options, args, .. } => {
+            v.visit_expr(callee);
+            for (_, option) in options {
+                v.visit_expr(option);
+            }
+            for arg in args {
+                v.visit_expr(arg);
+            }
+        }
+        ExprKind::Member { base, .. } => v.visit_expr(base),
+        ExprKind::Index { base, index } => {
+            v.visit_expr(base);
+            if let Some(index) = index {
+                v.visit_expr(index);
+            }
+        }
+        ExprKind::Tuple(entries) => {
+            for entry in entries.iter().flatten() {
+                v.visit_expr(entry);
+            }
+        }
+        ExprKind::Ident(_)
+        | ExprKind::Literal(_)
+        | ExprKind::New(_)
+        | ExprKind::ElementaryType(_)
+        | ExprKind::Ellipsis => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_snippet;
+
+    struct Counter {
+        exprs: usize,
+        stmts: usize,
+        calls: usize,
+    }
+
+    impl Visit for Counter {
+        fn visit_stmt(&mut self, stmt: &Statement) {
+            self.stmts += 1;
+            walk_stmt(self, stmt);
+        }
+        fn visit_expr(&mut self, expr: &Expr) {
+            self.exprs += 1;
+            if matches!(expr.kind, ExprKind::Call { .. }) {
+                self.calls += 1;
+            }
+            walk_expr(self, expr);
+        }
+    }
+
+    #[test]
+    fn visitor_counts_nodes() {
+        let unit = parse_snippet(
+            "function f() public { require(msg.sender == owner); msg.sender.transfer(1); }",
+        )
+        .unwrap();
+        let mut c = Counter { exprs: 0, stmts: 0, calls: 0 };
+        walk_unit(&mut c, &unit);
+        assert_eq!(c.stmts, 2);
+        assert_eq!(c.calls, 2);
+        assert!(c.exprs >= 8);
+    }
+
+    #[test]
+    fn visitor_reaches_nested_loops() {
+        let unit = parse_snippet(
+            "function f(uint n) public { for (uint i = 0; i < n; i++) { if (i % 2 == 0) { g(i); } } }",
+        )
+        .unwrap();
+        let mut c = Counter { exprs: 0, stmts: 0, calls: 0 };
+        walk_unit(&mut c, &unit);
+        assert_eq!(c.calls, 1);
+        assert!(c.stmts >= 4);
+    }
+}

@@ -1,0 +1,18 @@
+//! Statistics used by the study: Spearman's rank correlation with
+//! p-values (§6.2, Table 5) and precision/recall/F1 accounting
+//! (§4.6, §5.7).
+//!
+//! The paper measures the monotonic relationship between a snippet's view
+//! count ν and the number of deployed contracts containing it (nr) with
+//! Spearman's ρ, explicitly avoiding Pearson because the data is not
+//! normally distributed. p-values use the t-distribution approximation
+//! customary for n > 20 (all of the paper's samples are in the thousands).
+
+
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod spearman;
+
+pub use confusion::Confusion;
+pub use spearman::{spearman, spearman_permutation_p, SpearmanResult};

@@ -1,0 +1,88 @@
+//! Figure 2 reproduction: the code property graph of
+//! `if (msg.sender == owner) {}` — syntax (AST), evaluation order (EOG)
+//! and data flow (DFG) — printed as edge lists and as Graphviz DOT.
+//!
+//! Run with: `cargo run --example cpg_explorer [snippet]`
+//! Pipe the DOT block into `dot -Tpng` to render the figure.
+
+use cpg::{dot, Cpg, EdgeKind, NodeKind};
+
+fn main() {
+    let snippet = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "if (msg.sender == owner) {}".to_string());
+
+    let cpg = match Cpg::from_snippet(&snippet) {
+        Ok(cpg) => cpg,
+        Err(e) => {
+            eprintln!("snippet does not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("snippet: {snippet}");
+    println!(
+        "graph: {} nodes, {} edges\n",
+        cpg.graph.node_count(),
+        cpg.graph.edge_count()
+    );
+
+    println!("nodes:");
+    for id in cpg.graph.node_ids() {
+        let node = cpg.graph.node(id);
+        if node.kind == NodeKind::TranslationUnit {
+            continue;
+        }
+        let inferred = if node.props.is_inferred { "  (inferred)" } else { "" };
+        println!(
+            "  n{:<3} {:<28} {}{}",
+            id.0,
+            node.kind.label(),
+            node.props.code,
+            inferred
+        );
+    }
+
+    for (kind, label) in [
+        (EdgeKind::Eog, "evaluation order (EOG, green in Fig. 2)"),
+        (EdgeKind::Dfg, "data flow (DFG, blue in Fig. 2)"),
+    ] {
+        println!("\n{label}:");
+        for id in cpg.graph.node_ids() {
+            for edge in cpg.graph.out_edges(id) {
+                if edge.kind == kind {
+                    println!(
+                        "  {} --> {}",
+                        cpg.graph.node(edge.from).props.code,
+                        cpg.graph.node(edge.to).props.code
+                    );
+                }
+            }
+        }
+    }
+
+    println!("\nsyntax roles (dashed gray in Fig. 2):");
+    for id in cpg.graph.node_ids() {
+        for edge in cpg.graph.out_edges(id) {
+            if let EdgeKind::Ast(role) = edge.kind {
+                let from = cpg.graph.node(edge.from);
+                let to = cpg.graph.node(edge.to);
+                if from.kind == NodeKind::TranslationUnit {
+                    continue;
+                }
+                println!(
+                    "  {} -[{}]-> {}",
+                    from.props.code,
+                    role.label(),
+                    to.props.code
+                );
+            }
+        }
+    }
+
+    println!("\n--- Graphviz DOT ---");
+    println!(
+        "{}",
+        dot::to_dot_filtered(&cpg.graph, |k| k != NodeKind::TranslationUnit)
+    );
+}

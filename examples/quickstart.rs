@@ -1,0 +1,61 @@
+//! Quickstart: check a Q&A snippet for vulnerabilities and hunt for its
+//! clones — the two halves of the paper in thirty lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sodd::prelude::*;
+
+fn main() {
+    // A snippet as it might appear in a Stack Overflow answer: incomplete
+    // (no contract wrapper), missing a semicolon, and reentrant.
+    let snippet = r#"
+        function withdrawBalance() public {
+            uint amountToWithdraw = userBalances[msg.sender]
+            msg.sender.call{value: amountToWithdraw}("");
+            userBalances[msg.sender] = 0;
+        }
+    "#;
+
+    // --- CCC: vulnerability detection on the incomplete snippet ---------
+    let findings = Checker::new().check_snippet(snippet).expect("snippet parses");
+    println!("CCC findings on the snippet:");
+    for finding in &findings {
+        println!(
+            "  line {:>2}  [{}]  {}  (Listing {})",
+            finding.line,
+            finding.category(),
+            finding.query.description(),
+            finding.query.listing(),
+        );
+    }
+
+    // --- CCD: find the snippet inside a deployed contract ----------------
+    let deployed = r#"
+        pragma solidity ^0.4.24;
+        contract Piggybank {
+            mapping(address => uint) userBalances;
+
+            function deposit() public payable {
+                userBalances[msg.sender] += msg.value;
+            }
+
+            // Copied from a Q&A site, identifiers renamed:
+            function withdrawBalance() public {
+                uint amount = userBalances[msg.sender];
+                msg.sender.call{value: amount}("");
+                userBalances[msg.sender] = 0;
+            }
+        }
+    "#;
+
+    let mut detector = CloneDetector::new(CcdParams::best());
+    detector.insert_source(1, deployed);
+    let query = CloneDetector::fingerprint_source(snippet).expect("fingerprintable");
+    println!("\nCCD clone matches of the snippet:");
+    for m in detector.matches(&query) {
+        println!("  contract #{}  similarity {:.1}", m.doc, m.score);
+    }
+
+    println!("\nThe vulnerable snippet was found in a deployed contract —");
+    println!("exactly the copy-paste pathway the paper measures at scale.");
+}

@@ -1,0 +1,102 @@
+//! `snippet-lint` — the mitigation the paper proposes in §6.7: providers
+//! of Q&A websites can flag code snippets that are considered problematic
+//! by tools like CCC, or that show high similarity with code reported as
+//! part of a vulnerability.
+//!
+//! Reads a snippet from the path given as the first argument (or uses a
+//! built-in demo snippet), then:
+//!
+//! 1. runs all 17 CCC queries on it (snippet-tolerant — no compiler
+//!    needed), and
+//! 2. matches it against a library of known-vulnerable snippet shapes
+//!    with CCD, reporting the closest vulnerable relative.
+//!
+//! Run with: `cargo run --example snippet_lint [path/to/snippet.sol]`
+
+use ccc::Checker;
+use ccd::{CcdParams, CloneDetector};
+use corpus::templates::{vulnerable_templates, Level};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DEMO: &str = r#"
+function withdraw() public {
+    uint amount = credit[msg.sender]
+    msg.sender.call{value: amount}("");
+    credit[msg.sender] = 0;
+}
+"#;
+
+fn main() {
+    let (name, snippet) = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => (path, text),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => ("<demo snippet>".to_string(), DEMO.to_string()),
+    };
+
+    println!("linting {name}\n");
+
+    // --- 1. direct vulnerability analysis -------------------------------
+    let findings = match Checker::new().check_snippet(&snippet) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("snippet is not parsable Solidity (even with the snippet grammar): {e}");
+            std::process::exit(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("CCC: no findings.");
+    } else {
+        println!("CCC findings:");
+        for finding in &findings {
+            println!(
+                "  line {:>3}  [{}]  {}",
+                finding.line,
+                finding.category(),
+                finding.query.description()
+            );
+        }
+    }
+
+    // --- 2. similarity to known-vulnerable shapes ------------------------
+    let mut library = CloneDetector::new(CcdParams::best());
+    let mut names: Vec<(u64, String)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for (i, template) in vulnerable_templates().iter().enumerate() {
+        let instance = template.render(&mut rng, Level::Contract);
+        let id = i as u64;
+        if library.insert_source(id, &instance.text) {
+            names.push((id, template.name.to_string()));
+        }
+    }
+    let Some(fp) = CloneDetector::fingerprint_source(&snippet) else {
+        println!("\n(snippet too small to fingerprint — no similarity check)");
+        return;
+    };
+    let matches = library.matches(&fp);
+    if matches.is_empty() {
+        println!("\nCCD: no similarity to known-vulnerable snippet shapes.");
+    } else {
+        println!("\nCCD similarity to known-vulnerable shapes:");
+        for m in matches.iter().take(3) {
+            let family = names
+                .iter()
+                .find(|(id, _)| *id == m.doc)
+                .map(|(_, n)| n.as_str())
+                .unwrap_or("?");
+            println!("  {:>5.1}  {family}", m.score);
+        }
+    }
+
+    let exit = if findings.is_empty() { 0 } else { 1 };
+    println!(
+        "\nverdict: {}",
+        if exit == 0 { "ok to post" } else { "flag this snippet before it spreads" }
+    );
+    std::process::exit(exit);
+}

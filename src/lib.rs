@@ -1,0 +1,58 @@
+//! # sodd — Stack Overflow Driven Development, measured
+//!
+//! Umbrella crate of the reproduction of *"Analyzing the Impact of
+//! Copying-and-Pasting Vulnerable Solidity Code Snippets from
+//! Question-and-Answer Websites"* (IMC 2024).
+//!
+//! The workspace implements the paper's two tools and every substrate
+//! they depend on:
+//!
+//! * [`solidity`] — snippet-tolerant Solidity lexer/parser/AST (§4.1),
+//! * [`cpg`] — code property graphs with EOG/DFG semantics (§2.3, §4.2),
+//! * [`graphquery`] — in-process declarative pattern queries (§4.3),
+//! * [`ccc`] — the CPG Contract Checker: 17 vulnerability queries over
+//!   the DASP Top-10 (§4.4, Appendix B),
+//! * [`fuzzyhash`] — ssdeep-style context-triggered piecewise hashing
+//!   (§5.4),
+//! * [`ngram_index`] — η-threshold N-gram candidate retrieval (§5.5),
+//! * [`ccd`] — the Contract Clone Detector (§5),
+//! * [`corpus`] — deterministic synthetic datasets standing in for the
+//!   crawls and benchmark corpora (§4.6.1, §5.7.1, §6.1),
+//! * [`baselines`] — the comparison tools of Tables 1 and 3,
+//! * [`stats`] — Spearman correlations and confusion metrics,
+//! * [`pipeline`] — the end-to-end study (§6).
+//!
+//! ```
+//! use sodd::prelude::*;
+//!
+//! // Check a Q&A snippet the way the study does:
+//! let findings = Checker::new()
+//!     .check_snippet("function() {lib.delegatecall(msg.data);}")
+//!     .unwrap();
+//! assert!(!findings.is_empty());
+//! ```
+
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use ccc;
+pub use ccd;
+pub use corpus;
+pub use cpg;
+pub use fuzzyhash;
+pub use graphquery;
+pub use ngram_index;
+pub use pipeline;
+pub use solidity;
+pub use stats;
+
+/// Common imports for studies and examples.
+pub mod prelude {
+    pub use ccc::{Checker, Dasp, Finding, QueryId};
+    pub use ccd::{CcdParams, CloneDetector, Fingerprint};
+    pub use corpus::contracts::{generate_contracts, SanctuaryConfig};
+    pub use corpus::qa::{generate_qa, QaConfig};
+    pub use cpg::Cpg;
+    pub use pipeline::{run_funnel, run_study, StudyConfig};
+}

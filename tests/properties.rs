@@ -1,0 +1,147 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! generated program, not just the hand-picked samples.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sodd::corpus::mutate::{mutate, CloneType};
+use sodd::corpus::templates::{benign_templates, vulnerable_templates, Level};
+use sodd::cpg::{Cpg, EdgeKind, NodeKind};
+
+/// Render an arbitrary template instance from a seed.
+fn arbitrary_source(template_idx: usize, level_idx: usize, seed: u64) -> String {
+    let vulnerable = vulnerable_templates();
+    let benign = benign_templates();
+    let all: Vec<_> = vulnerable.iter().chain(benign.iter()).collect();
+    let template = all[template_idx % all.len()];
+    let level = [Level::Contract, Level::Function, Level::Statements][level_idx % 3];
+    let mut rng = StdRng::seed_from_u64(seed);
+    template.render(&mut rng, level).text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printer is a fixpoint: print(parse(print(parse(x)))) == print(parse(x)).
+    #[test]
+    fn printer_fixpoint(t in 0usize..40, l in 0usize..3, seed in 0u64..1000) {
+        let source = arbitrary_source(t, l, seed);
+        let unit = sodd::solidity::parse_snippet(&source).expect("template parses");
+        let printed = sodd::solidity::printer::print_unit(&unit);
+        let reparsed = sodd::solidity::parse_snippet(&printed).expect("printed parses");
+        let reprinted = sodd::solidity::printer::print_unit(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// Every mutation type preserves parseability.
+    #[test]
+    fn mutations_preserve_parseability(
+        t in 0usize..40, seed in 0u64..500, m in 0usize..3,
+    ) {
+        let source = arbitrary_source(t, 0, seed);
+        let clone_type = [CloneType::TypeI, CloneType::TypeII, CloneType::TypeIII][m];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let mutated = mutate(&source, clone_type, &mut rng);
+        prop_assert!(
+            sodd::solidity::parse_snippet(&mutated).is_ok(),
+            "{clone_type:?} broke parseability:\n{mutated}"
+        );
+    }
+
+    /// CPG structural invariants on arbitrary programs:
+    /// every non-root node has an AST parent path to the translation unit,
+    /// EOG edges connect nodes of the same function, and rollback nodes
+    /// never have outgoing EOG edges.
+    #[test]
+    fn cpg_invariants(t in 0usize..40, l in 0usize..3, seed in 0u64..500) {
+        let source = arbitrary_source(t, l, seed);
+        let cpg = Cpg::from_snippet(&source).expect("template parses");
+        let g = &cpg.graph;
+
+        for id in g.node_ids() {
+            let node = g.node(id);
+            // Rollback terminates a path (§4.2.1).
+            if node.kind == NodeKind::Rollback {
+                prop_assert!(
+                    g.out_kind(id, EdgeKind::Eog).next().is_none(),
+                    "rollback with outgoing EOG in\n{source}"
+                );
+            }
+            // AST reachability from the unit root.
+            if id != cpg.unit {
+                let mut current = id;
+                let mut hops = 0;
+                loop {
+                    match g.ast_parent(current) {
+                        Some(parent) => {
+                            current = parent;
+                            hops += 1;
+                            if current == cpg.unit {
+                                break;
+                            }
+                            prop_assert!(hops < 10_000, "AST parent cycle");
+                        }
+                        None => {
+                            prop_assert_eq!(
+                                current, cpg.unit,
+                                "orphan node {:?} ({})",
+                                g.node(id).kind, g.node(id).props.code
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // EOG edges stay within one function.
+        for id in g.node_ids() {
+            for edge in g.out_edges(id) {
+                if edge.kind == EdgeKind::Eog {
+                    let from_fn = g.enclosing_function(edge.from);
+                    let to_fn = g.enclosing_function(edge.to);
+                    if let (Some(a), Some(b)) = (from_fn, to_fn) {
+                        prop_assert_eq!(a, b, "EOG edge crosses functions in\n{}", source);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checking is deterministic and findings point at real lines.
+    #[test]
+    fn checking_is_deterministic(t in 0usize..40, seed in 0u64..300) {
+        let source = arbitrary_source(t, 0, seed);
+        let checker = sodd::ccc::Checker::new();
+        let a = checker.check_snippet(&source).unwrap();
+        let b = checker.check_snippet(&source).unwrap();
+        prop_assert_eq!(&a, &b);
+        let line_count = source.lines().count() as u32;
+        for finding in &a {
+            prop_assert!(finding.line >= 1 && finding.line <= line_count.max(1));
+        }
+    }
+
+    /// Fingerprinting is total on parsable template output and reflexively
+    /// 100-similar.
+    #[test]
+    fn fingerprint_reflexivity(t in 0usize..40, l in 0usize..2, seed in 0u64..300) {
+        use sodd::ccd::{order_independent_similarity, CloneDetector};
+        let source = arbitrary_source(t, l, seed);
+        let fp = CloneDetector::fingerprint_source(&source).expect("fingerprintable");
+        prop_assert_eq!(order_independent_similarity(&fp, &fp), 100.0);
+    }
+
+    /// Type I mutations never change the fingerprint at all (comments and
+    /// layout are invisible to the pipeline).
+    #[test]
+    fn type_i_is_fingerprint_invisible(t in 0usize..40, seed in 0u64..300) {
+        use sodd::ccd::CloneDetector;
+        let source = arbitrary_source(t, 0, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let mutated = mutate(&source, CloneType::TypeI, &mut rng);
+        let a = CloneDetector::fingerprint_source(&source).expect("original");
+        let b = CloneDetector::fingerprint_source(&mutated).expect("mutated");
+        prop_assert_eq!(a, b);
+    }
+}
