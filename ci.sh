@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Offline CI: build, test, lint. The workspace has no network dependencies
+# (external crates are vendored under vendor/), so this runs anywhere the
+# Rust toolchain is installed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings

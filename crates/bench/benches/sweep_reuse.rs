@@ -1,0 +1,58 @@
+//! Sweep-once vs per-cell grid evaluation (the Table 9 workload).
+//!
+//! * `sweep/per_cell/{size}` — the reference path: rebuild the full
+//!   detector for each of the 75 grid cells.
+//! * `sweep/sweep_once/{size}` — the `SweepEngine` path: fingerprint
+//!   once, one index per N, one score per pair, ε by re-thresholding.
+//!
+//! The acceptance bar for the engine is ≥ 5× over per-cell on the seeded
+//! honeypot corpus.
+
+use ccd::{evaluate_reference, parameter_grid, sweep, LabelledCorpus};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn honeypot_corpus(n: usize) -> LabelledCorpus {
+    let ds = bench::honeypots();
+    let mut corpus = LabelledCorpus::default();
+    for hp in ds.contracts.iter().take(n) {
+        corpus.add_document(hp.id, hp.source.clone());
+    }
+    for (i, a) in ds.contracts.iter().take(n).enumerate() {
+        for b in ds.contracts.iter().take(n).skip(i + 1) {
+            if a.ty == b.ty {
+                corpus.add_clone_pair(a.id, b.id);
+            }
+        }
+    }
+    corpus
+}
+
+fn bench_sweep_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    for size in [20usize, 40] {
+        let corpus = honeypot_corpus(size);
+        group.bench_with_input(
+            BenchmarkId::new("per_cell", size),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    let points: Vec<_> = parameter_grid()
+                        .into_iter()
+                        .map(|p| evaluate_reference(black_box(corpus), p))
+                        .collect();
+                    black_box(points)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sweep_once", size),
+            &corpus,
+            |b, corpus| b.iter(|| black_box(sweep(black_box(corpus)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_reuse);
+criterion_main!(benches);

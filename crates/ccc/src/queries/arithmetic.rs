@@ -31,14 +31,16 @@ fn result_matters(ctx: &Ctx, op: NodeId) -> bool {
     let forward = g.reach_forward(op, |k| k == EdgeKind::Dfg, ctx.max_path);
     forward.into_iter().any(|n| {
         let node = g.node(n);
-        match node.kind {
-            NodeKind::FieldDeclaration => true,
-            NodeKind::CallExpression => true,
-            NodeKind::ReturnStatement => true,
-            NodeKind::KeyValueExpression | NodeKind::SpecifiedExpression => true,
-            NodeKind::IfStatement | NodeKind::Rollback => true,
-            _ => false,
-        }
+        matches!(
+            node.kind,
+            NodeKind::FieldDeclaration
+                | NodeKind::CallExpression
+                | NodeKind::ReturnStatement
+                | NodeKind::KeyValueExpression
+                | NodeKind::SpecifiedExpression
+                | NodeKind::IfStatement
+                | NodeKind::Rollback
+        )
     })
 }
 

@@ -32,7 +32,7 @@ pub fn uninitialized_storage_pointer(ctx: &Ctx) -> Vec<Finding> {
         }
         let ty = node.props.ty.clone().unwrap_or_default();
         let is_aliasing_type = storage_kw == Some("storage")
-            || struct_names.iter().any(|s| ty == *s)
+            || struct_names.contains(&ty)
             || ty.ends_with("[]");
         if !is_aliasing_type {
             continue;

@@ -63,7 +63,7 @@ impl Fingerprint {
     /// are dropped.
     pub fn sub_fingerprints(&self) -> Vec<&str> {
         self.0
-            .split(|c| c == '.' || c == ':')
+            .split(['.', ':'])
             .filter(|s| !s.is_empty())
             .collect()
     }

@@ -39,5 +39,10 @@ pub mod sweep;
 pub mod tokenize;
 
 pub use fingerprint::Fingerprint;
-pub use matcher::{order_independent_similarity, CcdParams, CloneDetector, CloneMatch};
-pub use sweep::{evaluate, parameter_grid, sweep, LabelledCorpus, SweepPoint};
+pub use matcher::{
+    order_independent_similarity, order_independent_similarity_pair, CcdParams, CloneDetector,
+    CloneMatch,
+};
+pub use sweep::{
+    evaluate_reference, parameter_grid, sweep, LabelledCorpus, SweepEngine, SweepPoint,
+};

@@ -9,7 +9,7 @@
 use crate::fingerprint::Fingerprint;
 use crate::normalize::normalize_unit;
 use crate::tokenize::tokenize_unit;
-use fuzzyhash::similarity;
+use fuzzyhash::similarity_above;
 use ngram_index::{DocId, NgramIndex};
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +49,13 @@ impl Default for CcdParams {
 /// Every sub-fingerprint `s1 ∈ f1` is scored against all `s2 ∈ f2` with the
 /// δ edit-distance similarity; the final score is the mean of the per-`s1`
 /// maxima.
+///
+/// The per-`s1` running best is threaded into the δ computation as a lower
+/// bound ([`fuzzyhash::similarity_above`]): sub-fingerprints whose length
+/// gap already caps δ at or below the best are skipped outright, the rest
+/// run a banded edit distance that aborts once the band is exceeded. Both
+/// prunings only discard scores that provably cannot raise the maximum, so
+/// the result is bit-identical to the exhaustive double loop.
 pub fn order_independent_similarity(f1: &Fingerprint, f2: &Fingerprint) -> f64 {
     let subs1 = f1.sub_fingerprints();
     let subs2 = f2.sub_fingerprints();
@@ -57,13 +64,50 @@ pub fn order_independent_similarity(f1: &Fingerprint, f2: &Fingerprint) -> f64 {
     }
     let mut total = 0.0;
     for s1 in &subs1 {
-        let best = subs2
-            .iter()
-            .map(|s2| similarity(s1, s2))
-            .fold(0.0f64, f64::max);
+        let mut best = 0.0f64;
+        for s2 in &subs2 {
+            if let Some(score) = similarity_above(s1, s2, best) {
+                best = best.max(score);
+            }
+        }
         total += best;
     }
     total / subs1.len() as f64
+}
+
+/// Both directions of Algorithm 1 in a single pass over the
+/// |subs(f1)| × |subs(f2)| score matrix: row maxima average to
+/// `score(f1 → f2)`, column maxima to `score(f2 → f1)`.
+///
+/// δ is symmetric, so one matrix serves both directions — this halves the
+/// edit-distance work of the all-pairs sweep, which needs both. Pruning
+/// uses the *smaller* of the two running bests for a cell (a score can
+/// only matter if it raises its row or its column maximum), preserving
+/// bit-identity with two independent [`order_independent_similarity`]
+/// calls.
+pub fn order_independent_similarity_pair(f1: &Fingerprint, f2: &Fingerprint) -> (f64, f64) {
+    let subs1 = f1.sub_fingerprints();
+    let subs2 = f2.sub_fingerprints();
+    if subs1.is_empty() || subs2.is_empty() {
+        let score = if subs1.is_empty() && subs2.is_empty() { 100.0 } else { 0.0 };
+        return (score, score);
+    }
+    let mut col_best = vec![0.0f64; subs2.len()];
+    let mut total_rows = 0.0;
+    for s1 in &subs1 {
+        let mut row_best = 0.0f64;
+        for (j, s2) in subs2.iter().enumerate() {
+            let floor = row_best.min(col_best[j]);
+            if let Some(score) = similarity_above(s1, s2, floor) {
+                row_best = row_best.max(score);
+                col_best[j] = col_best[j].max(score);
+            }
+        }
+        total_rows += row_best;
+    }
+    let forward = total_rows / subs1.len() as f64;
+    let backward = col_best.iter().sum::<f64>() / subs2.len() as f64;
+    (forward, backward)
 }
 
 /// A match result: document id and its ε score.
@@ -106,6 +150,13 @@ impl CloneDetector {
     /// Whether the corpus is empty.
     pub fn is_empty(&self) -> bool {
         self.fingerprints.is_empty()
+    }
+
+    /// The indexed fingerprints, in insertion order. The detector already
+    /// owns every fingerprint, so sweep-style callers iterate here instead
+    /// of keeping a shadow copy.
+    pub fn iter_fingerprints(&self) -> impl Iterator<Item = (DocId, &Fingerprint)> + '_ {
+        self.fingerprints.iter().map(|(doc, fp)| (*doc, fp))
     }
 
     /// Normalize, tokenize and fingerprint a source fragment. Returns
@@ -284,5 +335,30 @@ mod tests {
         let non_empty = CloneDetector::fingerprint_source(SNIPPET).unwrap();
         assert_eq!(order_independent_similarity(&empty, &empty), 100.0);
         assert_eq!(order_independent_similarity(&empty, &non_empty), 0.0);
+        assert_eq!(order_independent_similarity_pair(&empty, &non_empty), (0.0, 0.0));
+        assert_eq!(order_independent_similarity_pair(&empty, &empty), (100.0, 100.0));
+    }
+
+    #[test]
+    fn pair_scoring_matches_two_directed_calls_bitwise() {
+        let sources = [SNIPPET, RENAMED, EXTENDED, UNRELATED];
+        let fps: Vec<Fingerprint> = sources
+            .iter()
+            .map(|s| CloneDetector::fingerprint_source(s).unwrap())
+            .collect();
+        for a in &fps {
+            for b in &fps {
+                let (fwd, bwd) = order_independent_similarity_pair(a, b);
+                assert_eq!(fwd.to_bits(), order_independent_similarity(a, b).to_bits());
+                assert_eq!(bwd.to_bits(), order_independent_similarity(b, a).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn iter_fingerprints_exposes_insertion_order() {
+        let d = detector_with_corpus();
+        let ids: Vec<u64> = d.iter_fingerprints().map(|(doc, _)| doc).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
     }
 }

@@ -374,7 +374,7 @@ pub fn mitigate_family(family: &str, text: &str) -> Option<String> {
                     && t.ends_with("d;")
                     && !t.contains('=')
             })?;
-            let ty = line.trim().split_whitespace().next()?;
+            let ty = line.split_whitespace().next()?;
             text.replacen(
                 &format!("{ty} d;"),
                 &format!("{ty} memory d;"),

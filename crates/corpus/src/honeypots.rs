@@ -178,104 +178,86 @@ fn technique(ty: HoneypotType, cluster: usize, rng: &mut StdRng) -> String {
     let name = format!("{}{}", names[(family_idx + cluster) % names.len()], cluster);
     let filler = cluster_filler(family_idx, cluster, rng);
     let core = match ty {
-        HoneypotType::BalanceDisorder => format!(
-            "    function multiplicate(address adr) public payable {{\n\
-                 if (msg.value >= this.balance) {{\n\
+        HoneypotType::BalanceDisorder => "    function multiplicate(address adr) public payable {\n\
+                 if (msg.value >= this.balance) {\n\
                      adr.transfer(this.balance + msg.value);\n\
-                 }}\n\
-             }}"
-        ),
-        HoneypotType::TypeDeductionOverflow => format!(
-            "    function Test() public payable {{\n\
-                 if (msg.value > 0.1 ether) {{\n\
+                 }\n\
+             }".to_string(),
+        HoneypotType::TypeDeductionOverflow => "    function Test() public payable {\n\
+                 if (msg.value > 0.1 ether) {\n\
                      uint256 multi = 0;\n\
                      uint256 amountToTransfer = 0;\n\
-                     for (var i = 0; i < 2 * msg.value; i++) {{\n\
+                     for (var i = 0; i < 2 * msg.value; i++) {\n\
                          multi = i * 2;\n\
-                         if (multi < amountToTransfer) {{\n\
+                         if (multi < amountToTransfer) {\n\
                              break;\n\
-                         }}\n\
+                         }\n\
                          amountToTransfer = multi;\n\
-                     }}\n\
+                     }\n\
                      msg.sender.transfer(amountToTransfer);\n\
-                 }}\n\
-             }}"
-        ),
-        HoneypotType::HiddenTransfer => format!(
-            "    function withdrawAll() public {{\n\
+                 }\n\
+             }".to_string(),
+        HoneypotType::HiddenTransfer => "    function withdrawAll() public {\n\
                  require(msg.sender == owner);\n\
                  msg.sender.transfer(this.balance);\n\
-             }}\n\
+             }\n\
              \n\
-                 function () payable {{                                     \n\
-                 if (msg.value >= 1 ether) {{ owner.transfer(msg.value); }}\n\
-             }}"
-        ),
-        HoneypotType::UnexecutedCall => format!(
-            "    function divest(uint amount) public {{\n\
-                 if (investors[msg.sender] < amount) {{\n\
+                 function () payable {                                     \n\
+                 if (msg.value >= 1 ether) { owner.transfer(msg.value); }\n\
+             }".to_string(),
+        HoneypotType::UnexecutedCall => "    function divest(uint amount) public {\n\
+                 if (investors[msg.sender] < amount) {\n\
                      throw;\n\
-                 }}\n\
+                 }\n\
                  investors[msg.sender] -= amount;\n\
                  this.loggedTransfer(amount, \"\", msg.sender, owner);\n\
-             }}"
-        ),
-        HoneypotType::UninitialisedStruct => format!(
-            "    struct SeedComponent {{\n\
+             }".to_string(),
+        HoneypotType::UninitialisedStruct => "    struct SeedComponent {\n\
                  uint component;\n\
                  uint prize;\n\
-             }}\n\
+             }\n\
          \n\
-             function play(uint number) public payable {{\n\
+             function play(uint number) public payable {\n\
                  SeedComponent s;\n\
                  s.component = number;\n\
                  s.prize = msg.value;\n\
-             }}"
-        ),
-        HoneypotType::HiddenStateUpdate => format!(
-            "    uint256 hashPass;\n\
+             }".to_string(),
+        HoneypotType::HiddenStateUpdate => "    uint256 hashPass;\n\
          \n\
-             function SetPass(bytes32 pass) public payable {{\n\
-                 if (msg.value > 1 ether) {{\n\
+             function SetPass(bytes32 pass) public payable {\n\
+                 if (msg.value > 1 ether) {\n\
                      hashPass = uint(pass);\n\
-                 }}\n\
-             }}\n\
+                 }\n\
+             }\n\
          \n\
-             function GetGift(bytes32 pass) public payable {{\n\
-                 if (hashPass == uint(pass)) {{\n\
+             function GetGift(bytes32 pass) public payable {\n\
+                 if (hashPass == uint(pass)) {\n\
                      msg.sender.transfer(this.balance);\n\
-                 }}\n\
-             }}"
-        ),
-        HoneypotType::InheritanceDisorder => format!(
-            "    address public owner;\n\
+                 }\n\
+             }".to_string(),
+        HoneypotType::InheritanceDisorder => "    address public owner;\n\
              uint public jackpot;\n\
          \n\
-             function takePrize() public payable {{\n\
-                 if (msg.value >= jackpot) {{\n\
+             function takePrize() public payable {\n\
+                 if (msg.value >= jackpot) {\n\
                      msg.sender.transfer(this.balance);\n\
-                 }}\n\
+                 }\n\
                  jackpot += msg.value;\n\
-             }}"
-        ),
-        HoneypotType::SkipEmptyStringLiteral => format!(
-            "    function divest(uint amount) public {{\n\
+             }".to_string(),
+        HoneypotType::SkipEmptyStringLiteral => "    function divest(uint amount) public {\n\
                  loggedTransfer(amount, \"\", msg.sender, owner);\n\
-             }}\n\
+             }\n\
          \n\
-             function loggedTransfer(uint amount, bytes data, address target, address currentOwner) public {{\n\
-                 target.call{{value: amount}}(data);\n\
-             }}"
-        ),
-        HoneypotType::StrawManContract => format!(
-            "    address stranger;\n\
+             function loggedTransfer(uint amount, bytes data, address target, address currentOwner) public {\n\
+                 target.call{value: amount}(data);\n\
+             }".to_string(),
+        HoneypotType::StrawManContract => "    address stranger;\n\
          \n\
-             function withdraw(uint amount) public {{\n\
+             function withdraw(uint amount) public {\n\
                  require(msg.sender == owner);\n\
                  stranger.delegatecall(msg.data);\n\
                  msg.sender.transfer(amount);\n\
-             }}"
-        ),
+             }".to_string(),
     };
     // Cluster-specific constructor shapes keep independent lineages
     // textually apart even in their boilerplate.

@@ -1816,7 +1816,7 @@ mod tests {
         Cpg::from_snippet(src).expect("snippet parses")
     }
 
-    fn find_by_code<'a>(c: &'a Cpg, kind: NodeKind, code: &str) -> NodeId {
+    fn find_by_code(c: &Cpg, kind: NodeKind, code: &str) -> NodeId {
         c.graph
             .node_ids()
             .find(|n| c.graph.node(*n).kind == kind && c.graph.node(*n).props.code == code)

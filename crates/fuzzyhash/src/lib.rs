@@ -228,23 +228,92 @@ pub fn compare_classic(a: &str, b: &str) -> Option<f64> {
 /// Levenshtein edit distance between two strings (two-row DP, O(n·m) time,
 /// O(min(n,m)) space).
 pub fn edit_distance(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        return edit_distance_slices(a.as_bytes(), b.as_bytes());
+    }
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    edit_distance_slices(&a, &b)
+}
+
+fn edit_distance_slices<T: Eq>(a: &[T], b: &[T]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
         return long.len();
     }
     let mut prev: Vec<usize> = (0..=short.len()).collect();
     let mut current = vec![0usize; short.len() + 1];
-    for (i, &lc) in long.iter().enumerate() {
+    for (i, lc) in long.iter().enumerate() {
         current[0] = i + 1;
-        for (j, &sc) in short.iter().enumerate() {
+        for (j, sc) in short.iter().enumerate() {
             let cost = if lc == sc { 0 } else { 1 };
             current[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(current[j] + 1);
         }
         std::mem::swap(&mut prev, &mut current);
     }
     prev[short.len()]
+}
+
+/// Banded (Ukkonen) edit distance: `Some(d)` iff `d(a, b) <= max_dist`,
+/// `None` as soon as the distance provably exceeds the bound.
+///
+/// Only the `2·max_dist + 1` diagonals around the main one are evaluated,
+/// so a tight bound turns the O(n·m) table into O(max_dist·n) — the hot
+/// path of the all-pairs matcher, where most comparisons are far apart
+/// and the per-query best score keeps shrinking the band.
+pub fn edit_distance_bounded(a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    if a.is_ascii() && b.is_ascii() {
+        return edit_distance_bounded_slices(a.as_bytes(), b.as_bytes(), max_dist);
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    edit_distance_bounded_slices(&a, &b, max_dist)
+}
+
+fn edit_distance_bounded_slices<T: Eq>(a: &[T], b: &[T], k: usize) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (long.len(), short.len());
+    // The length gap is a lower bound on the distance.
+    if n - m > k {
+        return None;
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    const INF: usize = usize::MAX / 2;
+    // Rows indexed by the long string; columns by the short one. Cells
+    // outside the band hold INF; the band only widens by one per row, so
+    // invalidating the trailing cell keeps the rows reusable.
+    let mut prev: Vec<usize> = vec![INF; m + 1];
+    let mut current: Vec<usize> = vec![INF; m + 1];
+    for (j, slot) in prev.iter_mut().enumerate().take(m.min(k) + 1) {
+        *slot = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(m);
+        if lo > hi {
+            return None;
+        }
+        current[lo - 1] = if lo == 1 { i } else { INF };
+        let mut row_min = current[lo - 1];
+        for j in lo..=hi {
+            let cost = if long[i - 1] == short[j - 1] { 0 } else { 1 };
+            let cell = (prev[j - 1] + cost)
+                .min(prev[j] + 1)
+                .min(current[j - 1] + 1);
+            current[j] = cell;
+            row_min = row_min.min(cell);
+        }
+        if row_min > k {
+            return None;
+        }
+        if hi < m {
+            current[hi + 1] = INF;
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    (prev[m] <= k).then_some(prev[m])
 }
 
 /// The paper's sub-fingerprint similarity (§5.5):
@@ -259,6 +328,35 @@ pub fn similarity(s1: &str, s2: &str) -> f64 {
     }
     let d = edit_distance(s1, s2);
     (max_len.saturating_sub(d)) as f64 / max_len as f64 * 100.0
+}
+
+/// Pruned [`similarity`]: `Some(δ)` — exactly the value `similarity`
+/// would return — whenever `δ` could exceed `floor`, `None` only when the
+/// score is provably `<= floor` (scores just below the floor may still be
+/// returned; the band is padded to stay conservative).
+///
+/// Since `d >= |len1 − len2|`, the length gap alone often proves
+/// `δ <= floor` without touching the DP table; otherwise the banded
+/// [`edit_distance_bounded`] is run with the tightest band that still
+/// guarantees exactness (one extra diagonal absorbs the float rounding
+/// of the band computation). Callers folding a running maximum can pass
+/// the current best as `floor`: skipped scores can never raise the max,
+/// and surviving scores are bit-identical to the unpruned ones.
+pub fn similarity_above(s1: &str, s2: &str, floor: f64) -> Option<f64> {
+    let max_len = s1.chars().count().max(s2.chars().count());
+    if max_len == 0 {
+        return Some(100.0);
+    }
+    // δ > floor  ⇔  d < max_len·(1 − floor/100); pad by one for float slack.
+    let max_dist = if floor <= 0.0 {
+        max_len
+    } else if floor >= 100.0 {
+        1
+    } else {
+        ((max_len as f64 * (1.0 - floor / 100.0)).floor() as usize + 1).min(max_len)
+    };
+    let d = edit_distance_bounded(s1, s2, max_dist)?;
+    Some((max_len.saturating_sub(d)) as f64 / max_len as f64 * 100.0)
 }
 
 #[cfg(test)]
@@ -362,6 +460,30 @@ mod tests {
     }
 
     #[test]
+    fn bounded_edit_distance_basics() {
+        assert_eq!(edit_distance_bounded("", "", 0), Some(0));
+        assert_eq!(edit_distance_bounded("abc", "", 3), Some(3));
+        assert_eq!(edit_distance_bounded("abc", "", 2), None);
+        assert_eq!(edit_distance_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(edit_distance_bounded("kitten", "sitting", 2), None);
+        // Band of width 0 still detects equality.
+        assert_eq!(edit_distance_bounded("same", "same", 0), Some(0));
+        assert_eq!(edit_distance_bounded("same", "sane", 0), None);
+    }
+
+    #[test]
+    fn similarity_above_prunes_only_below_floor() {
+        // δ("abcd","abcx") = 75.
+        assert_eq!(similarity_above("abcd", "abcx", 0.0), Some(75.0));
+        assert_eq!(similarity_above("abcd", "abcx", 74.9), Some(75.0));
+        // δ("aaaa","bbbb") = 0, far below the floor → pruned.
+        assert_eq!(similarity_above("aaaa", "bbbb", 80.0), None);
+        assert_eq!(similarity_above("", "", 99.0), Some(100.0));
+        // Length gap alone rules this pair out at a high floor.
+        assert_eq!(similarity_above("a", "abcdefgh", 50.0), None);
+    }
+
+    #[test]
     fn token_boundaries_enforce_context() {
         // `ab`,`c` and `a`,`bc` must hash differently despite identical
         // concatenation.
@@ -431,6 +553,29 @@ mod tests {
         fn similarity_in_range(a in "[a-zA-Z0-9]{0,40}", b in "[a-zA-Z0-9]{0,40}") {
             let s = similarity(&a, &b);
             prop_assert!((0.0..=100.0).contains(&s));
+        }
+
+        #[test]
+        fn bounded_agrees_with_exact_within_band(a in ".{0,30}", b in ".{0,30}", k in 0usize..35) {
+            let exact = edit_distance(&a, &b);
+            match edit_distance_bounded(&a, &b, k) {
+                Some(d) => prop_assert_eq!(d, exact),
+                None => prop_assert!(exact > k, "pruned at k={} but exact={}", k, exact),
+            }
+        }
+
+        #[test]
+        fn similarity_above_is_exact_or_provably_below(
+            a in "[a-zA-Z0-9]{0,40}",
+            b in "[a-zA-Z0-9]{0,40}",
+            floor in 0.0f64..100.0,
+        ) {
+            let exact = similarity(&a, &b);
+            match similarity_above(&a, &b, floor) {
+                // Surviving scores must be bit-identical to the unpruned value.
+                Some(s) => prop_assert_eq!(s.to_bits(), exact.to_bits()),
+                None => prop_assert!(exact <= floor, "pruned {} at floor {}", exact, floor),
+            }
         }
 
         #[test]

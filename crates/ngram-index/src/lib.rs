@@ -23,7 +23,6 @@
 
 #![warn(missing_docs)]
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Document identifier type.
@@ -61,22 +60,33 @@ impl NgramIndex {
         self.doc_grams.is_empty()
     }
 
-    /// Distinct N-grams of a text under this index's `n`. Texts shorter
-    /// than `n` yield the whole text as a single gram so that short
-    /// fingerprints remain indexable.
-    pub fn grams(&self, text: &str) -> Vec<Box<str>> {
-        let chars: Vec<char> = text.chars().collect();
-        let mut grams: Vec<Box<str>> = if chars.len() < self.n {
-            if chars.is_empty() {
-                Vec::new()
+    /// Distinct N-grams of a text under this index's `n`, as zero-copy
+    /// slices of `text`. Texts shorter than `n` yield the whole text as a
+    /// single gram so that short fingerprints remain indexable.
+    ///
+    /// Fingerprint digests are ASCII, so the hot path slides a byte window
+    /// over the text and never allocates; non-ASCII text falls back to
+    /// char-boundary windows with identical gram semantics (each gram is
+    /// still `n` *characters*).
+    pub fn grams<'t>(&self, text: &'t str) -> Vec<&'t str> {
+        let mut grams: Vec<&'t str> = if text.is_ascii() {
+            if text.len() < self.n {
+                if text.is_empty() { Vec::new() } else { vec![text] }
             } else {
-                vec![text.into()]
+                (0..=text.len() - self.n).map(|i| &text[i..i + self.n]).collect()
             }
         } else {
-            chars
-                .windows(self.n)
-                .map(|w| w.iter().collect::<String>().into_boxed_str())
-                .collect()
+            let starts: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+            if starts.len() < self.n {
+                if starts.is_empty() { Vec::new() } else { vec![text] }
+            } else {
+                (0..=starts.len() - self.n)
+                    .map(|i| {
+                        let end = starts.get(i + self.n).copied().unwrap_or(text.len());
+                        &text[starts[i]..end]
+                    })
+                    .collect()
+            }
         };
         grams.sort_unstable();
         grams.dedup();
@@ -90,16 +100,13 @@ impl NgramIndex {
         let grams = self.grams(text);
         self.doc_grams.insert(id, grams.len());
         for gram in grams {
-            match self.postings.entry(gram) {
-                Entry::Occupied(mut entry) => {
-                    let list = entry.get_mut();
-                    if list.last() != Some(&id) {
-                        list.push(id);
-                    }
+            // Allocate the owned key only on first sight of a gram.
+            if let Some(list) = self.postings.get_mut(gram) {
+                if list.last() != Some(&id) {
+                    list.push(id);
                 }
-                Entry::Vacant(entry) => {
-                    entry.insert(vec![id]);
-                }
+            } else {
+                self.postings.insert(gram.into(), vec![id]);
             }
         }
     }
@@ -115,7 +122,7 @@ impl NgramIndex {
         }
         let mut counts: HashMap<DocId, usize> = HashMap::new();
         for gram in &grams {
-            if let Some(list) = self.postings.get(gram.as_ref()) {
+            if let Some(list) = self.postings.get(*gram) {
                 for id in list {
                     *counts.entry(*id).or_insert(0) += 1;
                 }
@@ -152,7 +159,7 @@ mod tests {
     #[test]
     fn grams_of_short_text() {
         let index = NgramIndex::new(3);
-        assert_eq!(index.grams("ab"), vec!["ab".into()]);
+        assert_eq!(index.grams("ab"), vec!["ab"]);
         assert!(index.grams("").is_empty());
     }
 
@@ -203,6 +210,42 @@ mod tests {
         let mut index = NgramIndex::new(3);
         index.insert(0, "ABCDEF");
         assert!(index.candidates("", 0.5).is_empty());
+        assert_eq!(index.share("", "ABCDEF"), 0.0);
+    }
+
+    #[test]
+    fn eta_exactly_at_threshold_boundary() {
+        // Query "ABCDE" under n=3 has grams {ABC, BCD, CDE}; the doc
+        // shares exactly 2 of 3 → a share of 2/3.
+        let mut index = NgramIndex::new(3);
+        index.insert(0, "ABCDZZZ");
+        assert_eq!(index.share("ABCDE", "ABCDZZZ"), 2.0 / 3.0);
+        // needed = ceil(η·3): at η = 2/3 exactly, needed = 2 → included.
+        assert_eq!(index.candidates("ABCDE", 2.0 / 3.0), vec![0]);
+        // Any η above the boundary pushes needed to 3 → excluded.
+        assert!(index.candidates("ABCDE", 0.67).is_empty());
+    }
+
+    #[test]
+    fn shorter_than_n_takes_single_gram_path() {
+        let mut index = NgramIndex::new(5);
+        assert_eq!(index.grams("abc"), vec!["abc"]);
+        index.insert(3, "abc");
+        // The whole text is the one gram: only an exact text matches …
+        assert_eq!(index.candidates("abc", 1.0), vec![3]);
+        // … and a different short text shares nothing.
+        assert!(index.candidates("abd", 0.1).is_empty());
+    }
+
+    #[test]
+    fn non_ascii_grams_use_char_windows() {
+        let index = NgramIndex::new(3);
+        // 5 chars → 3 windows of 3 chars each, multi-byte respected.
+        let mut expected = vec!["hél", "éll", "llo"];
+        expected.sort_unstable();
+        assert_eq!(index.grams("héllo"), expected);
+        // Short non-ASCII text takes the single-gram path.
+        assert_eq!(index.grams("éà"), vec!["éà"]);
     }
 
     proptest! {

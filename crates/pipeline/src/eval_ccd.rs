@@ -3,7 +3,7 @@
 //! parameter sweep.
 
 use baselines::smartembed::{SmartEmbed, SMARTEMBED_THRESHOLD};
-use ccd::{CcdParams, CloneDetector, Fingerprint};
+use ccd::{CcdParams, CloneDetector, SweepEngine};
 use corpus::honeypots::{HoneypotDataset, HoneypotType};
 use serde::{Deserialize, Serialize};
 use stats::Confusion;
@@ -60,16 +60,22 @@ fn score_pairs(
     per_type
 }
 
+/// Pairs reported under both-directions agreement: {a, b} such that the
+/// directed set contains (a, b) *and* (b, a).
+fn agreed_pairs(directed: &HashSet<(u64, u64)>) -> HashSet<(u64, u64)> {
+    directed
+        .iter()
+        .filter(|(a, b)| directed.contains(&(*b, *a)))
+        .map(|(a, b)| (*a.min(b), *a.max(b)))
+        .collect()
+}
+
 /// Evaluate CCD on the honeypot dataset: every contract matched against
 /// all others (§5.7.1), at the given parameters.
 pub fn evaluate_ccd(dataset: &HoneypotDataset, params: CcdParams) -> HoneypotResult {
     let mut detector = CloneDetector::new(params);
-    let mut fingerprints: Vec<(u64, Fingerprint)> = Vec::new();
     for contract in &dataset.contracts {
-        if let Some(fp) = CloneDetector::fingerprint_source(&contract.source) {
-            detector.insert_fingerprint(contract.id, fp.clone());
-            fingerprints.push((contract.id, fp));
-        }
+        detector.insert_source(contract.id, &contract.source);
     }
     // Algorithm 1 is asymmetric (containment-oriented: every sub-
     // fingerprint of the *query* must find a good counterpart). For the
@@ -77,19 +83,17 @@ pub fn evaluate_ccd(dataset: &HoneypotDataset, params: CcdParams) -> HoneypotRes
     // both directions agree — otherwise every small contract would "match"
     // every larger one sharing its boilerplate.
     let mut directed: HashSet<(u64, u64)> = HashSet::new();
-    for (id, fp) in &fingerprints {
+    for (id, fp) in detector.iter_fingerprints() {
         for m in detector.matches(fp) {
-            if m.doc != *id {
-                directed.insert((*id, m.doc));
+            if m.doc != id {
+                directed.insert((id, m.doc));
             }
         }
     }
-    let reported: HashSet<(u64, u64)> = directed
-        .iter()
-        .filter(|(a, b)| directed.contains(&(*b, *a)))
-        .map(|(a, b)| (*a.min(b), *a.max(b)))
-        .collect();
-    HoneypotResult { tool: "CCD".to_string(), per_type: score_pairs(dataset, &reported) }
+    HoneypotResult {
+        tool: "CCD".to_string(),
+        per_type: score_pairs(dataset, &agreed_pairs(&directed)),
+    }
 }
 
 /// Evaluate the SmartEmbed baseline at its recommended 0.9 threshold.
@@ -124,19 +128,30 @@ pub struct SweepRow {
 }
 
 /// Run the Table 9 grid over the honeypot dataset (Figure 9's data).
+///
+/// Goes through the sweep-once [`SweepEngine`] — fingerprints once, one
+/// index per N, one score per pair — instead of 75 [`evaluate_ccd`]
+/// rebuilds, with identical per-cell results. Table 9 counts a pair only
+/// when *both* directions of Algorithm 1 pass (the same agreement rule as
+/// Table 3's [`evaluate_ccd`]).
 pub fn sweep_ccd(dataset: &HoneypotDataset) -> Vec<SweepRow> {
-    ccd::parameter_grid()
-        .into_iter()
-        .map(|params| {
-            let total = evaluate_ccd(dataset, params).total();
-            SweepRow {
-                params,
-                precision: total.precision(),
-                recall: total.recall(),
-                f1: total.f1(),
-            }
-        })
-        .collect()
+    let engine = SweepEngine::from_documents(
+        dataset.contracts.iter().map(|c| (c.id, c.source.as_str())),
+    );
+    let mut rows = Vec::with_capacity(75);
+    engine.for_each_cell(|params, directed| {
+        let mut total = Confusion::new();
+        for c in score_pairs(dataset, &agreed_pairs(directed)).values() {
+            total += *c;
+        }
+        rows.push(SweepRow {
+            params,
+            precision: total.precision(),
+            recall: total.recall(),
+            f1: total.f1(),
+        });
+    });
+    rows
 }
 
 #[cfg(test)]
@@ -145,7 +160,9 @@ mod tests {
     use corpus::honeypots::honeypot_dataset;
 
     fn dataset() -> HoneypotDataset {
-        honeypot_dataset(2024)
+        // Keep in sync with `bench::HONEYPOT_SEED` (seed of the recorded
+        // run; lands the synthetic corpus in the Table 3 regime).
+        honeypot_dataset(1)
     }
 
     #[test]
@@ -193,6 +210,28 @@ mod tests {
             if *ty != HoneypotType::HiddenStateUpdate {
                 assert!(hsu.tp >= confusion.tp, "{ty:?} outgrew HSU");
             }
+        }
+    }
+
+    #[test]
+    fn sweep_rows_agree_with_per_cell_evaluation() {
+        // The engine's cached-score path must reproduce the standalone
+        // evaluator bit-for-bit; spot-check the two paper configurations.
+        let ds = dataset();
+        let rows = sweep_ccd(&ds);
+        for params in [CcdParams::best(), CcdParams::conservative()] {
+            let row = rows
+                .iter()
+                .find(|r| {
+                    r.params.ngram_size == params.ngram_size
+                        && (r.params.eta - params.eta).abs() < 1e-9
+                        && (r.params.epsilon - params.epsilon).abs() < 1e-9
+                })
+                .unwrap();
+            let total = evaluate_ccd(&ds, params).total();
+            assert_eq!(row.precision.to_bits(), total.precision().to_bits());
+            assert_eq!(row.recall.to_bits(), total.recall().to_bits());
+            assert_eq!(row.f1.to_bits(), total.f1().to_bits());
         }
     }
 

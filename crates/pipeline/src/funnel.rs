@@ -145,7 +145,7 @@ pub fn run_funnel(qa: &QaCorpus) -> FunnelOutput {
 }
 
 /// Look up a snippet in the original corpus.
-pub fn snippet_of<'a>(qa: &'a QaCorpus, id: u64) -> &'a QaSnippet {
+pub fn snippet_of(qa: &QaCorpus, id: u64) -> &QaSnippet {
     &qa.snippets[id as usize]
 }
 

@@ -22,6 +22,7 @@ pub mod eval_ccd;
 pub mod funnel;
 pub mod manual;
 pub mod mapping;
+pub mod par;
 pub mod report;
 pub mod study;
 pub mod temporal;

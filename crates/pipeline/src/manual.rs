@@ -57,11 +57,11 @@ impl AuditGrid {
 /// Stratified sample of flagged contracts: up to `per_category` per DASP
 /// category (evenly sampled as in §6.5), unique contracts and snippets
 /// where possible.
-pub fn stratified_sample<'a>(
-    result: &'a StudyResult,
+pub fn stratified_sample(
+    result: &StudyResult,
     per_category: usize,
     seed: u64,
-) -> Vec<&'a ValidationRecord> {
+) -> Vec<&ValidationRecord> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sample: Vec<&ValidationRecord> = Vec::new();
     let mut used_contracts = std::collections::HashSet::new();

@@ -33,7 +33,9 @@ impl CloneMapping {
 }
 
 /// Run CCD over all unique snippets against the contract corpus, in
-/// parallel (the per-snippet matching is independent).
+/// parallel (the per-snippet matching is independent). Snippets are
+/// claimed one at a time from a work-stealing cursor, so a few large
+/// snippets cannot serialize the tail the way static chunking did.
 pub fn map_snippets(
     snippets: &[UniqueSnippet],
     contracts: &ContractCorpus,
@@ -46,32 +48,13 @@ pub fn map_snippets(
     }
     let detector = &detector;
 
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(snippets.len().max(1));
-    let results = parking_lot::Mutex::new(HashMap::new());
-    crossbeam::thread::scope(|scope| {
-        let chunk = snippets.len().div_ceil(n_threads).max(1);
-        for part in snippets.chunks(chunk) {
-            let results = &results;
-            scope.spawn(move |_| {
-                let mut local: HashMap<u64, Vec<u64>> = HashMap::new();
-                for snippet in part {
-                    let Some(fp) = CloneDetector::fingerprint_source(&snippet.text) else {
-                        continue;
-                    };
-                    let mut ids: Vec<u64> =
-                        detector.matches(&fp).into_iter().map(|m| m.doc).collect();
-                    ids.sort_unstable();
-                    local.insert(snippet.id, ids);
-                }
-                results.lock().extend(local);
-            });
-        }
-    })
-    .expect("mapping threads");
-    CloneMapping { matches: results.into_inner() }
+    let per_snippet = crate::par::par_map(snippets, |_, snippet| {
+        let fp = CloneDetector::fingerprint_source(&snippet.text)?;
+        let mut ids: Vec<u64> = detector.matches(&fp).into_iter().map(|m| m.doc).collect();
+        ids.sort_unstable();
+        Some((snippet.id, ids))
+    });
+    CloneMapping { matches: per_snippet.into_iter().flatten().collect() }
 }
 
 /// Deduplicate contracts by their comment/whitespace-insensitive token

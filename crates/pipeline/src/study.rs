@@ -231,7 +231,9 @@ pub fn run_study(
 
     // Validate per contract (the unit of the paper's timeout), in
     // parallel: each contract's CPG is built once and checked against the
-    // queries of every snippet matched into it.
+    // queries of every snippet matched into it. Contracts are claimed one
+    // at a time from a work-stealing cursor — analysis cost is heavily
+    // skewed (a few huge contracts), which static chunking serialized.
     let mut pairs_by_contract: HashMap<u64, Vec<u64>> = HashMap::new();
     for (snippet, contract) in &unique_pairs {
         pairs_by_contract.entry(*contract).or_default().push(*snippet);
@@ -241,49 +243,29 @@ pub fn run_study(
         ids.sort_unstable();
         ids
     };
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(contract_ids.len().max(1));
-    let collected: parking_lot::Mutex<Vec<ValidationRecord>> =
-        parking_lot::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        let chunk = contract_ids.len().div_ceil(n_threads).max(1);
-        for part in contract_ids.chunks(chunk) {
-            let collected = &collected;
-            let pairs_by_contract = &pairs_by_contract;
-            let snippet_findings = &snippet_findings;
-            let source_of = &source_of;
-            scope.spawn(move |_| {
-                let mut local = Vec::new();
-                for contract in part {
-                    let parsed = Cpg::from_snippet(source_of[contract]).ok().map(|cpg| {
-                        let cost = Checker::analysis_cost(&cpg);
-                        (cpg, cost)
-                    });
-                    for snippet in &pairs_by_contract[contract] {
-                        let queries = snippet_findings[snippet].clone();
-                        let (outcome, confirmed) = match &parsed {
-                            None => (ValidationOutcome::Unanalyzed, vec![]),
-                            Some((cpg, cost)) => {
-                                validate_one(cpg, *cost, &queries, config)
-                            }
-                        };
-                        local.push(ValidationRecord {
-                            snippet: *snippet,
-                            contract: *contract,
-                            queries,
-                            confirmed,
-                            outcome,
-                        });
-                    }
-                }
-                collected.lock().extend(local);
+    let per_contract = crate::par::par_map(&contract_ids, |_, contract| {
+        let parsed = Cpg::from_snippet(source_of[contract]).ok().map(|cpg| {
+            let cost = Checker::analysis_cost(&cpg);
+            (cpg, cost)
+        });
+        let mut local = Vec::new();
+        for snippet in &pairs_by_contract[contract] {
+            let queries = snippet_findings[snippet].clone();
+            let (outcome, confirmed) = match &parsed {
+                None => (ValidationOutcome::Unanalyzed, vec![]),
+                Some((cpg, cost)) => validate_one(cpg, *cost, &queries, config),
+            };
+            local.push(ValidationRecord {
+                snippet: *snippet,
+                contract: *contract,
+                queries,
+                confirmed,
+                outcome,
             });
         }
-    })
-    .expect("validation threads");
-    let mut records = collected.into_inner();
+        local
+    });
+    let mut records: Vec<ValidationRecord> = per_contract.into_iter().flatten().collect();
     records.sort_by_key(|r| (r.contract, r.snippet));
 
     // Contract-level outcome: vulnerable wins over not-vulnerable.

@@ -79,6 +79,7 @@ macro_rules! keywords {
             }
 
             /// Look a word up in the keyword table.
+            #[allow(clippy::should_implement_trait)] // fallible lookup, not parsing
             pub fn from_str(s: &str) -> Option<Keyword> {
                 match s {
                     $($text => Some(Keyword::$variant),)+
@@ -230,7 +231,7 @@ pub fn is_elementary_type(word: &str) -> bool {
 fn sized_int(word: &str, prefix: &str) -> bool {
     word.strip_prefix(prefix)
         .and_then(|rest| rest.parse::<u32>().ok())
-        .map(|bits| bits >= 8 && bits <= 256 && bits % 8 == 0)
+        .map(|bits| (8..=256).contains(&bits) && bits % 8 == 0)
         .unwrap_or(false)
 }
 

@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`, covering the API the bench harness
+//! uses: `Criterion::bench_function` / `benchmark_group`,
+//! `BenchmarkGroup::{bench_function, bench_with_input, finish}`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: a short calibration pass sizes the batch, then each
+//! benchmark runs for a fixed measurement window and reports the mean
+//! iteration time. No statistics, plots, or saved baselines — the numbers
+//! land on stdout in a `name ... time: [x µs]` line that keeps the same
+//! shape as real criterion output.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Calibration window used to size iteration batches.
+const CALIBRATE_WINDOW: Duration = Duration::from_millis(30);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Construct with defaults.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_benchmark(&format!("{}/{}", self.name, id.0), &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_benchmark(&format!("{}/{}", self.name, id.0), &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (name or parameter rendering).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier from a function name plus parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (accepts plain strings too).
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` `self.iters` times, timing the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    // Calibration: time a single iteration to size the measurement batch.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let single = bencher.elapsed.max(Duration::from_nanos(1));
+    let per_batch = CALIBRATE_WINDOW.as_nanos() / single.as_nanos().max(1);
+    let batch = per_batch.clamp(1, u64::MAX as u128) as u64;
+
+    // Measurement: run batches until the window closes.
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    while total_time < MEASURE_WINDOW {
+        let mut bencher = Bencher { iters: batch, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        total_iters += batch;
+        total_time += bencher.elapsed;
+    }
+    let mean = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("{name:<52} time: [{}]", format_nanos(mean));
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // stub has no options to parse, so they are ignored.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,382 @@
+//! Strategy trait and the combinators used in-tree.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-test runner RNG: fixed base seed mixed with the test
+/// name so each property gets its own reproducible stream.
+pub fn runner_rng(test_name: &str) -> StdRng {
+    let mut seed: u64 = 0x5EED_CAFE_F00D_BA5E;
+    for byte in test_name.bytes() {
+        seed = seed.wrapping_mul(0x100000001B3).wrapping_add(byte as u64);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produce a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// The `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The `prop_flat_map` combinator.
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the macro's boxed arms.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let arm = rng.gen_range(0..self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// `collection::vec` output.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+// ---- Regex-literal strategies ----------------------------------------------
+
+/// `&str` patterns are interpreted as a tiny regex subset: a sequence of
+/// atoms (`.`, `\PC`, `[class]`, or a literal character), each with an
+/// optional `{m}` / `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Any printable character (stands in for `.` and `\PC`).
+    AnyPrintable,
+    /// One of an explicit character set.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+fn printable_pool() -> Vec<char> {
+    // ASCII printables plus a few multibyte characters so UTF-8 handling
+    // gets exercised; all are outside the control category (`\PC`) and
+    // match `.`.
+    let mut pool: Vec<char> = (b' '..=b'~').map(char::from).collect();
+    pool.extend(['é', 'Ω', '→', '☃', '中']);
+    pool
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    for c in chars.by_ref() {
+        match c {
+            ']' => return set,
+            '-' => {
+                // Range like a-z: combine prev with the next char.
+                prev = Some('-');
+                set.push('-');
+            }
+            _ => {
+                if prev == Some('-') && set.len() >= 2 {
+                    // set = [..., lo, '-'] → replace with the full range.
+                    set.pop();
+                    let lo = set.pop().unwrap();
+                    for v in (lo as u32)..=(c as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            set.push(ch);
+                        }
+                    }
+                } else {
+                    set.push(c);
+                }
+                prev = Some(c);
+            }
+        }
+    }
+    set
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().unwrap_or(0);
+            let hi = hi.trim().parse().unwrap_or(lo);
+            (lo, hi.max(lo))
+        }
+        None => {
+            let n = spec.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyPrintable,
+            '\\' => match chars.next() {
+                // \PC ("not a control character") — printable pool.
+                Some('P') => {
+                    chars.next(); // consume the category letter
+                    Atom::AnyPrintable
+                }
+                Some('d') => Atom::Class(('0'..='9').collect()),
+                Some('w') => {
+                    let mut set: Vec<char> = ('a'..='z').collect();
+                    set.extend('A'..='Z');
+                    set.extend('0'..='9');
+                    set.push('_');
+                    Atom::Class(set)
+                }
+                Some(escaped) => Atom::Literal(escaped),
+                None => break,
+            },
+            '[' => Atom::Class(parse_class(&mut chars)),
+            literal => Atom::Literal(literal),
+        };
+        let (lo, hi) = parse_repetition(&mut chars);
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            match &atom {
+                Atom::AnyPrintable => {
+                    let pool = printable_pool();
+                    out.push(pool[rng.gen_range(0..pool.len())]);
+                }
+                Atom::Class(set) => {
+                    if !set.is_empty() {
+                        out.push(set[rng.gen_range(0..set.len())]);
+                    }
+                }
+                Atom::Literal(l) => out.push(*l),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn class_patterns_respect_length_and_alphabet() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[A-D]{4,16}".generate(&mut rng);
+            assert!((4..=16).contains(&s.chars().count()), "{s}");
+            assert!(s.chars().all(|c| ('A'..='D').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn alnum_class_covers_all_subranges() {
+        let mut rng = rng();
+        let mut seen_digit = false;
+        let mut seen_lower = false;
+        let mut seen_upper = false;
+        for _ in 0..300 {
+            for c in "[A-Za-z0-9]{1,64}".generate(&mut rng).chars() {
+                assert!(c.is_ascii_alphanumeric(), "{c}");
+                seen_digit |= c.is_ascii_digit();
+                seen_lower |= c.is_ascii_lowercase();
+                seen_upper |= c.is_ascii_uppercase();
+            }
+        }
+        assert!(seen_digit && seen_lower && seen_upper);
+    }
+
+    #[test]
+    fn dot_and_pc_patterns_generate_printables() {
+        let mut rng = rng();
+        for pattern in [".{0,40}", "\\PC{0,200}"] {
+            for _ in 0..50 {
+                let s = pattern.generate(&mut rng);
+                assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = rng();
+        let strategy = (2usize..8).prop_flat_map(|n| {
+            crate::collection::vec(crate::prop_oneof![Just("A"), Just("B")], n)
+                .prop_map(|v| v.len())
+        });
+        for _ in 0..100 {
+            let len = strategy.generate(&mut rng);
+            assert!((2..8).contains(&len));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut rng = rng();
+        let strategy = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strategy.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

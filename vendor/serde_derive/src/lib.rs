@@ -1,0 +1,69 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, and nothing
+//! in this workspace actually serializes — the `Serialize`/`Deserialize`
+//! derives only assert *serializability* of the result types. This crate
+//! therefore emits impls of the marker traits defined by the sibling
+//! `serde` stub. No attributes (`#[serde(...)]`) are supported; the
+//! workspace uses none.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name (and raw generics, if any) of the struct/enum the
+/// derive is attached to.
+fn item_name(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip leading attributes (`#` followed by a bracketed group) and
+    // visibility/keywords until `struct`, `enum` or `union`.
+    for token in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &token {
+            let text = ident.to_string();
+            if text == "struct" || text == "enum" || text == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("derive target has no name: {other:?}"),
+    };
+    // Collect a `<...>` generics clause verbatim when present.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for token in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &token {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                generics.push_str(&token.to_string());
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+/// Derive the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = item_name(input);
+    format!("impl{generics} ::serde::Serialize for {name}{generics} {{}}")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name}{generics} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
