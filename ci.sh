@@ -8,3 +8,11 @@ cd "$(dirname "$0")"
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+
+# Telemetry smoke: run the 17 detectors (table1) and the CCD sweep
+# (table9) in one process with telemetry on, then validate the emitted
+# JSON report — it must parse and contain a span for every CCC detector
+# plus the CCD score-cache and edit-distance pruning counters.
+./target/release/tables table1 table9 --telemetry --out /tmp/t.txt \
+  --telemetry-out /tmp/BENCH_ci_run.json >/dev/null
+./target/release/validate_telemetry /tmp/BENCH_ci_run.json

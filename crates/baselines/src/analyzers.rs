@@ -80,6 +80,8 @@ impl Analyzer {
     /// sensitivity (true-positive propensity) and noise (extra reports),
     /// deterministically in the source text.
     pub fn analyze(&self, source: &str) -> Vec<ToolFinding> {
+        static RUNS: telemetry::Counter = telemetry::Counter::new("baselines.analyzer.runs");
+        RUNS.incr();
         let mut findings = Vec::new();
         for &(category, sensitivity, noise) in self.profile {
             let sites = pattern_sites(source, category);

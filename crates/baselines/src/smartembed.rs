@@ -141,6 +141,8 @@ impl Visit for Collector {
 /// *standard* grammar — SmartEmbed requires complete code (§5.7) and
 /// cannot analyze snippets out of the box.
 pub fn embed(source: &str) -> Option<Embedding> {
+    static EMBEDDINGS: telemetry::Counter = telemetry::Counter::new("baselines.smartembed.embeddings");
+    EMBEDDINGS.incr();
     let unit = solidity::parse_source(source).ok()?;
     let mut collector = Collector { counts: HashMap::new(), parent: "root".to_string() };
     walk_unit(&mut collector, &unit);

@@ -9,8 +9,9 @@
 //! honeypot corpus.
 
 use ccd::{evaluate_reference, parameter_grid, sweep, LabelledCorpus};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn honeypot_corpus(n: usize) -> LabelledCorpus {
     let ds = bench::honeypots();
@@ -54,5 +55,51 @@ fn bench_sweep_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep_reuse);
-criterion_main!(benches);
+/// Best-of-3 wall-clock nanoseconds of one full run of `routine`.
+fn time_ns<O, F: FnMut() -> O>(mut routine: F) -> u64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed().as_nanos() as u64
+        })
+        .min()
+        .expect("three timed runs")
+}
+
+/// Measure the per-cell vs sweep-once speedup directly and write it as a
+/// JSON point on the perf trajectory — `BENCH_trajectory.json` at the
+/// workspace root (cargo runs benches with the package dir as cwd), or
+/// wherever `SWEEP_REUSE_REPORT` points.
+fn write_speedup_report() {
+    let path = std::env::var("SWEEP_REUSE_REPORT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trajectory.json").into()
+    });
+    let mut entries = Vec::new();
+    for size in [20usize, 40] {
+        let corpus = honeypot_corpus(size);
+        let per_cell_ns = time_ns(|| {
+            parameter_grid()
+                .into_iter()
+                .map(|p| evaluate_reference(black_box(&corpus), p))
+                .collect::<Vec<_>>()
+        });
+        let sweep_once_ns = time_ns(|| sweep(black_box(&corpus)));
+        let speedup = per_cell_ns as f64 / sweep_once_ns.max(1) as f64;
+        println!("sweep/speedup/{size}: {speedup:.2}x (per_cell {per_cell_ns} ns, sweep_once {sweep_once_ns} ns)");
+        entries.push(format!(
+            "    {{\"bench\": \"sweep_reuse\", \"size\": {size}, \"per_cell_ns\": {per_cell_ns}, \"sweep_once_ns\": {sweep_once_ns}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let json = format!("{{\n  \"version\": 1,\n  \"points\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(error) => eprintln!("cannot write {path}: {error}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::new();
+    bench_sweep_reuse(&mut criterion);
+    write_speedup_report();
+}

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin tables -- all
-//! cargo run --release -p bench --bin tables -- table1
+//! cargo run --release -p bench --bin tables -- table1 table9
 //! cargo run --release -p bench --bin tables -- table7 --scale 0.05
+//! cargo run --release -p bench --bin tables -- all --telemetry --out tables.txt
 //! ```
 //!
 //! Tables 1–3 and 9 run on the fixed benchmark datasets; Tables 4–8 and
 //! Figure 9 run the study pipeline at the given scale (default 0.05).
+//! Several targets may be given at once. `--out PATH` tees everything
+//! printed to stdout into PATH. `--telemetry` enables telemetry
+//! collection, appends the rendered telemetry tables, and writes the JSON
+//! run report to `--telemetry-out` (default `BENCH_run.json`); the
+//! `TELEMETRY=0` environment kill switch overrides the flag.
 
 use ccc::Dasp;
 use ccd::CcdParams;
@@ -17,15 +23,42 @@ use pipeline::report::{f3, pct, Table};
 use pipeline::{adoptions, correlations, dedup_contracts, run_audit, run_funnel, run_study, StudyConfig};
 use corpus::honeypots::HoneypotType;
 use corpus::smartbugs::{derive_functions, derive_statements};
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// Optional tee target: `--out PATH` duplicates everything printed to
+/// stdout into this file.
+static OUT_FILE: OnceLock<Mutex<std::fs::File>> = OnceLock::new();
+
+/// Print one line to stdout and, when `--out` is set, to the tee file.
+fn emit_line(line: std::fmt::Arguments) {
+    let text = line.to_string();
+    println!("{text}");
+    if let Some(file) = OUT_FILE.get() {
+        let mut file = file.lock().expect("tee file lock");
+        let _ = writeln!(file, "{text}");
+    }
+}
+
+macro_rules! outln {
+    () => { emit_line(format_args!("")) };
+    ($($arg:tt)*) => { emit_line(format_args!($($arg)*)) };
+}
 
 struct Args {
-    what: String,
+    whats: Vec<String>,
     scale: f64,
+    out: Option<String>,
+    telemetry: bool,
+    telemetry_out: String,
 }
 
 fn parse_args() -> Args {
-    let mut what = "all".to_string();
+    let mut whats = Vec::new();
     let mut scale = bench::DEFAULT_SCALE;
+    let mut out = None;
+    let mut telemetry = false;
+    let mut telemetry_out = "BENCH_run.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,39 +68,76 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(bench::DEFAULT_SCALE);
             }
-            other => what = other.to_string(),
+            "--out" => out = args.next(),
+            "--telemetry" => telemetry = true,
+            "--telemetry-out" => {
+                if let Some(path) = args.next() {
+                    telemetry_out = path;
+                }
+            }
+            other => whats.push(other.to_string()),
         }
     }
-    Args { what, scale }
+    if whats.is_empty() {
+        whats.push("all".to_string());
+    }
+    Args { whats, scale, out, telemetry, telemetry_out }
 }
 
 fn main() {
     let args = parse_args();
-    let what = args.what.as_str();
-    let run_all = what == "all";
+    telemetry::init_from_env();
+    if args.telemetry {
+        telemetry::enable();
+    }
+    if let Some(path) = &args.out {
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                let _ = OUT_FILE.set(Mutex::new(file));
+            }
+            Err(error) => {
+                eprintln!("cannot open --out {path}: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let run_all = args.whats.iter().any(|w| w == "all");
+    let wants = |name: &str| run_all || args.whats.iter().any(|w| w == name);
 
-    if run_all || what == "table1" {
+    if wants("table1") {
         table1();
     }
-    if run_all || what == "table2" {
+    if wants("table2") {
         table2();
     }
-    if run_all || what == "table3" {
+    if wants("table3") {
         table3();
     }
-    if run_all || what == "table9" || what == "figure9" {
+    if wants("table9") || wants("figure9") {
         table9_figure9();
     }
-    if run_all || what == "figure2" {
+    if wants("figure2") {
         figure2();
     }
-    if run_all || what == "figure5" {
+    if wants("figure5") {
         figure5();
     }
-    if run_all
-        || matches!(what, "table4" | "table5" | "table6" | "table7" | "table8" | "study")
-    {
-        study_tables(args.scale, what, run_all);
+    if ["table4", "table5", "table6", "table7", "table8", "study"].iter().any(|w| wants(w)) {
+        study_tables(args.scale, &args.whats, run_all);
+    }
+
+    // Appended only when explicitly requested *and* the TELEMETRY=0 kill
+    // switch did not win, so default output stays byte-identical.
+    if args.telemetry && telemetry::enabled() {
+        let snapshot = telemetry::snapshot();
+        outln!("{}", pipeline::telemetry_report::render(&snapshot));
+        match std::fs::write(&args.telemetry_out, snapshot.to_json()) {
+            Ok(()) => eprintln!("[telemetry] wrote {}", args.telemetry_out),
+            Err(error) => {
+                eprintln!("cannot write {}: {error}", args.telemetry_out);
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -115,7 +185,7 @@ fn table1() {
     }
     table.row(totals);
     table.row(prs);
-    println!("{}", table.render());
+    outln!("{}", table.render());
 }
 
 // ===== Table 2: snippet-level datasets =======================================
@@ -137,7 +207,7 @@ fn table2() {
             pct(row.confusion.recall()),
         ]);
     }
-    println!("{}", table.render());
+    outln!("{}", table.render());
 }
 
 // ===== Table 3: CCD vs SmartEmbed on honeypots ================================
@@ -171,7 +241,7 @@ fn table3() {
     ]);
     table.row(vec!["Recall".into(), f3(ts.recall()), f3(tc.recall())]);
     table.row(vec!["F1".into(), f3(ts.f1()), f3(tc.f1())]);
-    println!("{}", table.render());
+    outln!("{}", table.render());
 }
 
 // ===== Table 9 + Figure 9: the parameter sweep ================================
@@ -196,8 +266,8 @@ fn table9_figure9() {
             f3(row.f1),
         ]);
     }
-    println!("{}", table.render());
-    println!(
+    outln!("{}", table.render());
+    outln!(
         "SmartEmbed reference lines (Fig. 9): precision {} recall {}",
         f3(smartembed.precision()),
         f3(smartembed.recall())
@@ -206,7 +276,7 @@ fn table9_figure9() {
         .iter()
         .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap())
         .unwrap();
-    println!(
+    outln!(
         "best F1 combination: N={} eta={:.1} eps={:.1} (P {} R {} F1 {})\n",
         best.params.ngram_size,
         best.params.eta,
@@ -220,16 +290,16 @@ fn table9_figure9() {
 // ===== Figures 2 and 5 ========================================================
 
 fn figure2() {
-    println!("== Figure 2 — CPG of `if (msg.sender == owner) {{}}` ==");
+    outln!("== Figure 2 — CPG of `if (msg.sender == owner) {{}}` ==");
     let cpg = cpg::Cpg::from_snippet("if (msg.sender == owner) {}").unwrap();
-    println!(
+    outln!(
         "{}",
         cpg::dot::to_dot_filtered(&cpg.graph, |k| k != cpg::NodeKind::TranslationUnit)
     );
 }
 
 fn figure5() {
-    println!("== Figure 5 — similar snippets, similar fingerprints ==");
+    outln!("== Figure 5 — similar snippets, similar fingerprints ==");
     let unsafe_src = "contract Unsafe { function unsafeWithdraw(uint value) { \
                       msg.sender.transfer(value); } }";
     let safe_src = "contract Unsafe { function unsafeWithdraw(uint value) { \
@@ -237,26 +307,27 @@ fn figure5() {
                     address deployer; constructor() { deployer = msg.sender; } }";
     let a = ccd::CloneDetector::fingerprint_source(unsafe_src).unwrap();
     let b = ccd::CloneDetector::fingerprint_source(safe_src).unwrap();
-    println!("without constructor: {a}");
-    println!("with constructor:    {b}");
-    println!(
+    outln!("without constructor: {a}");
+    outln!("with constructor:    {b}");
+    outln!(
         "shared sub-fingerprints: {:?}",
         a.sub_fingerprints()
             .into_iter()
             .filter(|s| b.sub_fingerprints().contains(s))
             .collect::<Vec<_>>()
     );
-    println!(
+    outln!(
         "order-independent similarity: ε(small→large) = {:.1}, ε(large→small) = {:.1}",
         ccd::order_independent_similarity(&a, &b),
         ccd::order_independent_similarity(&b, &a)
     );
-    println!("(the added constructor only appends a piece; the withdraw piece is untouched)\n");
+    outln!("(the added constructor only appends a piece; the withdraw piece is untouched)\n");
 }
 
 // ===== Tables 4–8: the study ==================================================
 
-fn study_tables(scale: f64, what: &str, run_all: bool) {
+fn study_tables(scale: f64, whats: &[String], run_all: bool) {
+    let wants = |name: &str| run_all || whats.iter().any(|w| w == name);
     eprintln!("[study] generating corpora at scale {scale}...");
     let qa = bench::qa(scale);
     let contracts = bench::sanctuary(&qa, scale);
@@ -268,7 +339,7 @@ fn study_tables(scale: f64, what: &str, run_all: bool) {
     );
     let funnel = run_funnel(&qa);
 
-    if run_all || what == "table4" || what == "study" {
+    if wants("table4") || wants("study") {
         let mut table = Table::new("Table 4 — Solidity code snippet funnel")
             .header(&["Q&A Website", "Posts", "Snippets", "Solidity", "Parsable", "Unique"]);
         for row in &funnel.stats.rows {
@@ -281,21 +352,21 @@ fn study_tables(scale: f64, what: &str, run_all: bool) {
                 row.unique.to_string(),
             ]);
         }
-        println!("{}", table.render());
+        outln!("{}", table.render());
         let total = funnel.stats.rows.last().unwrap();
-        println!(
+        outln!(
             "standard grammar parses {} snippets; the modified grammar {} (+{})",
             funnel.stats.standard_parsable,
             total.parsable,
             total.parsable - funnel.stats.standard_parsable
         );
         let (min, median, mean, max) = funnel.stats.loc;
-        println!("snippet LoC: min {min}, median {median}, mean {mean:.1}, max {max}");
+        outln!("snippet LoC: min {min}, median {median}, mean {mean:.1}, max {max}");
         let level = |l: solidity::SnippetLevel| {
             *funnel.stats.levels.get(&l).unwrap_or(&0) as f64
                 / funnel.stats.levels.values().sum::<usize>().max(1) as f64
         };
-        println!(
+        outln!(
             "parsed levels: {:.1}% contracts, {:.1}% functions, {:.1}% statements\n",
             level(solidity::SnippetLevel::Contract) * 100.0,
             level(solidity::SnippetLevel::Function) * 100.0,
@@ -306,7 +377,7 @@ fn study_tables(scale: f64, what: &str, run_all: bool) {
     eprintln!("[study] running the experiment pipeline...");
     let result = run_study(&qa, &contracts, &funnel.unique, StudyConfig::default());
 
-    if run_all || what == "table5" || what == "study" {
+    if wants("table5") || wants("study") {
         let dedup = dedup_contracts(&contracts);
         let ads = adoptions(&qa, &contracts, &result.mapping, &dedup);
         let rows = correlations(&ads);
@@ -319,10 +390,10 @@ fn study_tables(scale: f64, what: &str, run_all: bool) {
                 .unwrap_or_else(|| ("-".into(), "-".into()));
             table.row(vec![row.group.name().to_string(), row.n.to_string(), rho, p]);
         }
-        println!("{}", table.render());
+        outln!("{}", table.render());
     }
 
-    if run_all || what == "table6" || what == "study" {
+    if wants("table6") || wants("study") {
         let mut table = Table::new("Table 6 — DASP Top 10 across snippets and contracts")
             .header(&["Vulnerability Category", "Snippets", "Contracts"]);
         for category in Dasp::ALL {
@@ -334,10 +405,10 @@ fn study_tables(scale: f64, what: &str, run_all: bool) {
                 contracts_n.to_string(),
             ]);
         }
-        println!("{}", table.render());
+        outln!("{}", table.render());
     }
 
-    if run_all || what == "table7" || what == "study" {
+    if wants("table7") || wants("study") {
         let mut table = Table::new("Table 7 — identified vulnerable snippets and contracts")
             .header(&["Analysis Step", "Disseminator (Source)"]);
         table.row(vec!["Snippets — Unique".into(), result.unique_snippets.to_string()]);
@@ -378,10 +449,10 @@ fn study_tables(scale: f64, what: &str, run_all: bool) {
                 result.snippets_in_vulnerable_contracts_source
             ),
         ]);
-        println!("{}", table.render());
+        outln!("{}", table.render());
     }
 
-    if run_all || what == "table8" || what == "study" {
+    if wants("table8") || wants("study") {
         let grid = run_audit(&result, &qa, &contracts, 10, 7);
         let mut table = Table::new("Table 8 — manual validation (oracle audit)")
             .header(&["", "Snippet", "Contract TP", "Contract FP"]);
@@ -395,8 +466,8 @@ fn study_tables(scale: f64, what: &str, run_all: bool) {
                 ]);
             }
         }
-        println!("{}", table.render());
-        println!(
+        outln!("{}", table.render());
+        outln!(
             "sample size {}; fully confirmed pairings: {}\n",
             grid.sample_size,
             grid.fully_confirmed()

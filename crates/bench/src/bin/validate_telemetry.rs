@@ -1,0 +1,78 @@
+//! Validate a telemetry run report (`BENCH_run.json`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin validate_telemetry -- BENCH_run.json
+//! ```
+//!
+//! Checks, against the schema emitted by `telemetry::Snapshot::to_json`:
+//!
+//! 1. the document parses and carries schema `version` 1,
+//! 2. every one of the 17 CCC detectors ([`ccc::QueryId::ALL`]) has a span
+//!    whose path ends in `query/{QueryId:?}` (suffix match — the prefix
+//!    depends on which pipeline stage invoked the checker),
+//! 3. the CCD sweep score-cache and banded edit-distance pruning counters
+//!    are present.
+//!
+//! Exits non-zero with a message on the first violation; used by `ci.sh`
+//! as the telemetry smoke check.
+
+use ccc::QueryId;
+use telemetry::json::{parse, Value};
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_run.json".to_string());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|error| fail(&format!("cannot read {path}: {error}")));
+    let doc = parse(&text).unwrap_or_else(|error| fail(&format!("{path} is not JSON: {error}")));
+
+    if doc.get("version").and_then(Value::as_f64) != Some(1.0) {
+        fail(&format!("{path}: missing or unexpected schema version"));
+    }
+
+    let span_paths: Vec<&str> = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&format!("{path}: no spans array")))
+        .iter()
+        .filter_map(|s| s.get("path").and_then(Value::as_str))
+        .collect();
+    for query in QueryId::ALL {
+        let suffix = format!("query/{query:?}");
+        if !span_paths.iter().any(|p| p.ends_with(&suffix)) {
+            fail(&format!("{path}: no span for detector {query:?} (suffix {suffix})"));
+        }
+    }
+
+    let counter_names: Vec<&str> = doc
+        .get("counters")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&format!("{path}: no counters array")))
+        .iter()
+        .filter_map(|c| c.get("name").and_then(Value::as_str))
+        .collect();
+    for required in [
+        "ccd.sweep.score_cache.hits",
+        "ccd.sweep.score_cache.misses",
+        "fuzzyhash.dp.completed",
+    ] {
+        if !counter_names.contains(&required) {
+            fail(&format!("{path}: missing counter {required}"));
+        }
+    }
+    // Which prune exit fires depends on the corpus; at least one must.
+    if !counter_names.iter().any(|n| n.starts_with("fuzzyhash.prune.")) {
+        fail(&format!("{path}: no fuzzyhash.prune.* counter recorded"));
+    }
+
+    println!(
+        "{path}: ok — {} spans ({} detectors), {} counters",
+        span_paths.len(),
+        QueryId::ALL.len(),
+        counter_names.len()
+    );
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("validate_telemetry: {message}");
+    std::process::exit(1);
+}

@@ -129,6 +129,11 @@ impl Checker {
 
     /// Run the configured queries over a translated CPG.
     pub fn check(&self, cpg: &Cpg) -> Vec<Finding> {
+        static CHECKS: telemetry::Counter = telemetry::Counter::new("ccc.checks");
+        static CANDIDATES: telemetry::Counter = telemetry::Counter::new("ccc.candidates");
+        static FINDINGS: telemetry::Counter = telemetry::Counter::new("ccc.findings");
+        let _span = telemetry::span("ccc/check");
+        CHECKS.incr();
         let ctx = Ctx::new(cpg, self.config.max_path);
         let queries: &[QueryId] = match &self.config.queries {
             Some(qs) => qs,
@@ -138,8 +143,10 @@ impl Checker {
         for query in queries {
             findings.extend(queries::run_query(&ctx, *query));
         }
+        CANDIDATES.add(findings.len() as u64);
         findings.sort_by_key(|f| (f.line, f.query));
         findings.dedup();
+        FINDINGS.add(findings.len() as u64);
         findings
     }
 

@@ -18,6 +18,19 @@ use crate::Finding;
 
 /// Run a single query against a context.
 pub fn run_query(ctx: &Ctx, query: QueryId) -> Vec<Finding> {
+    let _span = if telemetry::enabled() {
+        Some(telemetry::span(format!("query/{query:?}")))
+    } else {
+        None
+    };
+    let findings = dispatch_query(ctx, query);
+    if telemetry::enabled() && !findings.is_empty() {
+        telemetry::counter_add(&format!("ccc.findings.{query:?}"), findings.len() as u64);
+    }
+    findings
+}
+
+fn dispatch_query(ctx: &Ctx, query: QueryId) -> Vec<Finding> {
     match query {
         QueryId::AcUnrestrictedWrite => access_control::unrestricted_write(ctx),
         QueryId::AcSelfDestruct => access_control::unprotected_selfdestruct(ctx),

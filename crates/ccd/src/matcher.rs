@@ -162,13 +162,23 @@ impl CloneDetector {
     /// Normalize, tokenize and fingerprint a source fragment. Returns
     /// `None` when the fragment does not parse or nothing is tokenizable.
     pub fn fingerprint_source(source: &str) -> Option<Fingerprint> {
-        let mut unit = solidity::parse_snippet(source).ok()?;
-        normalize_unit(&mut unit);
-        let tokens = tokenize_unit(&unit);
-        if tokens.is_empty() {
-            return None;
+        static FINGERPRINTS: telemetry::Counter = telemetry::Counter::new("ccd.fingerprints");
+        static FAILURES: telemetry::Counter =
+            telemetry::Counter::new("ccd.fingerprint_failures");
+        let fingerprint = (|| {
+            let mut unit = solidity::parse_snippet(source).ok()?;
+            normalize_unit(&mut unit);
+            let tokens = tokenize_unit(&unit);
+            if tokens.is_empty() {
+                return None;
+            }
+            Some(Fingerprint::of(&tokens))
+        })();
+        match fingerprint {
+            Some(_) => FINGERPRINTS.incr(),
+            None => FAILURES.incr(),
         }
-        Some(Fingerprint::of(&tokens))
+        fingerprint
     }
 
     /// Index a pre-computed fingerprint under a document id.
@@ -193,6 +203,9 @@ impl CloneDetector {
     /// scored with Algorithm 1 and thresholded at ε. Sorted by descending
     /// score.
     pub fn matches(&self, query: &Fingerprint) -> Vec<CloneMatch> {
+        static QUERIES: telemetry::Counter = telemetry::Counter::new("ccd.matcher.queries");
+        static MATCHES: telemetry::Counter = telemetry::Counter::new("ccd.matcher.matches");
+        QUERIES.incr();
         let candidates = self.index.candidates(&query.indexed_text(), self.params.eta);
         let candidate_set: std::collections::HashSet<DocId> = candidates.into_iter().collect();
         let mut matches: Vec<CloneMatch> = self
@@ -205,6 +218,7 @@ impl CloneDetector {
             })
             .collect();
         matches.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        MATCHES.add(matches.len() as u64);
         matches
     }
 

@@ -232,16 +232,24 @@ impl SweepEngine {
     where
         F: FnMut(CcdParams, &HashSet<(DocId, DocId)>),
     {
+        static CELLS: telemetry::Counter = telemetry::Counter::new("ccd.sweep.cells");
+        static CACHE_HITS: telemetry::Counter =
+            telemetry::Counter::new("ccd.sweep.score_cache.hits");
+        static CACHE_MISSES: telemetry::Counter =
+            telemetry::Counter::new("ccd.sweep.score_cache.misses");
+        let _span = telemetry::span("ccd/sweep");
         // Directed Algorithm 1 scores per unordered index pair (lo < hi):
         // (lo → hi, hi → lo). Scores depend on no parameter, so the cache
         // spans the entire grid.
         let mut scores: HashMap<(usize, usize), (f64, f64)> = HashMap::new();
         for n in NGRAM_SIZES {
             // One index per N; documents are keyed by position.
+            let _span = telemetry::span("index");
             let mut index = NgramIndex::new(n);
             for (i, text) in self.indexed.iter().enumerate() {
                 index.insert(i as DocId, text);
             }
+            drop(_span);
             for eta in ETAS {
                 // One candidate retrieval per (N, η): directed candidacy
                 // flags per unordered pair.
@@ -265,12 +273,21 @@ impl SweepEngine {
                 let scored: Vec<ScoredPair> = pairs
                     .into_iter()
                     .map(|((lo, hi), flags)| {
-                        let score = *scores.entry((lo, hi)).or_insert_with(|| {
-                            order_independent_similarity_pair(
-                                &self.fingerprints[lo],
-                                &self.fingerprints[hi],
-                            )
-                        });
+                        let score = match scores.get(&(lo, hi)) {
+                            Some(cached) => {
+                                CACHE_HITS.incr();
+                                *cached
+                            }
+                            None => {
+                                CACHE_MISSES.incr();
+                                let fresh = order_independent_similarity_pair(
+                                    &self.fingerprints[lo],
+                                    &self.fingerprints[hi],
+                                );
+                                scores.insert((lo, hi), fresh);
+                                fresh
+                            }
+                        };
                         ((lo, hi), flags, score)
                     })
                     .collect();
@@ -285,6 +302,7 @@ impl SweepEngine {
                             directed.insert((self.ids[hi], self.ids[lo]));
                         }
                     }
+                    CELLS.incr();
                     visit(CcdParams { ngram_size: n, eta, epsilon }, &directed);
                 }
             }

@@ -124,6 +124,7 @@ const CATEGORY_PLAN: &[(Dasp, usize, usize, usize, usize)] = &[
 
 /// Build the curated dataset deterministically.
 pub fn smartbugs_curated(seed: u64) -> CuratedDataset {
+    let _span = telemetry::span("corpus/smartbugs_curated");
     let mut rng = StdRng::seed_from_u64(seed);
     let checker = Checker::new();
     let easy_templates = vulnerable_templates();

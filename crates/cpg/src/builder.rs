@@ -67,7 +67,30 @@ impl Cpg {
 
     /// Translate with explicit options.
     pub fn from_unit_with(unit: &SourceUnit, options: BuildOptions) -> Cpg {
-        Builder::new(unit, options).build(unit)
+        static BUILDS: telemetry::Counter = telemetry::Counter::new("cpg.builds");
+        static NODES: telemetry::Counter = telemetry::Counter::new("cpg.nodes");
+        static EDGES: telemetry::Counter = telemetry::Counter::new("cpg.edges");
+        static INFERRED: telemetry::Counter = telemetry::Counter::new("cpg.inferred_decls");
+        let _span = telemetry::span("cpg/build");
+        let cpg = Builder::new(unit, options).build(unit);
+        if telemetry::enabled() {
+            BUILDS.incr();
+            NODES.add(cpg.graph.node_count() as u64);
+            EDGES.add(cpg.graph.edge_count() as u64);
+            let inferred = cpg
+                .graph
+                .node_ids()
+                .filter(|id| cpg.graph.node(*id).props.is_inferred)
+                .count();
+            INFERRED.add(inferred as u64);
+            for id in cpg.graph.node_ids() {
+                telemetry::counter_add(
+                    &format!("cpg.nodes.{:?}", cpg.graph.node(id).kind),
+                    1,
+                );
+            }
+        }
+        cpg
     }
 
     /// Whether the unit is compiled with Solidity >= 0.8 (checked

@@ -10,6 +10,9 @@ use solidity::ast::*;
 use solidity::Span;
 use std::collections::HashMap;
 
+/// Modifiers actually resolved and inlined into a function body.
+static EXPANSIONS: telemetry::Counter = telemetry::Counter::new("cpg.modifier_expansions");
+
 /// Expand all applied modifiers of `function` into its body, resolving
 /// modifier names against `modifiers`. Returns the effective body, or `None`
 /// when the function has no body.
@@ -32,6 +35,7 @@ pub fn expand_modifiers(
             continue;
         };
         let Some(mod_body) = &def.body else { continue };
+        EXPANSIONS.incr();
         let mut wrapped = substitute_placeholder(mod_body, &body);
         // Bind modifier parameters to the invocation arguments.
         let mut prelude: Vec<Statement> = Vec::new();

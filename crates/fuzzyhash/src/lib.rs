@@ -270,11 +270,19 @@ pub fn edit_distance_bounded(a: &str, b: &str, max_dist: usize) -> Option<usize>
     edit_distance_bounded_slices(&a, &b, max_dist)
 }
 
+/// Banded-DP calls that ended before completing the table, by exit.
+static PRUNE_LENGTH_GAP: telemetry::Counter =
+    telemetry::Counter::new("fuzzyhash.prune.length_gap");
+static PRUNE_BAND_ABORT: telemetry::Counter =
+    telemetry::Counter::new("fuzzyhash.prune.band_abort");
+static DP_COMPLETED: telemetry::Counter = telemetry::Counter::new("fuzzyhash.dp.completed");
+
 fn edit_distance_bounded_slices<T: Eq>(a: &[T], b: &[T], k: usize) -> Option<usize> {
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     let (n, m) = (long.len(), short.len());
     // The length gap is a lower bound on the distance.
     if n - m > k {
+        PRUNE_LENGTH_GAP.incr();
         return None;
     }
     if m == 0 {
@@ -293,6 +301,7 @@ fn edit_distance_bounded_slices<T: Eq>(a: &[T], b: &[T], k: usize) -> Option<usi
         let lo = i.saturating_sub(k).max(1);
         let hi = (i + k).min(m);
         if lo > hi {
+            PRUNE_BAND_ABORT.incr();
             return None;
         }
         current[lo - 1] = if lo == 1 { i } else { INF };
@@ -306,6 +315,7 @@ fn edit_distance_bounded_slices<T: Eq>(a: &[T], b: &[T], k: usize) -> Option<usi
             row_min = row_min.min(cell);
         }
         if row_min > k {
+            PRUNE_BAND_ABORT.incr();
             return None;
         }
         if hi < m {
@@ -313,6 +323,7 @@ fn edit_distance_bounded_slices<T: Eq>(a: &[T], b: &[T], k: usize) -> Option<usi
         }
         std::mem::swap(&mut prev, &mut current);
     }
+    DP_COMPLETED.incr();
     (prev[m] <= k).then_some(prev[m])
 }
 
@@ -343,6 +354,8 @@ pub fn similarity(s1: &str, s2: &str) -> f64 {
 /// the current best as `floor`: skipped scores can never raise the max,
 /// and surviving scores are bit-identical to the unpruned ones.
 pub fn similarity_above(s1: &str, s2: &str, floor: f64) -> Option<f64> {
+    static CALLS: telemetry::Counter = telemetry::Counter::new("fuzzyhash.similarity.calls");
+    CALLS.incr();
     let max_len = s1.chars().count().max(s2.chars().count());
     if max_len == 0 {
         return Some(100.0);

@@ -34,10 +34,15 @@ pub type Bindings = BTreeMap<String, u32>;
 /// Result rows of a query: one map per match, restricted to the RETURN
 /// variables (all bound variables if RETURN is empty), deduplicated.
 pub fn run<S: GraphSource>(query: &Query, source: &S) -> Vec<Bindings> {
+    static QUERIES: telemetry::Counter = telemetry::Counter::new("graphquery.queries");
+    static SOLUTIONS: telemetry::Counter = telemetry::Counter::new("graphquery.solutions");
+    static ROWS: telemetry::Counter = telemetry::Counter::new("graphquery.rows");
+    QUERIES.incr();
     let mut rows: Vec<Bindings> = Vec::new();
     let mut seen: HashSet<Vec<(String, u32)>> = HashSet::new();
     let mut solutions = Vec::new();
     match_patterns(source, &query.patterns, Bindings::new(), &mut solutions, usize::MAX);
+    SOLUTIONS.add(solutions.len() as u64);
     for binding in solutions {
         if let Some(cond) = &query.cond {
             if !eval_cond(source, cond, &binding) {
@@ -58,6 +63,7 @@ pub fn run<S: GraphSource>(query: &Query, source: &S) -> Vec<Bindings> {
             rows.push(row);
         }
     }
+    ROWS.add(rows.len() as u64);
     rows
 }
 
@@ -194,6 +200,9 @@ fn candidates<S: GraphSource>(source: &S, pat: &NodePat, bindings: &Bindings) ->
 }
 
 fn node_matches<S: GraphSource>(source: &S, pat: &NodePat, node: u32) -> bool {
+    static NODES_VISITED: telemetry::Counter =
+        telemetry::Counter::new("graphquery.nodes_visited");
+    NODES_VISITED.incr();
     let labels = source.labels(node);
     if !pat.labels.iter().all(|l| labels.contains(&l.as_str())) {
         return false;

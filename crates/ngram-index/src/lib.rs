@@ -97,6 +97,8 @@ impl NgramIndex {
     /// caller is expected to use fresh ids (documents are immutable
     /// fingerprints).
     pub fn insert(&mut self, id: DocId, text: &str) {
+        static INSERTIONS: telemetry::Counter = telemetry::Counter::new("ngram.insertions");
+        INSERTIONS.incr();
         let grams = self.grams(text);
         self.doc_grams.insert(id, grams.len());
         for gram in grams {
@@ -116,6 +118,9 @@ impl NgramIndex {
     ///
     /// An empty query matches nothing.
     pub fn candidates(&self, text: &str, eta: f64) -> Vec<DocId> {
+        static QUERIES: telemetry::Counter = telemetry::Counter::new("ngram.queries");
+        static CANDIDATES: telemetry::Counter = telemetry::Counter::new("ngram.candidates");
+        QUERIES.incr();
         let grams = self.grams(text);
         if grams.is_empty() {
             return Vec::new();
@@ -135,6 +140,7 @@ impl NgramIndex {
             .map(|(id, _)| id)
             .collect();
         result.sort_unstable();
+        CANDIDATES.add(result.len() as u64);
         result
     }
 

@@ -33,6 +33,7 @@ impl ToolResult {
 /// (§4.6.2): per file, findings of the file's category count; up to the
 /// file's label count as TPs, the rest as FPs; unmatched labels as FNs.
 pub fn evaluate_ccc(dataset: &CuratedDataset) -> ToolResult {
+    let _span = telemetry::span("pipeline/eval_ccc");
     let checker = Checker::new();
     evaluate_with(dataset, "CCC", |source, category| {
         checker

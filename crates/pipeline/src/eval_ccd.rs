@@ -73,6 +73,7 @@ fn agreed_pairs(directed: &HashSet<(u64, u64)>) -> HashSet<(u64, u64)> {
 /// Evaluate CCD on the honeypot dataset: every contract matched against
 /// all others (§5.7.1), at the given parameters.
 pub fn evaluate_ccd(dataset: &HoneypotDataset, params: CcdParams) -> HoneypotResult {
+    let _span = telemetry::span("pipeline/eval_ccd");
     let mut detector = CloneDetector::new(params);
     for contract in &dataset.contracts {
         detector.insert_source(contract.id, &contract.source);
@@ -98,6 +99,7 @@ pub fn evaluate_ccd(dataset: &HoneypotDataset, params: CcdParams) -> HoneypotRes
 
 /// Evaluate the SmartEmbed baseline at its recommended 0.9 threshold.
 pub fn evaluate_smartembed(dataset: &HoneypotDataset) -> HoneypotResult {
+    let _span = telemetry::span("pipeline/eval_smartembed");
     let mut se = SmartEmbed::new();
     for contract in &dataset.contracts {
         se.insert(contract.id, &contract.source);
@@ -135,6 +137,7 @@ pub struct SweepRow {
 /// when *both* directions of Algorithm 1 pass (the same agreement rule as
 /// Table 3's [`evaluate_ccd`]).
 pub fn sweep_ccd(dataset: &HoneypotDataset) -> Vec<SweepRow> {
+    let _span = telemetry::span("pipeline/sweep_ccd");
     let engine = SweepEngine::from_documents(
         dataset.contracts.iter().map(|c| (c.id, c.source.as_str())),
     );

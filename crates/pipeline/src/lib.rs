@@ -25,6 +25,7 @@ pub mod mapping;
 pub mod par;
 pub mod report;
 pub mod study;
+pub mod telemetry_report;
 pub mod temporal;
 
 pub use funnel::{run_funnel, FunnelOutput, UniqueSnippet};

@@ -22,14 +22,25 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    static RUNS: telemetry::Counter = telemetry::Counter::new("par.runs");
+    static ITEMS: telemetry::Counter = telemetry::Counter::new("par.items");
+    static STEALS: telemetry::Counter = telemetry::Counter::new("par.steals");
+    static TASKS_PER_WORKER: telemetry::Histogram =
+        telemetry::Histogram::new("par.tasks_per_worker");
+    RUNS.incr();
+    ITEMS.add(items.len() as u64);
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len());
     if n_threads <= 1 {
+        TASKS_PER_WORKER.observe(items.len() as u64);
         return items.iter().enumerate().map(|(i, item)| work(i, item)).collect();
     }
 
+    // With item-granular claiming there is no assigned chunk; "steals" are
+    // the tasks a worker executed beyond its fair (static-split) share.
+    let fair_share = items.len().div_ceil(n_threads);
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
@@ -43,6 +54,8 @@ where
                     }
                     local.push((index, work(index, &items[index])));
                 }
+                TASKS_PER_WORKER.observe(local.len() as u64);
+                STEALS.add(local.len().saturating_sub(fair_share) as u64);
                 collected.lock().expect("worker poisoned the result lock").extend(local);
             });
         }

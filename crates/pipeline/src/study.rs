@@ -147,6 +147,7 @@ pub fn run_study(
     unique: &[UniqueSnippet],
     config: StudyConfig,
 ) -> StudyResult {
+    let _span = telemetry::span("pipeline/study");
     // ---- Step 1: CCD mapping ------------------------------------------------
     let mapping = map_snippets(unique, contracts, config.ccd);
     let dedup = dedup_contracts(contracts);

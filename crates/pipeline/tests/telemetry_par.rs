@@ -1,0 +1,39 @@
+//! Concurrency test: metrics hammered from `par_map` workers must add up
+//! exactly (atomic hot paths, no lost updates).
+
+use pipeline::par::par_map;
+
+#[test]
+fn par_map_workers_record_exact_totals() {
+    telemetry::enable();
+    static HAMMERED: telemetry::Counter = telemetry::Counter::new("test.par.hammer");
+    static OBSERVED: telemetry::Histogram = telemetry::Histogram::new("test.par.hammer.hist");
+
+    let before = telemetry::snapshot();
+    let base_count = before.counter("test.par.hammer").unwrap_or(0);
+    let items: Vec<u64> = (0..10_000).collect();
+    let out = par_map(&items, |_, v| {
+        HAMMERED.incr();
+        OBSERVED.observe(*v % 17);
+        *v * 2
+    });
+    assert_eq!(out.len(), items.len());
+
+    let snapshot = telemetry::snapshot();
+    assert_eq!(
+        snapshot.counter("test.par.hammer").expect("counter recorded") - base_count,
+        items.len() as u64,
+        "every worker increment must land"
+    );
+    let histogram = snapshot.histogram("test.par.hammer.hist").expect("histogram recorded");
+    assert_eq!(histogram.count, items.len() as u64);
+    let expected_sum: u64 = items.iter().map(|v| v % 17).sum();
+    assert_eq!(histogram.sum, expected_sum);
+    assert_eq!(histogram.buckets.iter().sum::<u64>(), items.len() as u64);
+
+    // par_map's own instrumentation saw the run too.
+    assert!(snapshot.counter("par.runs").unwrap_or(0) >= 1);
+    assert!(snapshot.counter("par.items").unwrap_or(0) >= items.len() as u64);
+    let tasks = snapshot.histogram("par.tasks_per_worker").expect("worker histogram");
+    assert!(tasks.sum >= items.len() as u64);
+}

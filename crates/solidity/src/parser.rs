@@ -14,6 +14,20 @@ use crate::ast::*;
 use crate::lexer::{lex, LexError};
 use crate::span::Span;
 use crate::token::{is_elementary_type, Keyword, Token, TokenKind};
+use telemetry::Counter;
+
+/// Tolerant (snippet-grammar) parses started.
+static PARSE_SNIPPETS: Counter = Counter::new("solidity.parse.snippets");
+/// Strict (standard-grammar) parses started.
+static PARSE_SOURCES: Counter = Counter::new("solidity.parse.sources");
+/// Parses that failed with a [`ParseError`].
+static PARSE_ERRORS: Counter = Counter::new("solidity.parse.errors");
+/// `...` placeholder tokens accepted (§4.1 grammar modification 3).
+static PARSE_PLACEHOLDERS: Counter = Counter::new("solidity.parse.placeholders");
+/// Missing `;` tolerated via newline/`}`/EOF (§4.1 grammar modification 2).
+static PARSE_NEWLINE_SEMIS: Counter = Counter::new("solidity.parse.newline_semis");
+/// Stray `}`/`;` skipped at the top level (unnested-snippet recovery).
+static PARSE_STRAY_TOKENS: Counter = Counter::new("solidity.parse.stray_tokens");
 
 /// Parser configuration. [`ParserOptions::strict`] mimics the standard
 /// grammar; [`ParserOptions::snippet`] enables all snippet tolerances.
@@ -66,18 +80,31 @@ type PResult<T> = Result<T, ParseError>;
 
 /// Parse a full Solidity source with the standard-grammar approximation.
 pub fn parse_source(src: &str) -> Result<SourceUnit, ParseError> {
+    PARSE_SOURCES.incr();
     parse_with(src, ParserOptions::strict())
 }
 
 /// Parse a possibly incomplete snippet with all tolerances enabled.
 pub fn parse_snippet(src: &str) -> Result<SourceUnit, ParseError> {
+    PARSE_SNIPPETS.incr();
     parse_with(src, ParserOptions::snippet())
 }
 
 /// Parse with explicit options.
 pub fn parse_with(src: &str, opts: ParserOptions) -> Result<SourceUnit, ParseError> {
-    let tokens = lex(src)?;
-    Parser { tokens, pos: 0, opts, depth: 0 }.source_unit()
+    let result = (|| {
+        let tokens = lex(src)?;
+        if telemetry::enabled() && opts.placeholders {
+            let placeholders =
+                tokens.iter().filter(|t| matches!(t.kind, TokenKind::Ellipsis)).count();
+            PARSE_PLACEHOLDERS.add(placeholders as u64);
+        }
+        Parser { tokens, pos: 0, opts, depth: 0 }.source_unit()
+    })();
+    if result.is_err() {
+        PARSE_ERRORS.incr();
+    }
+    result
 }
 
 struct Parser {
@@ -182,6 +209,7 @@ impl Parser {
                 || self.at_eof()
                 || matches!(self.peek().kind, TokenKind::Ellipsis))
         {
+            PARSE_NEWLINE_SEMIS.incr();
             return Ok(());
         }
         Err(self.error(format!("expected `;`, found `{}`", self.peek().kind.text())))
@@ -198,6 +226,7 @@ impl Parser {
         while !self.at_eof() {
             // Stray closing braces appear when a snippet starts mid-body.
             if self.opts.allow_unnested && (self.at_punct("}") || self.at_punct(";")) {
+                PARSE_STRAY_TOKENS.incr();
                 self.bump();
                 continue;
             }

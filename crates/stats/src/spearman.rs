@@ -62,6 +62,8 @@ fn pearson(x: &[f64], y: &[f64]) -> f64 {
 ///
 /// Returns `None` for samples shorter than 3 or of unequal length.
 pub fn spearman(x: &[f64], y: &[f64]) -> Option<SpearmanResult> {
+    static CALLS: telemetry::Counter = telemetry::Counter::new("stats.spearman.calls");
+    CALLS.incr();
     if x.len() != y.len() || x.len() < 3 {
         return None;
     }

@@ -1,0 +1,146 @@
+//! Zero-dependency observability substrate for the CCC/CCD pipeline.
+//!
+//! Three building blocks (DESIGN.md §4d):
+//!
+//! * **Spans** — hierarchical wall-clock timing with a scoped-guard API:
+//!   [`span`] pushes a segment onto a thread-local path stack and the
+//!   returned [`SpanGuard`] records `(path, elapsed)` into a global
+//!   aggregate on drop. Paths use `/` separators (`ccc/query/Reentrancy`),
+//!   so the aggregate forms a tree.
+//! * **Metrics** — a global registry of named [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket (power-of-two) [`Histogram`]s. Handles cache their
+//!   registry slot in a `OnceLock`, so the hot path is one relaxed atomic
+//!   add; when telemetry is disabled every operation is a single relaxed
+//!   load and branch.
+//! * **Reports** — [`snapshot`] freezes the current state into a plain
+//!   [`Snapshot`] that renders as a stable JSON document
+//!   ([`Snapshot::to_json`], parsed back by [`json::parse`]) or through
+//!   `pipeline::report::Table` (see `pipeline::telemetry_report`).
+//!
+//! # Enablement
+//!
+//! Telemetry is **off** by default: nothing is recorded and nothing is
+//! allocated. It turns on via [`enable`] (the `tables --telemetry` flag
+//! does this) or the `TELEMETRY=1` environment variable (picked up by
+//! [`init_from_env`]). `TELEMETRY=0` is a hard kill switch: it wins over
+//! `enable()`, so `TELEMETRY=0 tables --telemetry` stays silent.
+//!
+//! ```
+//! telemetry::reset();
+//! telemetry::enable();
+//! static PARSED: telemetry::Counter = telemetry::Counter::new("demo.parsed");
+//! {
+//!     let _span = telemetry::span("demo/parse");
+//!     PARSED.add(3);
+//! }
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counter("demo.parsed"), Some(3));
+//! assert_eq!(snap.span("demo/parse").unwrap().count, 1);
+//! telemetry::disable();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{counter_add, gauge_set, histogram_observe, Counter, Gauge, Histogram};
+pub use report::{reset, snapshot, HistogramStat, Snapshot, SpanStat};
+pub use span::{span, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static FORCED_OFF: OnceLock<bool> = OnceLock::new();
+
+/// Whether the `TELEMETRY` environment variable forces telemetry off
+/// (`0`, `off`, `false`, case-insensitive). Read once per process.
+fn env_forced_off() -> bool {
+    *FORCED_OFF.get_or_init(|| {
+        std::env::var("TELEMETRY")
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false"))
+            .unwrap_or(false)
+    })
+}
+
+/// Turn telemetry on, unless `TELEMETRY=0` forces it off.
+pub fn enable() {
+    if !env_forced_off() {
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Turn telemetry off. Already-recorded data is kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether telemetry is currently recording. This is the hot-path check:
+/// a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Apply the `TELEMETRY` environment variable: `1`/`on`/`true` enables,
+/// anything else leaves the current state (and `0` force-disables via the
+/// kill switch). Binaries call this once at startup; libraries never do.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("TELEMETRY") {
+        if matches!(v.to_ascii_lowercase().as_str(), "1" | "on" | "true") {
+            enable();
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Telemetry state is process-global; tests that toggle it serialize
+    /// through this lock so `cargo test`'s parallel runner cannot
+    /// interleave enable/disable windows.
+    pub fn hold() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_the_default_and_everything_is_a_noop() {
+        let _guard = test_lock::hold();
+        disable();
+        reset();
+        static C: Counter = Counter::new("lib.noop");
+        C.add(41);
+        gauge_set("lib.noop_gauge", 7);
+        histogram_observe("lib.noop_hist", 3);
+        let _span = span("lib/noop");
+        drop(_span);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty(), "{snap:?}");
+        assert!(snap.gauges.is_empty(), "{snap:?}");
+        assert!(snap.histograms.is_empty(), "{snap:?}");
+        assert!(snap.spans.is_empty(), "{snap:?}");
+    }
+
+    #[test]
+    fn enable_disable_roundtrip() {
+        let _guard = test_lock::hold();
+        disable();
+        assert!(!enabled());
+        enable();
+        assert!(enabled());
+        disable();
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,257 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms with atomic hot paths.
+//!
+//! Metric cells live in a global registry keyed by name and are leaked
+//! (`&'static`) so handles can cache a direct pointer: after the first
+//! touch, a [`Counter::add`] is one enabled-check plus one relaxed
+//! `fetch_add`. Dynamic names ([`counter_add`] and friends) pay one
+//! registry lock per call and are meant for cold paths (per-node-kind
+//! totals, per-query findings).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values
+/// whose bit length is `i` (bucket 0 counts zeros), i.e. values in
+/// `[2^(i-1), 2^i)`. The last bucket absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// The shared cell backing a histogram.
+#[derive(Debug)]
+pub struct HistogramCore {
+    /// Number of observations.
+    pub count: AtomicU64,
+    /// Sum of observed values.
+    pub sum: AtomicU64,
+    /// Power-of-two buckets (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Bucket index of a value: its bit length, clamped to the last bucket.
+pub fn bucket_of(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<BTreeMap<String, &'static AtomicU64>>,
+    pub(crate) gauges: Mutex<BTreeMap<String, &'static AtomicU64>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, &'static HistogramCore>>,
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn counter_cell(name: &str) -> &'static AtomicU64 {
+    let mut map = lock(&registry().counters);
+    map.entry(name.to_string())
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+}
+
+fn gauge_cell(name: &str) -> &'static AtomicU64 {
+    let mut map = lock(&registry().gauges);
+    map.entry(name.to_string())
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+}
+
+fn histogram_cell(name: &str) -> &'static HistogramCore {
+    let mut map = lock(&registry().histograms);
+    map.entry(name.to_string())
+        .or_insert_with(|| Box::leak(Box::new(HistogramCore::new())))
+}
+
+/// A named monotonic counter. Declare as a `static` next to the code it
+/// measures; the cell is registered on first increment.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Counter {
+    /// A counter handle for `name` (registered lazily).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name, cell: OnceLock::new() }
+    }
+
+    /// Add `n`. No-op (one load + branch) while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell
+            .get_or_init(|| counter_cell(self.name))
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// A named last-value gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge handle for `name` (registered lazily).
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge { name, cell: OnceLock::new() }
+    }
+
+    /// Store `value`. No-op while telemetry is disabled.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell
+            .get_or_init(|| gauge_cell(self.name))
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `value` if it is larger than the current value.
+    #[inline]
+    pub fn max(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell
+            .get_or_init(|| gauge_cell(self.name))
+            .fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// A named fixed-bucket histogram (power-of-two buckets).
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<&'static HistogramCore>,
+}
+
+impl Histogram {
+    /// A histogram handle for `name` (registered lazily).
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram { name, cell: OnceLock::new() }
+    }
+
+    /// Record one observation. No-op while telemetry is disabled.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| histogram_cell(self.name)).observe(value);
+    }
+}
+
+/// Add to a dynamically named counter (cold path: one registry lock).
+pub fn counter_add(name: &str, n: u64) {
+    if crate::enabled() {
+        counter_cell(name).fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Set a dynamically named gauge (cold path: one registry lock).
+pub fn gauge_set(name: &str, value: u64) {
+    if crate::enabled() {
+        gauge_cell(name).store(value, Ordering::Relaxed);
+    }
+}
+
+/// Observe into a dynamically named histogram (cold path: one registry
+/// lock).
+pub fn histogram_observe(name: &str, value: u64) {
+    if crate::enabled() {
+        histogram_cell(name).observe(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let _guard = crate::test_lock::hold();
+        crate::reset();
+        crate::enable();
+        static C: Counter = Counter::new("metrics.test.counter");
+        static G: Gauge = Gauge::new("metrics.test.gauge");
+        C.add(2);
+        C.incr();
+        G.set(10);
+        G.set(4);
+        G.max(9);
+        G.max(3);
+        let snap = crate::snapshot();
+        assert_eq!(snap.counter("metrics.test.counter"), Some(3));
+        assert_eq!(snap.gauge("metrics.test.gauge"), Some(9));
+        crate::disable();
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_buckets() {
+        let _guard = crate::test_lock::hold();
+        crate::reset();
+        crate::enable();
+        static H: Histogram = Histogram::new("metrics.test.hist");
+        for v in [0u64, 1, 1, 5, 1000] {
+            H.observe(v);
+        }
+        let snap = crate::snapshot();
+        let h = snap.histogram("metrics.test.hist").expect("registered");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1007);
+        assert_eq!(h.buckets[bucket_of(0)], 1);
+        assert_eq!(h.buckets[bucket_of(1)], 2);
+        assert_eq!(h.buckets[bucket_of(5)], 1);
+        assert_eq!(h.buckets[bucket_of(1000)], 1);
+        crate::disable();
+    }
+}

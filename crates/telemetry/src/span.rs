@@ -1,0 +1,113 @@
+//! Hierarchical wall-clock spans with a scoped-guard API.
+//!
+//! [`span`] pushes a path segment onto a thread-local stack and returns a
+//! [`SpanGuard`]; when the guard drops, the elapsed time is folded into a
+//! global per-path aggregate (`count`, `total_ns`). Nesting builds `/`
+//! separated paths: a span `"query/Reentrancy"` opened while `"ccc"` is
+//! active records under `"ccc/query/Reentrancy"`, so the aggregate forms
+//! the run's span tree. Threads spawned mid-span (e.g. `par_map` workers)
+//! start with an empty stack: their spans record under their own root,
+//! which keeps the guard API lock-free on entry and safe under any
+//! interleaving.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SpanAgg {
+    pub(crate) count: u64,
+    pub(crate) total_ns: u64,
+}
+
+pub(crate) fn spans() -> MutexGuard<'static, BTreeMap<String, SpanAgg>> {
+    static SPANS: OnceLock<Mutex<BTreeMap<String, SpanAgg>>> = OnceLock::new();
+    SPANS
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Scoped span guard: records the elapsed wall-clock time under the
+/// current thread's span path when dropped. Created inert (no allocation,
+/// no recording) while telemetry is disabled.
+#[must_use = "a span guard measures until it is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Open a span named `name`. Segments may themselves contain `/` to group
+/// statically (`"ccc/query/Reentrancy"`). Returns an inert guard while
+/// telemetry is disabled — the only cost is one atomic load.
+pub fn span(name: impl AsRef<str>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None };
+    }
+    STACK.with(|stack| stack.borrow_mut().push(name.as_ref().to_string()));
+    SpanGuard { start: Some(Instant::now()) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut map = spans();
+        let agg = map.entry(path).or_default();
+        agg.count += 1;
+        agg.total_ns += elapsed_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_slash_paths() {
+        let _guard = crate::test_lock::hold();
+        crate::reset();
+        crate::enable();
+        {
+            let _outer = span("span_test.outer");
+            let _inner = span("inner");
+        }
+        {
+            let _outer = span("span_test.outer");
+        }
+        let snap = crate::snapshot();
+        let outer = snap.span("span_test.outer").expect("outer recorded");
+        assert_eq!(outer.count, 2);
+        let inner = snap.span("span_test.outer/inner").expect("inner recorded");
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        crate::disable();
+    }
+
+    #[test]
+    fn guard_is_inert_when_disabled_at_open() {
+        let _guard = crate::test_lock::hold();
+        crate::reset();
+        crate::disable();
+        let g = span("span_test.inert");
+        // Enabling after the guard was created must not record anything:
+        // the stack was never pushed.
+        crate::enable();
+        drop(g);
+        let snap = crate::snapshot();
+        assert!(snap.span("span_test.inert").is_none(), "{snap:?}");
+        crate::disable();
+    }
+}
