@@ -16,3 +16,21 @@ cargo clippy --all-targets -- -D warnings
 ./target/release/tables table1 table9 --telemetry --out /tmp/t.txt \
   --telemetry-out /tmp/BENCH_ci_run.json >/dev/null
 ./target/release/validate_telemetry /tmp/BENCH_ci_run.json
+
+# Service smoke: start the analysis daemon on an ephemeral port, run the
+# loadgen smoke burst against it over real sockets (health + typed scan /
+# clone-check checks), then SIGTERM it and require a graceful drain.
+PORT_FILE=$(mktemp)
+./target/release/serve --port 0 --port-file "$PORT_FILE" --corpus 16 \
+  >/tmp/serve_ci.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "serve never wrote its port"; cat /tmp/serve_ci.log; exit 1; }
+./target/release/loadgen --smoke --no-append --addr "127.0.0.1:$(cat "$PORT_FILE")"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "drained and stopped" /tmp/serve_ci.log
+rm -f "$PORT_FILE"

@@ -60,7 +60,7 @@ fn bench_single_queries(c: &mut Criterion) {
         QueryId::UncheckedCall,
         QueryId::AcUnrestrictedWrite,
     ] {
-        let checker = Checker::with_queries(vec![query]);
+        let checker = Checker::with_queries(&[query]);
         group.bench_function(format!("{query:?}"), |b| {
             b.iter(|| black_box(checker.check(black_box(&cpg))))
         });

@@ -151,6 +151,37 @@ impl QueryId {
         }
     }
 
+    /// Stable identifier of the query, as used in the versioned JSON
+    /// encoding of the analysis API (`pipeline::api`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::AcUnrestrictedWrite => "AcUnrestrictedWrite",
+            QueryId::AcSelfDestruct => "AcSelfDestruct",
+            QueryId::AcDefaultProxyDelegate => "AcDefaultProxyDelegate",
+            QueryId::AcTxOrigin => "AcTxOrigin",
+            QueryId::ShortAddressCall => "ShortAddressCall",
+            QueryId::ShortAddressStateWrite => "ShortAddressStateWrite",
+            QueryId::BadRandomnessSource => "BadRandomnessSource",
+            QueryId::DosExternalCallTransfer => "DosExternalCallTransfer",
+            QueryId::DosExternalCallState => "DosExternalCallState",
+            QueryId::DosExpensiveLoop => "DosExpensiveLoop",
+            QueryId::DosClearableCollection => "DosClearableCollection",
+            QueryId::UncheckedCall => "UncheckedCall",
+            QueryId::FrontRunnableBenefit => "FrontRunnableBenefit",
+            QueryId::UninitializedStoragePointer => "UninitializedStoragePointer",
+            QueryId::ArithmeticOverflow => "ArithmeticOverflow",
+            QueryId::Reentrancy => "Reentrancy",
+            QueryId::TimestampDependence => "TimestampDependence",
+        }
+    }
+
+    /// The inverse of [`QueryId::name`]: resolve a detector name from a
+    /// request. `None` for unknown names (the caller turns this into an
+    /// `AnalysisError::Query`).
+    pub fn parse_name(name: &str) -> Option<QueryId> {
+        QueryId::ALL.iter().copied().find(|q| q.name() == name)
+    }
+
     /// Short description for reports.
     pub fn description(self) -> &'static str {
         match self {

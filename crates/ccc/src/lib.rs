@@ -29,6 +29,7 @@ pub mod helpers;
 pub mod queries;
 
 pub use dasp::{Dasp, QueryId};
+pub use solidity::AnalysisError;
 
 use cpg::{Cpg, NodeId};
 use helpers::Ctx;
@@ -103,10 +104,14 @@ impl Checker {
 
     /// A checker restricted to a set of queries — used by the validation
     /// pipeline to re-check only the vulnerability found in a snippet
-    /// (§6.3).
-    pub fn with_queries(queries: Vec<QueryId>) -> Checker {
+    /// (§6.3). Borrows the slice; the checker keeps its own copy of the
+    /// (at most 17 `Copy`) ids.
+    pub fn with_queries(queries: &[QueryId]) -> Checker {
         Checker {
-            config: CheckerConfig { queries: Some(queries), ..CheckerConfig::default() },
+            config: CheckerConfig {
+                queries: Some(queries.to_vec()),
+                ..CheckerConfig::default()
+            },
         }
     }
 
@@ -116,8 +121,8 @@ impl Checker {
     }
 
     /// Restrict the queries of this checker.
-    pub fn restrict(mut self, queries: Vec<QueryId>) -> Checker {
-        self.config.queries = Some(queries);
+    pub fn restrict(mut self, queries: &[QueryId]) -> Checker {
+        self.config.queries = Some(queries.to_vec());
         self
     }
 
@@ -151,12 +156,12 @@ impl Checker {
     }
 
     /// Parse a snippet tolerantly, translate and check it.
-    pub fn check_snippet(&self, src: &str) -> Result<Vec<Finding>, solidity::ParseError> {
+    pub fn check_snippet(&self, src: &str) -> Result<Vec<Finding>, AnalysisError> {
         Ok(self.check(&Cpg::from_snippet(src)?))
     }
 
     /// Parse a full source, translate and check it.
-    pub fn check_source(&self, src: &str) -> Result<Vec<Finding>, solidity::ParseError> {
+    pub fn check_source(&self, src: &str) -> Result<Vec<Finding>, AnalysisError> {
         Ok(self.check(&Cpg::from_source(src)?))
     }
 
@@ -195,7 +200,7 @@ mod tests {
         let all = Checker::new().check_snippet(src).unwrap();
         assert!(all.iter().any(|f| f.query == QueryId::UncheckedCall));
         assert!(all.iter().any(|f| f.query == QueryId::AcSelfDestruct));
-        let only_unchecked = Checker::with_queries(vec![QueryId::UncheckedCall])
+        let only_unchecked = Checker::with_queries(&[QueryId::UncheckedCall])
             .check_snippet(src)
             .unwrap();
         assert!(only_unchecked.iter().all(|f| f.query == QueryId::UncheckedCall));
@@ -267,7 +272,7 @@ mod ablation_tests {
                    constructor() { owner = msg.sender; } \
                    function kill() public onlyOwner() { selfdestruct(owner); } }";
         let unit = solidity::parse_snippet(src).unwrap();
-        let checker = Checker::with_queries(vec![QueryId::AcSelfDestruct]);
+        let checker = Checker::with_queries(&[QueryId::AcSelfDestruct]);
 
         let expanded = Cpg::from_unit_with(&unit, BuildOptions { expand_modifiers: true });
         assert!(

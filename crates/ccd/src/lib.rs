@@ -39,6 +39,7 @@ pub mod sweep;
 pub mod tokenize;
 
 pub use fingerprint::Fingerprint;
+pub use solidity::AnalysisError;
 pub use matcher::{
     order_independent_similarity, order_independent_similarity_pair, CcdParams, CloneDetector,
     CloneMatch,

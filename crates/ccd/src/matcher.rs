@@ -12,6 +12,8 @@ use crate::tokenize::tokenize_unit;
 use fuzzyhash::similarity_above;
 use ngram_index::{DocId, NgramIndex};
 use serde::{Deserialize, Serialize};
+use solidity::AnalysisError;
+use std::sync::Arc;
 
 /// CCD matching parameters (Table 9 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,7 +126,10 @@ pub struct CloneMatch {
 pub struct CloneDetector {
     params: CcdParams,
     index: NgramIndex,
-    fingerprints: Vec<(DocId, Fingerprint)>,
+    /// Shared so that several detectors (e.g. per-parameter sweeps or the
+    /// analysis service's warm state) can point at one corpus without
+    /// cloning every fingerprint; uniquely owned during the build phase.
+    fingerprints: Arc<Vec<(DocId, Fingerprint)>>,
 }
 
 impl CloneDetector {
@@ -133,8 +138,25 @@ impl CloneDetector {
         CloneDetector {
             params,
             index: NgramIndex::new(params.ngram_size),
-            fingerprints: Vec::new(),
+            fingerprints: Arc::new(Vec::new()),
         }
+    }
+
+    /// Build a detector over an already-fingerprinted shared corpus. Only
+    /// the N-gram index is constructed; the fingerprints themselves are
+    /// borrowed through the `Arc`, so several detectors (different
+    /// parameters, different service workers) share one corpus allocation.
+    pub fn from_shared(params: CcdParams, corpus: Arc<Vec<(DocId, Fingerprint)>>) -> CloneDetector {
+        let mut index = NgramIndex::new(params.ngram_size);
+        for (doc, fp) in corpus.iter() {
+            index.insert(*doc, &fp.indexed_text());
+        }
+        CloneDetector { params, index, fingerprints: corpus }
+    }
+
+    /// The shared fingerprint corpus, cloneable by reference count only.
+    pub fn shared_fingerprints(&self) -> Arc<Vec<(DocId, Fingerprint)>> {
+        Arc::clone(&self.fingerprints)
     }
 
     /// The configured parameters.
@@ -159,32 +181,51 @@ impl CloneDetector {
         self.fingerprints.iter().map(|(doc, fp)| (*doc, fp))
     }
 
-    /// Normalize, tokenize and fingerprint a source fragment. Returns
-    /// `None` when the fragment does not parse or nothing is tokenizable.
-    pub fn fingerprint_source(source: &str) -> Option<Fingerprint> {
+    /// Normalize, tokenize and fingerprint a source fragment, reporting
+    /// *why* it is not fingerprintable: a parse failure carries its
+    /// location, an empty token stream (nothing hashable in the fragment)
+    /// is an invalid request.
+    pub fn try_fingerprint_source(source: &str) -> Result<Fingerprint, AnalysisError> {
         static FINGERPRINTS: telemetry::Counter = telemetry::Counter::new("ccd.fingerprints");
         static FAILURES: telemetry::Counter =
             telemetry::Counter::new("ccd.fingerprint_failures");
         let fingerprint = (|| {
-            let mut unit = solidity::parse_snippet(source).ok()?;
+            let mut unit = solidity::parse_snippet(source)?;
             normalize_unit(&mut unit);
             let tokens = tokenize_unit(&unit);
             if tokens.is_empty() {
-                return None;
+                return Err(AnalysisError::invalid(
+                    "nothing fingerprintable in the fragment",
+                ));
             }
-            Some(Fingerprint::of(&tokens))
+            Ok(Fingerprint::of(&tokens))
         })();
         match fingerprint {
-            Some(_) => FINGERPRINTS.incr(),
-            None => FAILURES.incr(),
+            Ok(_) => FINGERPRINTS.incr(),
+            Err(_) => FAILURES.incr(),
         }
         fingerprint
     }
 
+    /// Normalize, tokenize and fingerprint a source fragment. Returns
+    /// `None` when the fragment does not parse or nothing is tokenizable;
+    /// use [`CloneDetector::try_fingerprint_source`] to learn why.
+    pub fn fingerprint_source(source: &str) -> Option<Fingerprint> {
+        Self::try_fingerprint_source(source).ok()
+    }
+
     /// Index a pre-computed fingerprint under a document id.
+    ///
+    /// # Panics
+    ///
+    /// Inserting is a build-phase operation: it panics if the corpus is
+    /// already shared with another detector (via [`CloneDetector::from_shared`]
+    /// or [`CloneDetector::shared_fingerprints`]).
     pub fn insert_fingerprint(&mut self, doc: DocId, fingerprint: Fingerprint) {
         self.index.insert(doc, &fingerprint.indexed_text());
-        self.fingerprints.push((doc, fingerprint));
+        Arc::get_mut(&mut self.fingerprints)
+            .expect("cannot insert into a corpus already shared between detectors")
+            .push((doc, fingerprint));
     }
 
     /// Fingerprint and index a source fragment; returns `false` when the
@@ -374,5 +415,34 @@ mod tests {
         let d = detector_with_corpus();
         let ids: Vec<u64> = d.iter_fingerprints().map(|(doc, _)| doc).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shared_corpus_is_not_duplicated_across_detectors() {
+        let d = detector_with_corpus();
+        let corpus = d.shared_fingerprints();
+        let strict = CloneDetector::from_shared(CcdParams::conservative(), Arc::clone(&corpus));
+        // Both detectors point at the same allocation …
+        assert!(Arc::ptr_eq(&corpus, &strict.shared_fingerprints()));
+        // … and the stricter detector still finds the exact clone.
+        let q = CloneDetector::fingerprint_source(SNIPPET).unwrap();
+        assert!(strict.matches(&q).iter().any(|m| m.doc == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already shared")]
+    fn inserting_into_a_shared_corpus_panics() {
+        let mut d = detector_with_corpus();
+        let _keepalive = d.shared_fingerprints();
+        d.insert_source(9, SNIPPET);
+    }
+
+    #[test]
+    fn try_fingerprint_reports_parse_and_empty_failures() {
+        let err = CloneDetector::try_fingerprint_source("function f( {").unwrap_err();
+        assert_eq!(err.code(), "parse");
+        let err = CloneDetector::try_fingerprint_source("").unwrap_err();
+        assert_eq!(err.code(), "invalid_request");
+        assert!(CloneDetector::try_fingerprint_source(SNIPPET).is_ok());
     }
 }

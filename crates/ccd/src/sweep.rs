@@ -245,10 +245,10 @@ impl SweepEngine {
         for n in NGRAM_SIZES {
             // One index per N; documents are keyed by position.
             let _span = telemetry::span("index");
-            let mut index = NgramIndex::new(n);
-            for (i, text) in self.indexed.iter().enumerate() {
-                index.insert(i as DocId, text);
-            }
+            let index = NgramIndex::from_documents(
+                n,
+                self.indexed.iter().enumerate().map(|(i, text)| (i as DocId, text.as_str())),
+            );
             drop(_span);
             for eta in ETAS {
                 // One candidate retrieval per (N, η): directed candidacy

@@ -51,12 +51,12 @@ pub struct Cpg {
 
 impl Cpg {
     /// Parse `src` tolerantly as a snippet and translate it.
-    pub fn from_snippet(src: &str) -> Result<Cpg, solidity::ParseError> {
+    pub fn from_snippet(src: &str) -> Result<Cpg, solidity::AnalysisError> {
         Ok(Cpg::from_unit(&solidity::parse_snippet(src)?))
     }
 
     /// Parse `src` with the standard grammar and translate it.
-    pub fn from_source(src: &str) -> Result<Cpg, solidity::ParseError> {
+    pub fn from_source(src: &str) -> Result<Cpg, solidity::AnalysisError> {
         Ok(Cpg::from_unit(&solidity::parse_source(src)?))
     }
 

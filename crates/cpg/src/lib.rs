@@ -37,4 +37,5 @@ pub mod kinds;
 
 pub use builder::{BuildOptions, Cpg};
 pub use graph::{Edge, Graph, Node, NodeId, Props};
+pub use solidity::AnalysisError;
 pub use kinds::{AstRole, EdgeKind, NodeKind};

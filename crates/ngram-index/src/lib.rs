@@ -45,6 +45,22 @@ impl NgramIndex {
         NgramIndex { n: n.max(1), postings: HashMap::new(), doc_grams: HashMap::new() }
     }
 
+    /// Build an index over borrowed `(id, text)` documents in one pass.
+    ///
+    /// Nothing is cloned beyond the N-gram keys the index owns anyway, so
+    /// bulk construction (the analysis service's warm-state setup, the
+    /// sweep engine's per-N indexes) does not duplicate the corpus text.
+    pub fn from_documents<'a, I>(n: usize, docs: I) -> Self
+    where
+        I: IntoIterator<Item = (DocId, &'a str)>,
+    {
+        let mut index = NgramIndex::new(n);
+        for (id, text) in docs {
+            index.insert(id, text);
+        }
+        index
+    }
+
     /// The configured N-gram size.
     pub fn n(&self) -> usize {
         self.n

@@ -1,0 +1,781 @@
+//! The unified analysis facade: one typed request/response surface over
+//! CCC scanning and CCD clone checking.
+//!
+//! Both consumption modes of the toolchain sit on this module: the batch
+//! bins (`tables`, the evaluators) construct an [`AnalysisEngine`] and
+//! drive it in a loop, the analysis service (`crates/server`) keeps one
+//! warm engine behind an `Arc` and feeds it decoded HTTP bodies. Requests
+//! and responses have a versioned JSON encoding (`"v": 1`) parsed with
+//! [`telemetry::json`], so service and batch results are byte-comparable.
+//!
+//! ```
+//! use pipeline::api::{AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse};
+//!
+//! let engine = AnalysisEngine::new(AnalysisConfig::default());
+//! let request = AnalysisRequest::scan("function f(address to) public { to.send(1); }");
+//! match engine.analyze(&request).unwrap() {
+//!     AnalysisResponse::Findings(findings) => assert!(!findings.is_empty()),
+//!     other => panic!("expected findings, got {other:?}"),
+//! }
+//! ```
+
+use ccc::{Checker, Dasp, QueryId};
+use ccd::{CcdParams, CloneDetector, Fingerprint};
+use cpg::Cpg;
+use solidity::AnalysisError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use telemetry::json::Value;
+
+/// Version tag of the JSON wire encoding.
+pub const API_VERSION: u32 = 1;
+
+/// Default capacity of the engine's content-addressed CPG cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Builder-style configuration of an [`AnalysisEngine`].
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    detectors: Option<Vec<QueryId>>,
+    ccd: CcdParams,
+    max_path: usize,
+    timeout_ms: Option<u64>,
+    cache_capacity: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            detectors: None,
+            ccd: CcdParams::best(),
+            max_path: usize::MAX,
+            timeout_ms: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Restrict scans to a subset of the 17 detectors.
+    pub fn with_detectors(mut self, detectors: &[QueryId]) -> Self {
+        self.detectors = Some(detectors.to_vec());
+        self
+    }
+
+    /// Restrict scans to detectors given by their stable names
+    /// ([`QueryId::name`]); unknown names are a query error.
+    pub fn with_detector_names<S: AsRef<str>>(
+        mut self,
+        names: &[S],
+    ) -> Result<Self, AnalysisError> {
+        self.detectors = Some(parse_detector_names(names)?);
+        Ok(self)
+    }
+
+    /// CCD matching parameters for clone checks.
+    pub fn with_ccd_params(mut self, params: CcdParams) -> Self {
+        self.ccd = params;
+        self
+    }
+
+    /// Maximum transitive data-flow path length of the checker.
+    pub fn with_max_path(mut self, max_path: usize) -> Self {
+        self.max_path = max_path;
+        self
+    }
+
+    /// Per-request wall-clock budget; requests exceeding it fail with
+    /// [`AnalysisError::Timeout`] at the next stage boundary.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// Capacity of the content-addressed CPG cache (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// The configured detector subset, `None` for all 17.
+    pub fn detectors(&self) -> Option<&[QueryId]> {
+        self.detectors.as_deref()
+    }
+
+    /// The configured CCD parameters.
+    pub fn ccd_params(&self) -> CcdParams {
+        self.ccd
+    }
+
+    /// The configured per-request budget.
+    pub fn timeout_ms(&self) -> Option<u64> {
+        self.timeout_ms
+    }
+
+    fn checker(&self) -> Checker {
+        let checker = match &self.detectors {
+            Some(queries) => Checker::with_queries(queries),
+            None => Checker::new(),
+        };
+        checker.bounded(self.max_path)
+    }
+}
+
+fn parse_detector_names<S: AsRef<str>>(names: &[S]) -> Result<Vec<QueryId>, AnalysisError> {
+    names
+        .iter()
+        .map(|name| {
+            QueryId::parse_name(name.as_ref()).ok_or_else(|| {
+                AnalysisError::query(format!("unknown detector {:?}", name.as_ref()))
+            })
+        })
+        .collect()
+}
+
+/// A typed analysis request — the facade's single entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisRequest {
+    /// Scan a snippet with the CCC detectors.
+    Scan {
+        /// The Solidity fragment to scan.
+        source: String,
+        /// Detector subset for this request; `None` uses the engine's
+        /// configured set.
+        detectors: Option<Vec<QueryId>>,
+    },
+    /// Match a contract against the engine's warm clone corpus.
+    CloneCheck {
+        /// The contract (or snippet) to fingerprint and match.
+        source: String,
+    },
+}
+
+impl AnalysisRequest {
+    /// A scan request with the engine's configured detectors.
+    pub fn scan(source: impl Into<String>) -> AnalysisRequest {
+        AnalysisRequest::Scan { source: source.into(), detectors: None }
+    }
+
+    /// A clone-check request.
+    pub fn clone_check(source: impl Into<String>) -> AnalysisRequest {
+        AnalysisRequest::CloneCheck { source: source.into() }
+    }
+
+    /// Encode as versioned JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            AnalysisRequest::Scan { source, detectors } => {
+                let mut out = format!(
+                    "{{\"v\":{API_VERSION},\"kind\":\"scan\",\"source\":\"{}\"",
+                    escape_json(source)
+                );
+                if let Some(detectors) = detectors {
+                    out.push_str(",\"detectors\":[");
+                    for (i, d) in detectors.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('"');
+                        out.push_str(d.name());
+                        out.push('"');
+                    }
+                    out.push(']');
+                }
+                out.push('}');
+                out
+            }
+            AnalysisRequest::CloneCheck { source } => format!(
+                "{{\"v\":{API_VERSION},\"kind\":\"clone_check\",\"source\":\"{}\"}}",
+                escape_json(source)
+            ),
+        }
+    }
+
+    /// Decode a versioned JSON request.
+    pub fn from_json(text: &str) -> Result<AnalysisRequest, AnalysisError> {
+        let value = telemetry::json::parse(text)
+            .map_err(|e| AnalysisError::invalid(format!("malformed JSON request: {e}")))?;
+        check_version(&value)?;
+        let kind = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| AnalysisError::invalid("request is missing \"kind\""))?;
+        let source = value
+            .get("source")
+            .and_then(Value::as_str)
+            .ok_or_else(|| AnalysisError::invalid("request is missing \"source\""))?
+            .to_string();
+        match kind {
+            "scan" => {
+                let detectors = match value.get("detectors") {
+                    None => None,
+                    Some(list) => {
+                        let names: Vec<&str> = list
+                            .as_array()
+                            .ok_or_else(|| {
+                                AnalysisError::invalid("\"detectors\" must be an array")
+                            })?
+                            .iter()
+                            .map(|v| {
+                                v.as_str().ok_or_else(|| {
+                                    AnalysisError::invalid("detector names must be strings")
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
+                        Some(parse_detector_names(&names)?)
+                    }
+                };
+                Ok(AnalysisRequest::Scan { source, detectors })
+            }
+            "clone_check" => Ok(AnalysisRequest::CloneCheck { source }),
+            other => Err(AnalysisError::invalid(format!("unknown request kind {other:?}"))),
+        }
+    }
+}
+
+/// One vulnerability finding, as reported through the facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The detector that fired.
+    pub detector: QueryId,
+    /// 1-based source line of the reported node.
+    pub line: u32,
+    /// Canonical code of the reported node.
+    pub code: String,
+}
+
+impl Finding {
+    /// The DASP category of the finding.
+    pub fn category(&self) -> Dasp {
+        self.detector.category()
+    }
+}
+
+impl From<ccc::Finding> for Finding {
+    fn from(f: ccc::Finding) -> Finding {
+        Finding { detector: f.query, line: f.line, code: f.code }
+    }
+}
+
+/// One clone match, as reported through the facade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloneHit {
+    /// The matched corpus document.
+    pub doc: u64,
+    /// Order-independent similarity (0..=100).
+    pub score: f64,
+}
+
+/// A typed analysis response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisResponse {
+    /// Scan findings, sorted by (line, detector).
+    Findings(Vec<Finding>),
+    /// Clone matches, sorted by descending score.
+    Clones(Vec<CloneHit>),
+}
+
+impl AnalysisResponse {
+    /// Encode as versioned JSON. Scores use Rust's shortest-roundtrip
+    /// `f64` rendering, so equal scores are byte-equal across service and
+    /// batch output.
+    pub fn to_json(&self) -> String {
+        match self {
+            AnalysisResponse::Findings(findings) => {
+                let mut out =
+                    format!("{{\"v\":{API_VERSION},\"kind\":\"findings\",\"findings\":[");
+                for (i, f) in findings.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"detector\":\"{}\",\"category\":\"{}\",\"line\":{},\"code\":\"{}\"}}",
+                        f.detector.name(),
+                        f.category().name(),
+                        f.line,
+                        escape_json(&f.code)
+                    ));
+                }
+                out.push_str("]}");
+                out
+            }
+            AnalysisResponse::Clones(hits) => {
+                let mut out = format!("{{\"v\":{API_VERSION},\"kind\":\"clones\",\"clones\":[");
+                for (i, hit) in hits.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"doc\":{},\"score\":{}}}", hit.doc, hit.score));
+                }
+                out.push_str("]}");
+                out
+            }
+        }
+    }
+
+    /// Decode a versioned JSON response; an `"error"` document decodes
+    /// into the transported [`AnalysisError`].
+    pub fn from_json(text: &str) -> Result<AnalysisResponse, AnalysisError> {
+        let value = telemetry::json::parse(text)
+            .map_err(|e| AnalysisError::invalid(format!("malformed JSON response: {e}")))?;
+        check_version(&value)?;
+        let kind = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| AnalysisError::invalid("response is missing \"kind\""))?;
+        match kind {
+            "findings" => {
+                let items = value
+                    .get("findings")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| AnalysisError::invalid("missing \"findings\" array"))?;
+                let findings = items
+                    .iter()
+                    .map(|item| {
+                        let detector = item
+                            .get("detector")
+                            .and_then(Value::as_str)
+                            .and_then(QueryId::parse_name)
+                            .ok_or_else(|| AnalysisError::invalid("bad finding detector"))?;
+                        let line = item
+                            .get("line")
+                            .and_then(Value::as_f64)
+                            .ok_or_else(|| AnalysisError::invalid("bad finding line"))?;
+                        let code = item
+                            .get("code")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| AnalysisError::invalid("bad finding code"))?;
+                        Ok(Finding { detector, line: line as u32, code: code.to_string() })
+                    })
+                    .collect::<Result<_, AnalysisError>>()?;
+                Ok(AnalysisResponse::Findings(findings))
+            }
+            "clones" => {
+                let items = value
+                    .get("clones")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| AnalysisError::invalid("missing \"clones\" array"))?;
+                let hits = items
+                    .iter()
+                    .map(|item| {
+                        let doc = item
+                            .get("doc")
+                            .and_then(Value::as_f64)
+                            .ok_or_else(|| AnalysisError::invalid("bad clone doc"))?;
+                        let score = item
+                            .get("score")
+                            .and_then(Value::as_f64)
+                            .ok_or_else(|| AnalysisError::invalid("bad clone score"))?;
+                        Ok(CloneHit { doc: doc as u64, score })
+                    })
+                    .collect::<Result<_, AnalysisError>>()?;
+                Ok(AnalysisResponse::Clones(hits))
+            }
+            "error" => Err(decode_error(&value)),
+            other => Err(AnalysisError::invalid(format!("unknown response kind {other:?}"))),
+        }
+    }
+}
+
+/// Encode an [`AnalysisError`] as a versioned JSON error document — the
+/// wire form of the facade's `Err` arm.
+pub fn error_to_json(error: &AnalysisError) -> String {
+    let mut out = format!(
+        "{{\"v\":{API_VERSION},\"kind\":\"error\",\"code\":\"{}\",\"message\":\"{}\"",
+        error.code(),
+        escape_json(&error.to_string())
+    );
+    match error {
+        AnalysisError::Parse { line, col, .. } => {
+            out.push_str(&format!(",\"line\":{line},\"col\":{col}"));
+        }
+        AnalysisError::Timeout { stage, budget_ms } => {
+            out.push_str(&format!(",\"stage\":\"{}\",\"budget_ms\":{budget_ms}", escape_json(stage)));
+        }
+        _ => {}
+    }
+    out.push('}');
+    out
+}
+
+fn decode_error(value: &Value) -> AnalysisError {
+    let message = value
+        .get("message")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown error")
+        .to_string();
+    match value.get("code").and_then(Value::as_str) {
+        Some("parse") => AnalysisError::Parse {
+            message,
+            line: value.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+            col: value.get("col").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+        },
+        Some("graph_build") => AnalysisError::GraphBuild { message },
+        Some("query") => AnalysisError::query(message),
+        Some("timeout") => AnalysisError::timeout(
+            value.get("stage").and_then(Value::as_str).unwrap_or("unknown"),
+            value.get("budget_ms").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+        ),
+        _ => AnalysisError::invalid(message),
+    }
+}
+
+fn check_version(value: &Value) -> Result<(), AnalysisError> {
+    match value.get("v").and_then(Value::as_f64) {
+        Some(v) if v == API_VERSION as f64 => Ok(()),
+        Some(v) => Err(AnalysisError::invalid(format!("unsupported API version {v}"))),
+        None => Err(AnalysisError::invalid("missing API version \"v\"")),
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// FNV-1a content hash — the cache key of parsed CPGs.
+fn content_hash(source: &str) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in source.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// A small LRU cache of built CPGs keyed by source content hash. Shared
+/// (behind the engine's `Mutex`) between all workers of the service, so
+/// repeated scans of the same snippet skip parsing and graph construction.
+struct CpgCache {
+    capacity: usize,
+    stamp: u64,
+    entries: HashMap<u64, (u64, Arc<Cpg>)>,
+}
+
+impl CpgCache {
+    fn new(capacity: usize) -> CpgCache {
+        CpgCache { capacity, stamp: 0, entries: HashMap::new() }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<Cpg>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(&key).map(|(s, cpg)| {
+            *s = stamp;
+            Arc::clone(cpg)
+        })
+    }
+
+    fn insert(&mut self, key: u64, cpg: Arc<Cpg>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self.entries.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.stamp += 1;
+        self.entries.insert(key, (self.stamp, cpg));
+    }
+}
+
+/// The warm analysis engine: a configured checker, a fingerprinted clone
+/// corpus and a content-addressed CPG cache behind one immutable facade.
+/// All methods take `&self`, so one engine can serve many threads through
+/// an `Arc`.
+pub struct AnalysisEngine {
+    config: AnalysisConfig,
+    checker: Checker,
+    detector: CloneDetector,
+    cache: Mutex<CpgCache>,
+}
+
+impl AnalysisEngine {
+    /// An engine with an empty clone corpus (scan-only use).
+    pub fn new(config: AnalysisConfig) -> AnalysisEngine {
+        let detector = CloneDetector::new(config.ccd);
+        Self::assemble(config, detector)
+    }
+
+    /// An engine with a clone corpus fingerprinted from sources. Documents
+    /// that do not fingerprint (parse failure, nothing tokenizable) are
+    /// skipped, mirroring `CloneDetector::insert_source`.
+    pub fn with_corpus<'a, I>(config: AnalysisConfig, docs: I) -> AnalysisEngine
+    where
+        I: IntoIterator<Item = (u64, &'a str)>,
+    {
+        let mut detector = CloneDetector::new(config.ccd);
+        for (id, source) in docs {
+            detector.insert_source(id, source);
+        }
+        Self::assemble(config, detector)
+    }
+
+    /// An engine over an already-fingerprinted shared corpus — the service
+    /// path: the corpus is built once and shared by reference count.
+    pub fn with_shared_corpus(
+        config: AnalysisConfig,
+        corpus: Arc<Vec<(u64, Fingerprint)>>,
+    ) -> AnalysisEngine {
+        let detector = CloneDetector::from_shared(config.ccd, corpus);
+        Self::assemble(config, detector)
+    }
+
+    fn assemble(config: AnalysisConfig, detector: CloneDetector) -> AnalysisEngine {
+        let checker = config.checker();
+        let cache = Mutex::new(CpgCache::new(config.cache_capacity));
+        AnalysisEngine { config, checker, detector, cache }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The configured checker (for batch callers that drive CCC directly).
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// The warm clone detector (for batch callers doing all-pairs work on
+    /// the corpus without re-fingerprinting every query).
+    pub fn detector(&self) -> &CloneDetector {
+        &self.detector
+    }
+
+    /// Number of documents in the warm clone corpus.
+    pub fn corpus_len(&self) -> usize {
+        self.detector.len()
+    }
+
+    /// Run one request to completion, applying the configured per-request
+    /// timeout (if any) from this call's start.
+    pub fn analyze(&self, request: &AnalysisRequest) -> Result<AnalysisResponse, AnalysisError> {
+        let deadline = self
+            .config
+            .timeout_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        self.analyze_deadline(request, deadline)
+    }
+
+    /// Run one request with an explicit deadline. The deadline is checked
+    /// cooperatively at stage boundaries (before graph construction,
+    /// before query execution, before clone matching), so an expensive
+    /// stage overruns by at most its own duration.
+    pub fn analyze_deadline(
+        &self,
+        request: &AnalysisRequest,
+        deadline: Option<Instant>,
+    ) -> Result<AnalysisResponse, AnalysisError> {
+        static REQUESTS: telemetry::Counter = telemetry::Counter::new("api.requests");
+        static ERRORS: telemetry::Counter = telemetry::Counter::new("api.errors");
+        let _span = telemetry::span("api/analyze");
+        REQUESTS.incr();
+        let result = match request {
+            AnalysisRequest::Scan { source, detectors } => {
+                self.scan(source, detectors.as_deref(), deadline)
+            }
+            AnalysisRequest::CloneCheck { source } => self.clone_check(source, deadline),
+        };
+        if result.is_err() {
+            ERRORS.incr();
+        }
+        result
+    }
+
+    fn scan(
+        &self,
+        source: &str,
+        detectors: Option<&[QueryId]>,
+        deadline: Option<Instant>,
+    ) -> Result<AnalysisResponse, AnalysisError> {
+        static SCANS: telemetry::Counter = telemetry::Counter::new("api.scans");
+        SCANS.incr();
+        self.check_deadline(deadline, "parse")?;
+        let cpg = self.cpg_for(source)?;
+        self.check_deadline(deadline, "check")?;
+        let findings = match detectors {
+            // A per-request subset gets a throwaway checker with the same
+            // path bound; results for the engine's own subset are
+            // byte-identical to the warm checker by construction.
+            Some(queries) => Checker::with_queries(queries)
+                .bounded(self.config.max_path)
+                .check(&cpg),
+            None => self.checker.check(&cpg),
+        };
+        Ok(AnalysisResponse::Findings(
+            findings.into_iter().map(Finding::from).collect(),
+        ))
+    }
+
+    fn clone_check(
+        &self,
+        source: &str,
+        deadline: Option<Instant>,
+    ) -> Result<AnalysisResponse, AnalysisError> {
+        static CLONE_CHECKS: telemetry::Counter = telemetry::Counter::new("api.clone_checks");
+        CLONE_CHECKS.incr();
+        if source.is_empty() {
+            return Err(AnalysisError::invalid("clone-check source is empty"));
+        }
+        self.check_deadline(deadline, "fingerprint")?;
+        let fingerprint = CloneDetector::try_fingerprint_source(source)?;
+        self.check_deadline(deadline, "match")?;
+        let hits = self
+            .detector
+            .matches(&fingerprint)
+            .into_iter()
+            .map(|m| CloneHit { doc: m.doc, score: m.score })
+            .collect();
+        Ok(AnalysisResponse::Clones(hits))
+    }
+
+    fn check_deadline(
+        &self,
+        deadline: Option<Instant>,
+        stage: &str,
+    ) -> Result<(), AnalysisError> {
+        match deadline {
+            Some(d) if Instant::now() >= d => {
+                Err(AnalysisError::timeout(stage, self.config.timeout_ms.unwrap_or(0)))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn cpg_for(&self, source: &str) -> Result<Arc<Cpg>, AnalysisError> {
+        static HITS: telemetry::Counter = telemetry::Counter::new("api.cache_hits");
+        static MISSES: telemetry::Counter = telemetry::Counter::new("api.cache_misses");
+        let key = content_hash(source);
+        if let Some(cpg) = self.cache.lock().expect("cache lock").get(key) {
+            HITS.incr();
+            return Ok(cpg);
+        }
+        MISSES.incr();
+        let cpg = Arc::new(Cpg::from_snippet(source)?);
+        self.cache.lock().expect("cache lock").insert(key, Arc::clone(&cpg));
+        Ok(cpg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VULNERABLE: &str = "function f(address to) public { to.send(1); }";
+
+    #[test]
+    fn scan_matches_direct_checker_output() {
+        let engine = AnalysisEngine::new(AnalysisConfig::default());
+        let response = engine.analyze(&AnalysisRequest::scan(VULNERABLE)).unwrap();
+        let direct = Checker::new().check_snippet(VULNERABLE).unwrap();
+        match response {
+            AnalysisResponse::Findings(findings) => {
+                assert_eq!(findings.len(), direct.len());
+                for (api, raw) in findings.iter().zip(&direct) {
+                    assert_eq!(api.detector, raw.query);
+                    assert_eq!(api.line, raw.line);
+                    assert_eq!(api.code, raw.code);
+                }
+            }
+            other => panic!("expected findings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clone_check_finds_corpus_clones() {
+        let corpus = [(7u64, "contract W { function t(uint a) public { msg.sender.transfer(a); } }")];
+        let engine = AnalysisEngine::with_corpus(
+            AnalysisConfig::default(),
+            corpus.iter().map(|(id, s)| (*id, *s)),
+        );
+        let request = AnalysisRequest::clone_check(
+            "contract U { function w(uint v) public { msg.sender.transfer(v); } }",
+        );
+        match engine.analyze(&request).unwrap() {
+            AnalysisResponse::Clones(hits) => {
+                assert_eq!(hits[0].doc, 7);
+                assert_eq!(hits[0].score, 100.0);
+            }
+            other => panic!("expected clones, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_scans_hit_the_cpg_cache() {
+        let engine = AnalysisEngine::new(AnalysisConfig::default());
+        let a = engine.analyze(&AnalysisRequest::scan(VULNERABLE)).unwrap();
+        let b = engine.analyze(&AnalysisRequest::scan(VULNERABLE)).unwrap();
+        assert_eq!(a, b);
+        // The cache holds exactly one entry for the repeated source.
+        assert_eq!(engine.cache.lock().unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut cache = CpgCache::new(2);
+        let cpg = Arc::new(Cpg::from_snippet("x = 1;").unwrap());
+        cache.insert(1, Arc::clone(&cpg));
+        cache.insert(2, Arc::clone(&cpg));
+        assert!(cache.get(1).is_some()); // refresh 1 → 2 becomes LRU
+        cache.insert(3, cpg);
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_timeout_fails_with_timeout_error() {
+        let engine =
+            AnalysisEngine::new(AnalysisConfig::default().with_timeout_ms(0));
+        let err = engine.analyze(&AnalysisRequest::scan(VULNERABLE)).unwrap_err();
+        assert_eq!(err.code(), "timeout");
+    }
+
+    #[test]
+    fn detector_subset_restricts_findings() {
+        let src = "contract C { function f(address to) public { to.send(1); } \
+                   function kill() public { selfdestruct(msg.sender); } }";
+        let engine = AnalysisEngine::new(
+            AnalysisConfig::default()
+                .with_detector_names(&["UncheckedCall"])
+                .unwrap(),
+        );
+        match engine.analyze(&AnalysisRequest::scan(src)).unwrap() {
+            AnalysisResponse::Findings(findings) => {
+                assert!(!findings.is_empty());
+                assert!(findings.iter().all(|f| f.detector == QueryId::UncheckedCall));
+            }
+            other => panic!("expected findings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_detector_name_is_a_query_error() {
+        let err = AnalysisConfig::default()
+            .with_detector_names(&["NoSuchDetector"])
+            .unwrap_err();
+        assert_eq!(err.code(), "query");
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

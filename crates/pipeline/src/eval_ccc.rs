@@ -2,8 +2,9 @@
 //! eight analysis tools on the curated dataset) and Table 2 (the derived
 //! Functions/Statements snippet datasets).
 
+use crate::api::{AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse};
 use baselines::analyzers::{all_analyzers, Analyzer};
-use ccc::{Checker, Dasp};
+use ccc::Dasp;
 use corpus::smartbugs::{score_file, CuratedDataset};
 use serde::{Deserialize, Serialize};
 use stats::Confusion;
@@ -32,14 +33,20 @@ impl ToolResult {
 /// Evaluate CCC on a curated dataset under the paper's counting rule
 /// (§4.6.2): per file, findings of the file's category count; up to the
 /// file's label count as TPs, the rest as FPs; unmatched labels as FNs.
+///
+/// Drives the [`crate::api`] facade — the same scan path the analysis
+/// service serves — so batch tables and service responses are built from
+/// identical findings. Files that fail to analyze count zero findings.
 pub fn evaluate_ccc(dataset: &CuratedDataset) -> ToolResult {
     let _span = telemetry::span("pipeline/eval_ccc");
-    let checker = Checker::new();
+    let engine = AnalysisEngine::new(AnalysisConfig::default());
     evaluate_with(dataset, "CCC", |source, category| {
-        checker
-            .check_snippet(source)
-            .map(|findings| findings.iter().filter(|f| f.category() == category).count())
-            .unwrap_or(0)
+        match engine.analyze(&AnalysisRequest::scan(source)) {
+            Ok(AnalysisResponse::Findings(findings)) => {
+                findings.iter().filter(|f| f.category() == category).count()
+            }
+            _ => 0,
+        }
     })
 }
 

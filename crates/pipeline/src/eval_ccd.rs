@@ -2,8 +2,9 @@
 //! SmartEmbed on the honeypot dataset) and the Table 9 / Figure 9
 //! parameter sweep.
 
+use crate::api::{AnalysisConfig, AnalysisEngine};
 use baselines::smartembed::{SmartEmbed, SMARTEMBED_THRESHOLD};
-use ccd::{CcdParams, CloneDetector, SweepEngine};
+use ccd::{CcdParams, SweepEngine};
 use corpus::honeypots::{HoneypotDataset, HoneypotType};
 use serde::{Deserialize, Serialize};
 use stats::Confusion;
@@ -74,10 +75,16 @@ fn agreed_pairs(directed: &HashSet<(u64, u64)>) -> HashSet<(u64, u64)> {
 /// all others (§5.7.1), at the given parameters.
 pub fn evaluate_ccd(dataset: &HoneypotDataset, params: CcdParams) -> HoneypotResult {
     let _span = telemetry::span("pipeline/eval_ccd");
-    let mut detector = CloneDetector::new(params);
-    for contract in &dataset.contracts {
-        detector.insert_source(contract.id, &contract.source);
-    }
+    // The warm engine of the [`crate::api`] facade: corpus fingerprinted
+    // once, matched through the same detector the analysis service
+    // serves. The all-pairs batch iterates the stored fingerprints
+    // directly instead of re-fingerprinting each contract as a query —
+    // fingerprinting is deterministic, so the matches are identical.
+    let engine = AnalysisEngine::with_corpus(
+        AnalysisConfig::default().with_ccd_params(params),
+        dataset.contracts.iter().map(|c| (c.id, c.source.as_str())),
+    );
+    let detector = engine.detector();
     // Algorithm 1 is asymmetric (containment-oriented: every sub-
     // fingerprint of the *query* must find a good counterpart). For the
     // contract-vs-contract comparison of Table 3 a pair is a clone when

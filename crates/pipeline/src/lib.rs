@@ -12,11 +12,15 @@
 //!   (Tables 1 and 2),
 //! * [`eval_ccd`] — the CCD benchmark against SmartEmbed and the
 //!   parameter sweep (Tables 3 and 9, Figure 9),
-//! * [`report`] — plain-text table rendering.
+//! * [`report`] — plain-text table rendering,
+//! * [`api`] — the unified analysis facade (typed requests/responses with
+//!   a versioned JSON encoding) shared by the batch bins and the analysis
+//!   service (`crates/server`).
 
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod eval_ccc;
 pub mod eval_ccd;
 pub mod funnel;
@@ -28,6 +32,9 @@ pub mod study;
 pub mod telemetry_report;
 pub mod temporal;
 
+pub use api::{
+    AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse, CloneHit, Finding,
+};
 pub use funnel::{run_funnel, FunnelOutput, UniqueSnippet};
 pub use manual::{run_audit, AuditGrid};
 pub use mapping::{dedup_contracts, map_snippets, CloneMapping};

@@ -369,7 +369,7 @@ fn validate_one(
     config: StudyConfig,
 ) -> (ValidationOutcome, Vec<QueryId>) {
     if cost <= config.budget {
-        let findings = Checker::with_queries(queries.to_vec()).check(cpg);
+        let findings = Checker::with_queries(queries).check(cpg);
         let confirmed = dedup_queries(findings.iter().map(|f| f.query));
         if confirmed.is_empty() {
             (ValidationOutcome::NotVulnerable, confirmed)
@@ -380,7 +380,7 @@ fn validate_one(
         // Phase 2: path-length reduction brings the search space back
         // under budget. Reduction only limits the positive parts of the
         // queries, so phase 2 can only add true positives (§6.3).
-        let findings = Checker::with_queries(queries.to_vec())
+        let findings = Checker::with_queries(queries)
             .bounded(config.phase2_max_path)
             .check(cpg);
         let confirmed = dedup_queries(findings.iter().map(|f| f.query));

@@ -1,0 +1,145 @@
+//! The facade's wire-format contract: requests and responses survive a
+//! JSON round trip byte-comparably, the facade reproduces the legacy
+//! batch path exactly, and error paths are typed.
+
+use ccc::{Checker, QueryId};
+use pipeline::api::{
+    error_to_json, AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse, CloneHit,
+    Finding,
+};
+use solidity::AnalysisError;
+
+#[test]
+fn scan_request_roundtrips_through_json() {
+    let requests = [
+        AnalysisRequest::scan("function f() { x = 1; }"),
+        AnalysisRequest::Scan {
+            source: "weird \"quotes\"\nand\tcontrol\u{1}chars\\".to_string(),
+            detectors: Some(vec![QueryId::Reentrancy, QueryId::UncheckedCall]),
+        },
+        AnalysisRequest::clone_check("contract C { function f() {} }"),
+    ];
+    for request in requests {
+        let json = request.to_json();
+        let decoded = AnalysisRequest::from_json(&json).expect("request decodes");
+        assert_eq!(decoded, request, "round trip changed the request: {json}");
+        // Encoding is canonical: a second round trip is byte-identical.
+        assert_eq!(decoded.to_json(), json);
+    }
+}
+
+#[test]
+fn response_roundtrips_through_json() {
+    let responses = [
+        AnalysisResponse::Findings(vec![Finding {
+            detector: QueryId::UncheckedCall,
+            line: 3,
+            code: "to.send(1)".to_string(),
+        }]),
+        AnalysisResponse::Findings(vec![]),
+        AnalysisResponse::Clones(vec![
+            CloneHit { doc: 42, score: 100.0 },
+            CloneHit { doc: 7, score: 83.33333333333333 },
+        ]),
+        AnalysisResponse::Clones(vec![]),
+    ];
+    for response in responses {
+        let json = response.to_json();
+        let decoded = AnalysisResponse::from_json(&json).expect("response decodes");
+        assert_eq!(decoded, response, "round trip changed the response: {json}");
+        assert_eq!(decoded.to_json(), json, "re-encoding must be byte-identical");
+    }
+}
+
+#[test]
+fn error_documents_roundtrip_with_their_code() {
+    // The wire `message` is the Display rendering, so the contract is
+    // code stability plus message preservation, not field-exact equality.
+    let errors = [
+        AnalysisError::query("unknown detector \"Nope\""),
+        AnalysisError::invalid("clone-check source is empty"),
+        AnalysisError::timeout("check", 250),
+    ];
+    for error in errors {
+        let json = error_to_json(&error);
+        let decoded = AnalysisResponse::from_json(&json).expect_err("error doc decodes to Err");
+        assert_eq!(decoded.code(), error.code(), "{json}");
+        assert!(
+            decoded.to_string().contains(&error.to_string())
+                || error.to_string().contains(&decoded.to_string()),
+            "message lost in transit: {error} vs {decoded}"
+        );
+    }
+    // Timeout is field-exact: stage and budget travel as structured fields.
+    let timeout = AnalysisError::timeout("check", 250);
+    let decoded = AnalysisResponse::from_json(&error_to_json(&timeout)).unwrap_err();
+    assert_eq!(decoded, timeout);
+}
+
+#[test]
+fn facade_scan_is_byte_identical_to_legacy_batch_output() {
+    let sources = [
+        "function f(address to) public { to.send(1); }",
+        "contract Dao { mapping(address => uint) balances; \
+         function withdraw() public { uint amount = balances[msg.sender]; \
+         msg.sender.call{value: amount}(\"\"); balances[msg.sender] = 0; } }",
+        "pragma solidity ^0.8.0; contract Clean { uint x; \
+         function set(uint v) public { require(v < 10); x = v; } }",
+    ];
+    let engine = AnalysisEngine::new(AnalysisConfig::default());
+    let checker = Checker::new();
+    for source in sources {
+        let api = match engine.analyze(&AnalysisRequest::scan(source)).unwrap() {
+            AnalysisResponse::Findings(findings) => findings,
+            other => panic!("expected findings, got {other:?}"),
+        };
+        let legacy = checker.check_snippet(source).unwrap();
+        assert_eq!(api.len(), legacy.len());
+        for (a, l) in api.iter().zip(&legacy) {
+            assert_eq!(a.detector, l.query);
+            assert_eq!(a.line, l.line);
+            assert_eq!(a.code, l.code);
+        }
+    }
+}
+
+#[test]
+fn malformed_snippet_reports_a_parse_error() {
+    let engine = AnalysisEngine::new(AnalysisConfig::default());
+    let err = engine
+        .analyze(&AnalysisRequest::scan("function f( {"))
+        .unwrap_err();
+    assert_eq!(err.code(), "parse");
+    match err {
+        AnalysisError::Parse { line, .. } => assert_eq!(line, 1),
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_detector_name_reports_a_query_error() {
+    let json = "{\"v\":1,\"kind\":\"scan\",\"source\":\"x = 1;\",\"detectors\":[\"NotADetector\"]}";
+    let err = AnalysisRequest::from_json(json).unwrap_err();
+    assert_eq!(err.code(), "query");
+    assert!(err.to_string().contains("NotADetector"), "{err}");
+}
+
+#[test]
+fn zero_length_clone_check_reports_invalid_request() {
+    let engine = AnalysisEngine::new(AnalysisConfig::default());
+    let err = engine
+        .analyze(&AnalysisRequest::clone_check(""))
+        .unwrap_err();
+    assert_eq!(err.code(), "invalid_request");
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    for doc in [
+        "{\"kind\":\"scan\",\"source\":\"x = 1;\"}",
+        "{\"v\":2,\"kind\":\"scan\",\"source\":\"x = 1;\"}",
+    ] {
+        let err = AnalysisRequest::from_json(doc).unwrap_err();
+        assert_eq!(err.code(), "invalid_request", "{doc}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Load generator for the analysis daemon.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--concurrency N]
+//!         [--out PATH] [--no-append] [--smoke]
+//! ```
+//!
+//! Drives a running daemon (`--addr`) or spins up an in-process one on an
+//! ephemeral port, fires a mixed scan/clone-check workload from
+//! `--concurrency` threads, and appends one throughput/latency point
+//! (`rps`, `p50/p95/p99` µs) to the benchmark trajectory file. `--smoke`
+//! is the CI mode: a small burst plus response well-formedness checks,
+//! designed to finish in seconds.
+
+use corpus::honeypots::honeypot_dataset;
+use pipeline::api::{AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse};
+use server::{client, Server, ServerConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const HONEYPOT_SEED: u64 = 1;
+
+const SCAN_SNIPPETS: &[&str] = &[
+    "function f(address to) public { to.send(1); }",
+    "contract Dao { mapping(address => uint) balances; \
+     function withdraw() public { uint amount = balances[msg.sender]; \
+     msg.sender.call{value: amount}(\"\"); balances[msg.sender] = 0; } }",
+    "function kill() public { selfdestruct(msg.sender); }",
+    "if (block.timestamp > deadline) { winner = msg.sender; }",
+];
+
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    out: String,
+    append: bool,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut args = Args {
+        addr: None,
+        requests: 256,
+        concurrency: 16,
+        out: "BENCH_trajectory.json".to_string(),
+        append: true,
+        smoke: false,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--addr" => {
+                args.addr = Some(value(i).clone());
+                i += 2;
+            }
+            "--requests" => {
+                args.requests = value(i).parse().expect("--requests must be a count");
+                i += 2;
+            }
+            "--concurrency" => {
+                args.concurrency = value(i).parse().expect("--concurrency must be a count");
+                i += 2;
+            }
+            "--out" => {
+                args.out = value(i).clone();
+                i += 2;
+            }
+            "--no-append" => {
+                args.append = false;
+                i += 1;
+            }
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.smoke {
+        args.requests = args.requests.min(64);
+        args.concurrency = args.concurrency.min(8);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let dataset = honeypot_dataset(HONEYPOT_SEED);
+
+    // Resolve a target: external daemon or an in-process one.
+    let mut in_process: Option<(server::ShutdownHandle, std::thread::JoinHandle<()>)> = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let engine = Arc::new(AnalysisEngine::with_corpus(
+                AnalysisConfig::default(),
+                dataset.contracts.iter().take(64).map(|c| (c.id, c.source.as_str())),
+            ));
+            let server = Server::bind("127.0.0.1:0", ServerConfig::default(), engine)
+                .expect("failed to bind in-process server");
+            let addr = server.local_addr().expect("bound address").to_string();
+            let handle = server.shutdown_handle();
+            let join = std::thread::spawn(move || {
+                server.run().expect("in-process server failed");
+            });
+            in_process = Some((handle, join));
+            addr
+        }
+    };
+
+    smoke_checks(&addr, &dataset);
+
+    // The measured burst: a deterministic scan/clone-check mix.
+    let bodies: Vec<String> = (0..args.requests)
+        .map(|i| {
+            if i % 2 == 0 {
+                AnalysisRequest::scan(SCAN_SNIPPETS[i / 2 % SCAN_SNIPPETS.len()]).to_json()
+            } else {
+                let contract = &dataset.contracts[i % dataset.contracts.len().min(64)];
+                AnalysisRequest::clone_check(contract.source.as_str()).to_json()
+            }
+        })
+        .collect();
+    let paths: Vec<&str> = (0..args.requests)
+        .map(|i| if i % 2 == 0 { "/v1/scan" } else { "/v1/clone-check" })
+        .collect();
+
+    let cursor = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(args.requests));
+    let failures = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.concurrency.max(1) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= bodies.len() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    match client::post(&addr, paths[i], &bodies[i]) {
+                        Ok((200, body)) if AnalysisResponse::from_json(&body).is_ok() => {
+                            local.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Ok((429, _)) => {
+                            // Shed load is correct behavior, not a failure,
+                            // but it carries no latency signal.
+                        }
+                        _ => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().expect("latency lock").extend(local);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut lat = latencies.into_inner().expect("latency lock");
+    lat.sort_unstable();
+    let failed = failures.load(Ordering::Relaxed);
+    if lat.is_empty() {
+        eprintln!("[loadgen] FAIL: no successful requests ({failed} failures)");
+        std::process::exit(1);
+    }
+    let pct = |q: f64| lat[((q * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)];
+    let rps = lat.len() as f64 / elapsed.as_secs_f64();
+    println!(
+        "[loadgen] {} ok / {} failed in {:.2}s — {:.1} req/s, p50 {} µs, p95 {} µs, p99 {} µs",
+        lat.len(),
+        failed,
+        elapsed.as_secs_f64(),
+        rps,
+        pct(0.50),
+        pct(0.95),
+        pct(0.99)
+    );
+    if failed > 0 {
+        eprintln!("[loadgen] FAIL: {failed} requests failed");
+        std::process::exit(1);
+    }
+
+    if args.append {
+        let point = format!(
+            "{{\"bench\": \"serve_loadgen\", \"requests\": {}, \"concurrency\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+            lat.len(),
+            args.concurrency,
+            rps,
+            pct(0.50),
+            pct(0.95),
+            pct(0.99)
+        );
+        match append_point(&args.out, &point) {
+            Ok(()) => println!("[loadgen] appended point to {}", args.out),
+            Err(e) => {
+                eprintln!("[loadgen] FAIL: could not append to {}: {e}", args.out);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some((handle, join)) = in_process {
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+}
+
+/// Correctness spot-checks before measuring: health, one scan, one
+/// clone-check, all decoded through the typed API.
+fn smoke_checks(addr: &str, dataset: &corpus::honeypots::HoneypotDataset) {
+    let (status, body) = client::get(addr, "/health").expect("health request");
+    assert_eq!(status, 200, "health returned {status}: {body}");
+    assert!(body.contains("\"status\":\"ok\""), "unexpected health body: {body}");
+
+    let scan = AnalysisRequest::scan("function f(address to) public { to.send(1); }").to_json();
+    let (status, body) = client::post(addr, "/v1/scan", &scan).expect("scan request");
+    assert_eq!(status, 200, "scan returned {status}: {body}");
+    match AnalysisResponse::from_json(&body).expect("scan response decodes") {
+        AnalysisResponse::Findings(findings) => {
+            assert!(!findings.is_empty(), "vulnerable snippet produced no findings")
+        }
+        other => panic!("scan returned {other:?}"),
+    }
+
+    let check =
+        AnalysisRequest::clone_check(dataset.contracts[0].source.as_str()).to_json();
+    let (status, body) = client::post(addr, "/v1/clone-check", &check).expect("clone-check");
+    assert_eq!(status, 200, "clone-check returned {status}: {body}");
+    match AnalysisResponse::from_json(&body).expect("clone-check response decodes") {
+        AnalysisResponse::Clones(hits) => {
+            assert!(
+                hits.iter().any(|h| h.score == 100.0),
+                "corpus contract did not match itself: {hits:?}"
+            )
+        }
+        other => panic!("clone-check returned {other:?}"),
+    }
+    println!("[loadgen] smoke checks passed against {addr}");
+}
+
+/// Append one point to the trajectory file, preserving existing bytes: the
+/// new entry is spliced in front of the array's closing bracket, then the
+/// whole document is re-parsed as a validity check before writing.
+fn append_point(path: &str, point: &str) -> Result<(), String> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(content) => content,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            "{\n  \"version\": 1,\n  \"points\": [\n  ]\n}\n".to_string()
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let parsed = telemetry::json::parse(&content)
+        .map_err(|e| format!("existing file is not valid JSON: {e}"))?;
+    let empty = parsed
+        .get("points")
+        .and_then(telemetry::json::Value::as_array)
+        .ok_or("existing file has no points array")?
+        .is_empty();
+    let close = content.rfind(']').ok_or("no closing bracket in file")?;
+    let (before, after) = content.split_at(close);
+    let separator = if empty { "\n    " } else { ",\n    " };
+    let updated = format!("{}{separator}{point}\n  {}", before.trim_end(), after);
+    telemetry::json::parse(&updated).map_err(|e| format!("splice produced invalid JSON: {e}"))?;
+    std::fs::write(path, updated).map_err(|e| e.to_string())
+}

@@ -1,0 +1,100 @@
+//! The analysis daemon entry point.
+//!
+//! ```text
+//! serve [--port N] [--port-file PATH] [--workers N] [--queue-cap N]
+//!       [--timeout-ms N] [--corpus N]
+//! ```
+//!
+//! Binds `127.0.0.1:<port>` (port 0 → ephemeral; the chosen port is
+//! printed and, with `--port-file`, written to a file for scripts to
+//! pick up). The clone corpus is the honeypot dataset of the recorded
+//! run, truncated to `--corpus` contracts (0 → all 379). SIGTERM and
+//! SIGINT trigger a graceful drain.
+
+use corpus::honeypots::honeypot_dataset;
+use pipeline::api::{AnalysisConfig, AnalysisEngine};
+use server::{install_signal_handlers, Server, ServerConfig};
+use std::io::Write;
+use std::sync::Arc;
+
+/// Seed of the recorded honeypot corpus (see `bench::HONEYPOT_SEED`).
+const HONEYPOT_SEED: u64 = 1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut port: u16 = 0;
+    let mut port_file: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut timeout_ms: Option<u64> = None;
+    let mut corpus_size: usize = 64;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--port" => {
+                port = value(i).parse().expect("--port must be a port number");
+                i += 2;
+            }
+            "--port-file" => {
+                port_file = Some(value(i).clone());
+                i += 2;
+            }
+            "--workers" => {
+                config.workers = value(i).parse().expect("--workers must be a count");
+                i += 2;
+            }
+            "--queue-cap" => {
+                config.queue_capacity = value(i).parse().expect("--queue-cap must be a count");
+                i += 2;
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(value(i).parse().expect("--timeout-ms must be milliseconds"));
+                i += 2;
+            }
+            "--corpus" => {
+                corpus_size = value(i).parse().expect("--corpus must be a count");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut analysis = AnalysisConfig::default();
+    if let Some(ms) = timeout_ms {
+        analysis = analysis.with_timeout_ms(ms);
+    }
+
+    eprintln!("[serve] building warm corpus ...");
+    let dataset = honeypot_dataset(HONEYPOT_SEED);
+    let take = if corpus_size == 0 { dataset.contracts.len() } else { corpus_size };
+    let engine = Arc::new(AnalysisEngine::with_corpus(
+        analysis,
+        dataset.contracts.iter().take(take).map(|c| (c.id, c.source.as_str())),
+    ));
+    eprintln!("[serve] corpus ready: {} fingerprinted contracts", engine.corpus_len());
+
+    install_signal_handlers();
+    let server = Server::bind(&format!("127.0.0.1:{port}"), config, engine)
+        .expect("failed to bind service port");
+    let addr = server.local_addr().expect("bound listener has an address");
+    if let Some(path) = port_file {
+        let mut f = std::fs::File::create(&path).expect("failed to create port file");
+        writeln!(f, "{}", addr.port()).expect("failed to write port file");
+    }
+    println!("listening on {addr}");
+    match server.run() {
+        Ok(()) => eprintln!("[serve] drained and stopped"),
+        Err(e) => {
+            eprintln!("[serve] accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! The analysis daemon: a long-lived HTTP service over the
+//! [`pipeline::api`] facade.
+//!
+//! Batch runs pay corpus fingerprinting and index construction on every
+//! invocation; the daemon pays them once at startup and then serves
+//! scans and clone checks from warm shared state (§5.5's "Execution
+//! Time" challenge, applied to interactive use). Architecture:
+//!
+//! * one [`AnalysisEngine`] behind an `Arc` — immutable warm state
+//!   (checker, fingerprint corpus + N-gram index, content-addressed CPG
+//!   cache) shared by every worker,
+//! * a bounded [`WorkerPool`] (`pipeline::par`) draining accepted
+//!   connections — overload is shed at the edge with HTTP 429 instead of
+//!   queueing without bound,
+//! * cooperative per-request timeouts inside the engine (HTTP 504),
+//! * graceful shutdown: SIGTERM/`POST /shutdown` stop the accept loop,
+//!   queued requests drain, workers join.
+//!
+//! Endpoints (all bodies JSON, wire format of [`pipeline::api`]):
+//!
+//! | Method | Path             | Purpose                                |
+//! |--------|------------------|----------------------------------------|
+//! | POST   | `/v1/scan`       | CCC detectors over a snippet           |
+//! | POST   | `/v1/clone-check`| CCD match against the warm corpus      |
+//! | POST   | `/v1/analyze`    | either request kind                    |
+//! | GET    | `/health`        | liveness + corpus size                 |
+//! | GET    | `/telemetry`     | telemetry snapshot (run-report schema) |
+//! | POST   | `/shutdown`      | graceful stop                          |
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+
+use http::{read_request, write_response, HttpError, Request};
+use pipeline::api::{error_to_json, AnalysisRequest, AnalysisResponse};
+use pipeline::par::{PoolFull, WorkerPool};
+use pipeline::AnalysisEngine;
+use solidity::AnalysisError;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Service configuration (the analysis side lives in
+/// [`pipeline::api::AnalysisConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Maximum pending (accepted but unserved) connections before the
+    /// service sheds load with 429.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// A cloneable handle that stops a running server's accept loop.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Request a graceful shutdown.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by this handle or a signal).
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst) || signal_stop_requested()
+    }
+}
+
+static SIGNAL_STOP: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been delivered.
+pub fn signal_stop_requested() -> bool {
+    SIGNAL_STOP.load(Ordering::SeqCst)
+}
+
+/// Install SIGTERM/SIGINT handlers that flip the shutdown flag, turning
+/// `kill -TERM` into a graceful drain. Uses the C `signal` entry point
+/// directly (std already links libc), so no extra dependency is needed.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// No-op on non-Unix targets.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// Shared immutable state handed to every worker.
+struct ServiceState {
+    engine: Arc<AnalysisEngine>,
+    shutdown: ShutdownHandle,
+    workers: usize,
+    queue_capacity: usize,
+}
+
+/// The analysis daemon: listener + worker pool + warm engine.
+pub struct Server {
+    listener: TcpListener,
+    pool: WorkerPool,
+    state: Arc<ServiceState>,
+}
+
+impl Server {
+    /// Bind the service. `addr` accepts anything `TcpListener::bind`
+    /// does; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub fn bind(
+        addr: &str,
+        config: ServerConfig,
+        engine: Arc<AnalysisEngine>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        let state = Arc::new(ServiceState {
+            engine,
+            shutdown: ShutdownHandle::default(),
+            workers: config.workers,
+            queue_capacity: config.queue_capacity,
+        });
+        Ok(Server { listener, pool, state })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the accept loop from another thread (or from
+    /// the `POST /shutdown` endpoint).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.state.shutdown.clone()
+    }
+
+    /// Serve until shutdown is requested, then drain queued requests and
+    /// join the workers.
+    pub fn run(self) -> io::Result<()> {
+        static ACCEPTED: telemetry::Counter = telemetry::Counter::new("server.accepted");
+        static SHED: telemetry::Counter = telemetry::Counter::new("server.shed");
+        self.listener.set_nonblocking(true)?;
+        while !self.state.shutdown.is_shutdown() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    ACCEPTED.incr();
+                    // A duplicate handle so load shedding can still
+                    // answer after the job (owning the original) is
+                    // refused and dropped.
+                    let reject_handle = stream.try_clone().ok();
+                    let state = Arc::clone(&self.state);
+                    let submitted = self
+                        .pool
+                        .try_submit(move || handle_connection(stream, &state));
+                    if let Err(PoolFull(job)) = submitted {
+                        drop(job);
+                        SHED.incr();
+                        if let Some(mut stream) = reject_handle {
+                            let _ = stream.set_nonblocking(false);
+                            // Drain the request before answering: closing
+                            // with unread data makes the kernel send RST,
+                            // which would destroy the 429 in flight.
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                            let _ = read_request(&mut stream);
+                            write_response(
+                                &mut stream,
+                                429,
+                                "{\"v\":1,\"kind\":\"error\",\"code\":\"overloaded\",\
+                                 \"message\":\"request queue is full\"}",
+                            );
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Graceful drain: queued connections are still served.
+        self.pool.shutdown();
+        Ok(())
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServiceState) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    match read_request(&mut stream) {
+        Ok(request) => {
+            let (status, body) = route(&request, state);
+            write_response(&mut stream, status, &body);
+        }
+        Err(HttpError::TooLarge) => {
+            write_response(&mut stream, 413, &error_body("too_large", "request too large"));
+        }
+        Err(HttpError::Malformed(m)) => {
+            write_response(&mut stream, 400, &error_body("bad_request", &m));
+        }
+        // The peer vanished; nothing to answer.
+        Err(HttpError::Io(_)) => {}
+    }
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    format!(
+        "{{\"v\":1,\"kind\":\"error\",\"code\":\"{}\",\"message\":\"{}\"}}",
+        code,
+        pipeline::api::escape_json(message)
+    )
+}
+
+fn route(request: &Request, state: &ServiceState) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => (
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"v\":1,\"corpus\":{},\"workers\":{},\"queue_capacity\":{}}}",
+                state.engine.corpus_len(),
+                state.workers,
+                state.queue_capacity
+            ),
+        ),
+        ("GET", "/telemetry") => (200, telemetry::snapshot().to_json()),
+        ("POST", "/shutdown") => {
+            state.shutdown.shutdown();
+            (200, "{\"status\":\"shutting_down\"}".to_string())
+        }
+        ("POST", "/v1/scan") => analyze(request, state, Some(RequestKind::Scan)),
+        ("POST", "/v1/clone-check") => analyze(request, state, Some(RequestKind::CloneCheck)),
+        ("POST", "/v1/analyze") => analyze(request, state, None),
+        (_, "/health" | "/telemetry" | "/shutdown" | "/v1/scan" | "/v1/clone-check" | "/v1/analyze") => {
+            (405, error_body("method_not_allowed", "wrong method for endpoint"))
+        }
+        (_, path) => (404, error_body("not_found", &format!("no such endpoint {path}"))),
+    }
+}
+
+#[derive(PartialEq)]
+enum RequestKind {
+    Scan,
+    CloneCheck,
+}
+
+fn analyze(request: &Request, state: &ServiceState, expected: Option<RequestKind>) -> (u16, String) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            return (400, error_body("bad_request", "request body is not UTF-8"));
+        }
+    };
+    let parsed = match AnalysisRequest::from_json(body) {
+        Ok(parsed) => parsed,
+        Err(error) => return (status_of(&error), error_to_json(&error)),
+    };
+    let kind_matches = match (&parsed, &expected) {
+        (_, None) => true,
+        (AnalysisRequest::Scan { .. }, Some(RequestKind::Scan)) => true,
+        (AnalysisRequest::CloneCheck { .. }, Some(RequestKind::CloneCheck)) => true,
+        _ => false,
+    };
+    if !kind_matches {
+        return (
+            400,
+            error_body("bad_request", "request kind does not match endpoint"),
+        );
+    }
+    match state.engine.analyze(&parsed) {
+        Ok(response) => (200, AnalysisResponse::to_json(&response)),
+        Err(error) => (status_of(&error), error_to_json(&error)),
+    }
+}
+
+/// HTTP status of an analysis error: timeouts are the gateway's fault
+/// (504), everything else is the request's (400).
+fn status_of(error: &AnalysisError) -> u16 {
+    match error.code() {
+        "timeout" => 504,
+        _ => 400,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::api::AnalysisConfig;
+
+    fn state() -> Arc<ServiceState> {
+        Arc::new(ServiceState {
+            engine: Arc::new(AnalysisEngine::new(AnalysisConfig::default())),
+            shutdown: ShutdownHandle::default(),
+            workers: 1,
+            queue_capacity: 1,
+        })
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request { method: "POST".into(), path: path.into(), body: body.as_bytes().to_vec() }
+    }
+
+    #[test]
+    fn routes_health_and_404() {
+        let state = state();
+        let (status, body) =
+            route(&Request { method: "GET".into(), path: "/health".into(), body: vec![] }, &state);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+        let (status, _) =
+            route(&Request { method: "GET".into(), path: "/nope".into(), body: vec![] }, &state);
+        assert_eq!(status, 404);
+        let (status, _) =
+            route(&Request { method: "DELETE".into(), path: "/health".into(), body: vec![] }, &state);
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn scan_endpoint_rejects_clone_check_kind() {
+        let state = state();
+        let body = AnalysisRequest::clone_check("contract C {}").to_json();
+        let (status, _) = route(&post("/v1/scan", &body), &state);
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn malformed_body_is_a_400() {
+        let state = state();
+        let (status, body) = route(&post("/v1/scan", "{not json"), &state);
+        assert_eq!(status, 400);
+        assert!(body.contains("\"code\":\"invalid_request\""), "{body}");
+    }
+
+    #[test]
+    fn scan_returns_findings_json() {
+        let state = state();
+        let body =
+            AnalysisRequest::scan("function f(address to) public { to.send(1); }").to_json();
+        let (status, response) = route(&post("/v1/scan", &body), &state);
+        assert_eq!(status, 200);
+        let decoded = AnalysisResponse::from_json(&response).unwrap();
+        match decoded {
+            AnalysisResponse::Findings(findings) => assert!(!findings.is_empty()),
+            other => panic!("expected findings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_clone_check_is_invalid() {
+        let state = state();
+        let body = AnalysisRequest::clone_check("").to_json();
+        let (status, response) = route(&post("/v1/clone-check", &body), &state);
+        assert_eq!(status, 400);
+        assert!(response.contains("\"code\":\"invalid_request\""), "{response}");
+    }
+}

@@ -1,0 +1,142 @@
+//! The workspace-shared analysis error type.
+//!
+//! Every layer of the analysis pipeline — parsing ([`crate::parser`]),
+//! CPG translation (`cpg`), vulnerability queries (`ccc`) and clone
+//! fingerprinting (`ccd`) — reports failures through one non-exhaustive
+//! [`AnalysisError`] enum, so the `pipeline::api` facade and the analysis
+//! service can propagate a single typed error instead of unwrapping a
+//! different stringly error per crate. The type lives here because this
+//! crate is the root of the analysis dependency DAG: everything that can
+//! fail already depends on the front-end.
+
+use crate::parser::ParseError;
+use std::fmt;
+
+/// A failure anywhere in the analysis pipeline.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, so new failure classes can be added without a breaking
+/// change. Stable machine-readable codes come from
+/// [`AnalysisError::code`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The source failed to lex or parse.
+    Parse {
+        /// Parser diagnostic.
+        message: String,
+        /// 1-based line of the offending token (0 when unknown).
+        line: u32,
+        /// 1-based column of the offending token (0 when unknown).
+        col: u32,
+    },
+    /// AST → CPG translation failed.
+    GraphBuild {
+        /// Builder diagnostic.
+        message: String,
+    },
+    /// A query could not run — e.g. an unknown detector name in a request.
+    Query {
+        /// Query diagnostic.
+        message: String,
+    },
+    /// The per-request deadline elapsed before the pipeline finished.
+    Timeout {
+        /// The pipeline stage that observed the elapsed deadline.
+        stage: String,
+        /// The configured budget in milliseconds.
+        budget_ms: u64,
+    },
+    /// The request itself is unusable (empty source, nothing tokenizable,
+    /// malformed payload, ...).
+    InvalidRequest {
+        /// Request diagnostic.
+        message: String,
+    },
+}
+
+impl AnalysisError {
+    /// Shorthand for a [`AnalysisError::Query`] error.
+    pub fn query(message: impl Into<String>) -> AnalysisError {
+        AnalysisError::Query { message: message.into() }
+    }
+
+    /// Shorthand for an [`AnalysisError::InvalidRequest`] error.
+    pub fn invalid(message: impl Into<String>) -> AnalysisError {
+        AnalysisError::InvalidRequest { message: message.into() }
+    }
+
+    /// Shorthand for a [`AnalysisError::Timeout`] error.
+    pub fn timeout(stage: impl Into<String>, budget_ms: u64) -> AnalysisError {
+        AnalysisError::Timeout { stage: stage.into(), budget_ms }
+    }
+
+    /// Stable machine-readable error code, used in the versioned JSON
+    /// encoding and for HTTP status mapping in the analysis service.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AnalysisError::Parse { .. } => "parse",
+            AnalysisError::GraphBuild { .. } => "graph_build",
+            AnalysisError::Query { .. } => "query",
+            AnalysisError::Timeout { .. } => "timeout",
+            AnalysisError::InvalidRequest { .. } => "invalid_request",
+        }
+    }
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Parse { message, line, col } if *line > 0 => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            AnalysisError::Parse { message, .. } => write!(f, "parse error: {message}"),
+            AnalysisError::GraphBuild { message } => write!(f, "graph build error: {message}"),
+            AnalysisError::Query { message } => write!(f, "query error: {message}"),
+            AnalysisError::Timeout { stage, budget_ms } => {
+                write!(f, "timeout in {stage} (budget {budget_ms} ms)")
+            }
+            AnalysisError::InvalidRequest { message } => {
+                write!(f, "invalid request: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<ParseError> for AnalysisError {
+    fn from(e: ParseError) -> Self {
+        AnalysisError::Parse { message: e.message, line: e.span.line, col: e.span.col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let err = crate::parse_source("contract {").unwrap_err();
+        let shared: AnalysisError = err.into();
+        assert_eq!(shared.code(), "parse");
+        let AnalysisError::Parse { line, .. } = &shared else {
+            panic!("wrong variant: {shared:?}")
+        };
+        assert!(*line >= 1, "{shared}");
+        assert!(shared.to_string().starts_with("parse error"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            AnalysisError::Parse { message: "m".into(), line: 0, col: 0 },
+            AnalysisError::GraphBuild { message: "m".into() },
+            AnalysisError::query("m"),
+            AnalysisError::timeout("scan/parse", 5),
+            AnalysisError::invalid("m"),
+        ];
+        let codes: std::collections::HashSet<&str> = all.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), all.len());
+    }
+}

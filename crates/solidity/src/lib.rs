@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -39,6 +40,7 @@ pub mod token;
 pub mod visitor;
 
 pub use ast::SourceUnit;
+pub use error::AnalysisError;
 pub use parser::{parse_snippet, parse_source, ParseError, ParserOptions};
 pub use span::Span;
 

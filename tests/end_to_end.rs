@@ -63,7 +63,7 @@ fn figure_7_8_snippet_to_contract() {
     assert_eq!(matches.len(), 1, "{matches:?}");
 
     // 3. Validation re-checks only the snippet's queries on the contract.
-    let validation = ccc::Checker::with_queries(queries).check_source(contract).unwrap();
+    let validation = ccc::Checker::with_queries(&queries).check_source(contract).unwrap();
     assert!(
         validation.iter().any(|f| f.query == QueryId::Reentrancy),
         "{validation:?}"
