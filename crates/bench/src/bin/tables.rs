@@ -5,6 +5,7 @@
 //! cargo run --release -p bench --bin tables -- table1 table9
 //! cargo run --release -p bench --bin tables -- table7 --scale 0.05
 //! cargo run --release -p bench --bin tables -- all --telemetry --out tables.txt
+//! cargo run --release -p bench --bin tables -- all --checkpoint run.journal --resume
 //! ```
 //!
 //! Tables 1–3 and 9 run on the fixed benchmark datasets; Tables 4–8 and
@@ -14,7 +15,13 @@
 //! collection, appends the rendered telemetry tables, and writes the JSON
 //! run report to `--telemetry-out` (default `BENCH_run.json`); the
 //! `TELEMETRY=0` environment kill switch overrides the flag.
+//!
+//! `--checkpoint PATH` journals each completed target's output to PATH
+//! (atomically, after every target), and `--resume` replays completed
+//! targets from the journal byte-for-byte instead of recomputing them —
+//! a batch run killed mid-flight loses at most the target in progress.
 
+use bench::checkpoint::Journal;
 use ccc::Dasp;
 use ccd::CcdParams;
 use pipeline::eval_ccc::{evaluate_all_baselines, evaluate_ccc, evaluate_snippet_levels};
@@ -30,6 +37,10 @@ use std::sync::{Mutex, OnceLock};
 /// stdout into this file.
 static OUT_FILE: OnceLock<Mutex<std::fs::File>> = OnceLock::new();
 
+/// While a checkpointed shard runs, everything emitted is also captured
+/// here so the journal can replay it verbatim on `--resume`.
+static CAPTURE: Mutex<Option<String>> = Mutex::new(None);
+
 /// Print one line to stdout and, when `--out` is set, to the tee file.
 fn emit_line(line: std::fmt::Arguments) {
     let text = line.to_string();
@@ -37,6 +48,57 @@ fn emit_line(line: std::fmt::Arguments) {
     if let Some(file) = OUT_FILE.get() {
         let mut file = file.lock().expect("tee file lock");
         let _ = writeln!(file, "{text}");
+    }
+    if let Some(buffer) = CAPTURE.lock().expect("capture lock").as_mut() {
+        buffer.push_str(&text);
+        buffer.push('\n');
+    }
+}
+
+/// Re-emit a shard's recorded output exactly as it was first printed —
+/// the captured text is a concatenation of `emit_line` lines, so writing
+/// it raw reproduces the original bytes on stdout and in the tee file.
+fn emit_replay(output: &str) {
+    print!("{output}");
+    let _ = std::io::stdout().flush();
+    if let Some(file) = OUT_FILE.get() {
+        let mut file = file.lock().expect("tee file lock");
+        let _ = file.write_all(output.as_bytes());
+    }
+}
+
+/// Shard orchestration: run each table/figure target through
+/// [`Shards::run`], which replays journaled output on resume and captures
+/// + records fresh output otherwise.
+struct Shards {
+    journal: Option<Journal>,
+}
+
+impl Shards {
+    /// Whether `name` already completed in a resumed journal.
+    fn done(&self, name: &str) -> bool {
+        self.journal.as_ref().is_some_and(|j| j.completed(name).is_some())
+    }
+
+    fn run(&mut self, name: &str, run: impl FnOnce()) {
+        let Some(journal) = &mut self.journal else {
+            run();
+            return;
+        };
+        if let Some(output) = journal.completed(name) {
+            eprintln!("[resume] replaying {name} from checkpoint");
+            let output = output.to_string();
+            emit_replay(&output);
+            return;
+        }
+        *CAPTURE.lock().expect("capture lock") = Some(String::new());
+        run();
+        let output = CAPTURE
+            .lock()
+            .expect("capture lock")
+            .take()
+            .unwrap_or_default();
+        journal.record(name, &output);
     }
 }
 
@@ -51,6 +113,8 @@ struct Args {
     out: Option<String>,
     telemetry: bool,
     telemetry_out: String,
+    checkpoint: Option<String>,
+    resume: bool,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +123,8 @@ fn parse_args() -> Args {
     let mut out = None;
     let mut telemetry = false;
     let mut telemetry_out = "BENCH_run.json".to_string();
+    let mut checkpoint = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,13 +141,15 @@ fn parse_args() -> Args {
                     telemetry_out = path;
                 }
             }
+            "--checkpoint" => checkpoint = args.next(),
+            "--resume" => resume = true,
             other => whats.push(other.to_string()),
         }
     }
     if whats.is_empty() {
         whats.push("all".to_string());
     }
-    Args { whats, scale, out, telemetry, telemetry_out }
+    Args { whats, scale, out, telemetry, telemetry_out, checkpoint, resume }
 }
 
 fn main() {
@@ -104,26 +172,35 @@ fn main() {
     let run_all = args.whats.iter().any(|w| w == "all");
     let wants = |name: &str| run_all || args.whats.iter().any(|w| w == name);
 
+    // The journal key ties recorded shards to the parameters that shape
+    // their output; a scale change invalidates the journal.
+    let mut shards = Shards {
+        journal: args
+            .checkpoint
+            .as_ref()
+            .map(|path| Journal::open(path, &format!("scale={}", args.scale), args.resume)),
+    };
+
     if wants("table1") {
-        table1();
+        shards.run("table1", table1);
     }
     if wants("table2") {
-        table2();
+        shards.run("table2", table2);
     }
     if wants("table3") {
-        table3();
+        shards.run("table3", table3);
     }
     if wants("table9") || wants("figure9") {
-        table9_figure9();
+        shards.run("table9", table9_figure9);
     }
     if wants("figure2") {
-        figure2();
+        shards.run("figure2", figure2);
     }
     if wants("figure5") {
-        figure5();
+        shards.run("figure5", figure5);
     }
     if ["table4", "table5", "table6", "table7", "table8", "study"].iter().any(|w| wants(w)) {
-        study_tables(args.scale, &args.whats, run_all);
+        study_tables(args.scale, &args.whats, run_all, &mut shards);
     }
 
     // Appended only when explicitly requested *and* the TELEMETRY=0 kill
@@ -326,8 +403,21 @@ fn figure5() {
 
 // ===== Tables 4–8: the study ==================================================
 
-fn study_tables(scale: f64, whats: &[String], run_all: bool) {
+fn study_tables(scale: f64, whats: &[String], run_all: bool, shards: &mut Shards) {
     let wants = |name: &str| run_all || whats.iter().any(|w| w == name);
+    // Resume fast path: when every requested study shard is already
+    // journaled, replay them and skip corpus generation and the study
+    // pipeline entirely.
+    let targets: Vec<&str> = ["table4", "table5", "table6", "table7", "table8"]
+        .into_iter()
+        .filter(|t| wants(t) || wants("study"))
+        .collect();
+    if !targets.is_empty() && targets.iter().all(|t| shards.done(t)) {
+        for target in targets {
+            shards.run(target, || {});
+        }
+        return;
+    }
     eprintln!("[study] generating corpora at scale {scale}...");
     let qa = bench::qa(scale);
     let contracts = bench::sanctuary(&qa, scale);
@@ -340,6 +430,7 @@ fn study_tables(scale: f64, whats: &[String], run_all: bool) {
     let funnel = run_funnel(&qa);
 
     if wants("table4") || wants("study") {
+        shards.run("table4", || {
         let mut table = Table::new("Table 4 — Solidity code snippet funnel")
             .header(&["Q&A Website", "Posts", "Snippets", "Solidity", "Parsable", "Unique"]);
         for row in &funnel.stats.rows {
@@ -372,12 +463,14 @@ fn study_tables(scale: f64, whats: &[String], run_all: bool) {
             level(solidity::SnippetLevel::Function) * 100.0,
             level(solidity::SnippetLevel::Statement) * 100.0
         );
+        });
     }
 
     eprintln!("[study] running the experiment pipeline...");
     let result = run_study(&qa, &contracts, &funnel.unique, StudyConfig::default());
 
     if wants("table5") || wants("study") {
+        shards.run("table5", || {
         let dedup = dedup_contracts(&contracts);
         let ads = adoptions(&qa, &contracts, &result.mapping, &dedup);
         let rows = correlations(&ads);
@@ -391,9 +484,11 @@ fn study_tables(scale: f64, whats: &[String], run_all: bool) {
             table.row(vec![row.group.name().to_string(), row.n.to_string(), rho, p]);
         }
         outln!("{}", table.render());
+        });
     }
 
     if wants("table6") || wants("study") {
+        shards.run("table6", || {
         let mut table = Table::new("Table 6 — DASP Top 10 across snippets and contracts")
             .header(&["Vulnerability Category", "Snippets", "Contracts"]);
         for category in Dasp::ALL {
@@ -406,9 +501,11 @@ fn study_tables(scale: f64, whats: &[String], run_all: bool) {
             ]);
         }
         outln!("{}", table.render());
+        });
     }
 
     if wants("table7") || wants("study") {
+        shards.run("table7", || {
         let mut table = Table::new("Table 7 — identified vulnerable snippets and contracts")
             .header(&["Analysis Step", "Disseminator (Source)"]);
         table.row(vec!["Snippets — Unique".into(), result.unique_snippets.to_string()]);
@@ -450,9 +547,11 @@ fn study_tables(scale: f64, whats: &[String], run_all: bool) {
             ),
         ]);
         outln!("{}", table.render());
+        });
     }
 
     if wants("table8") || wants("study") {
+        shards.run("table8", || {
         let grid = run_audit(&result, &qa, &contracts, 10, 7);
         let mut table = Table::new("Table 8 — manual validation (oracle audit)")
             .header(&["", "Snippet", "Contract TP", "Contract FP"]);
@@ -472,5 +571,6 @@ fn study_tables(scale: f64, whats: &[String], run_all: bool) {
             grid.sample_size,
             grid.fully_confirmed()
         );
+        });
     }
 }

@@ -65,6 +65,17 @@ impl Finding {
     }
 }
 
+/// Result of an isolated check: the findings that survived, plus the
+/// detectors that panicked (each already converted to a typed error).
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Findings from all detectors that completed.
+    pub findings: Vec<Finding>,
+    /// Detectors that panicked, with the panic converted to
+    /// [`AnalysisError::Internal`].
+    pub detector_errors: Vec<(QueryId, AnalysisError)>,
+}
+
 /// Checker configuration.
 #[derive(Debug, Clone)]
 pub struct CheckerConfig {
@@ -133,10 +144,26 @@ impl Checker {
     }
 
     /// Run the configured queries over a translated CPG.
+    ///
+    /// Each detector runs isolated: a panicking query (a poisoned
+    /// contract, an injected fault) is dropped and counted instead of
+    /// unwinding through the caller. Use [`Checker::check_isolated`] when
+    /// the per-detector failures themselves matter (the `pipeline::api`
+    /// facade does, so a degraded scan surfaces as a typed error instead
+    /// of a silently shorter finding list).
     pub fn check(&self, cpg: &Cpg) -> Vec<Finding> {
+        self.check_isolated(cpg).findings
+    }
+
+    /// Run the configured queries, isolating each detector with
+    /// `catch_unwind` and reporting per-detector failures alongside the
+    /// surviving findings.
+    pub fn check_isolated(&self, cpg: &Cpg) -> CheckOutcome {
         static CHECKS: telemetry::Counter = telemetry::Counter::new("ccc.checks");
         static CANDIDATES: telemetry::Counter = telemetry::Counter::new("ccc.candidates");
         static FINDINGS: telemetry::Counter = telemetry::Counter::new("ccc.findings");
+        static DETECTOR_PANICS: telemetry::Counter =
+            telemetry::Counter::new("ccc.detector_panics");
         let _span = telemetry::span("ccc/check");
         CHECKS.incr();
         let ctx = Ctx::new(cpg, self.config.max_path);
@@ -145,14 +172,35 @@ impl Checker {
             None => QueryId::ALL,
         };
         let mut findings = Vec::new();
+        let mut detector_errors = Vec::new();
         for query in queries {
-            findings.extend(queries::run_query(&ctx, *query));
+            let unit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Chaos hook: an injected error at `ccc/detector` escalates
+                // to a panic so it flows through the same isolation path.
+                if let Some(message) = faultinject::fire("ccc/detector") {
+                    panic!("faultinject: {message}");
+                }
+                queries::run_query(&ctx, *query)
+            }));
+            match unit {
+                Ok(batch) => findings.extend(batch),
+                Err(payload) => {
+                    DETECTOR_PANICS.incr();
+                    detector_errors.push((
+                        *query,
+                        AnalysisError::from_panic(
+                            payload,
+                            &format!("detector {}", query.name()),
+                        ),
+                    ));
+                }
+            }
         }
         CANDIDATES.add(findings.len() as u64);
         findings.sort_by_key(|f| (f.line, f.query));
         findings.dedup();
         FINDINGS.add(findings.len() as u64);
-        findings
+        CheckOutcome { findings, detector_errors }
     }
 
     /// Parse a snippet tolerantly, translate and check it.

@@ -216,16 +216,15 @@ impl CloneDetector {
 
     /// Index a pre-computed fingerprint under a document id.
     ///
-    /// # Panics
-    ///
-    /// Inserting is a build-phase operation: it panics if the corpus is
-    /// already shared with another detector (via [`CloneDetector::from_shared`]
-    /// or [`CloneDetector::shared_fingerprints`]).
+    /// Inserting is normally a build-phase operation. If the corpus is
+    /// already shared with another detector (via
+    /// [`CloneDetector::from_shared`] or
+    /// [`CloneDetector::shared_fingerprints`]), the shared storage is
+    /// cloned first (copy-on-write) so this detector diverges instead of
+    /// panicking; the other detectors keep the old corpus.
     pub fn insert_fingerprint(&mut self, doc: DocId, fingerprint: Fingerprint) {
         self.index.insert(doc, &fingerprint.indexed_text());
-        Arc::get_mut(&mut self.fingerprints)
-            .expect("cannot insert into a corpus already shared between detectors")
-            .push((doc, fingerprint));
+        Arc::make_mut(&mut self.fingerprints).push((doc, fingerprint));
     }
 
     /// Fingerprint and index a source fragment; returns `false` when the
@@ -247,6 +246,11 @@ impl CloneDetector {
         static QUERIES: telemetry::Counter = telemetry::Counter::new("ccd.matcher.queries");
         static MATCHES: telemetry::Counter = telemetry::Counter::new("ccd.matcher.matches");
         QUERIES.incr();
+        // Chaos hook: matching is infallible, so an injected *error* at
+        // `ccd/match` escalates to a panic for the isolation layer.
+        if let Some(message) = faultinject::fire("ccd/match") {
+            panic!("faultinject: {message}");
+        }
         let candidates = self.index.candidates(&query.indexed_text(), self.params.eta);
         let candidate_set: std::collections::HashSet<DocId> = candidates.into_iter().collect();
         let mut matches: Vec<CloneMatch> = self
@@ -430,11 +434,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already shared")]
-    fn inserting_into_a_shared_corpus_panics() {
+    fn inserting_into_a_shared_corpus_diverges_by_copy_on_write() {
         let mut d = detector_with_corpus();
-        let _keepalive = d.shared_fingerprints();
-        d.insert_source(9, SNIPPET);
+        let shared = d.shared_fingerprints();
+        let before = shared.len();
+        assert!(d.insert_source(9, SNIPPET));
+        // The inserting detector sees the new document …
+        let q = CloneDetector::fingerprint_source(SNIPPET).unwrap();
+        assert!(d.matches(&q).iter().any(|m| m.doc == 9));
+        // … while the previously shared corpus is untouched.
+        assert_eq!(shared.len(), before);
+        assert!(!Arc::ptr_eq(&shared, &d.shared_fingerprints()));
     }
 
     #[test]

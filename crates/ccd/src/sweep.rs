@@ -238,6 +238,11 @@ impl SweepEngine {
         static CACHE_MISSES: telemetry::Counter =
             telemetry::Counter::new("ccd.sweep.score_cache.misses");
         let _span = telemetry::span("ccd/sweep");
+        // Chaos hook: the sweep is infallible, so an injected *error* at
+        // `ccd/sweep` escalates to a panic for the isolation layer.
+        if let Some(message) = faultinject::fire("ccd/sweep") {
+            panic!("faultinject: {message}");
+        }
         // Directed Algorithm 1 scores per unordered index pair (lo < hi):
         // (lo → hi, hi → lo). Scores depend on no parameter, so the cache
         // spans the entire grid.

@@ -52,12 +52,25 @@ pub struct Cpg {
 impl Cpg {
     /// Parse `src` tolerantly as a snippet and translate it.
     pub fn from_snippet(src: &str) -> Result<Cpg, solidity::AnalysisError> {
-        Ok(Cpg::from_unit(&solidity::parse_snippet(src)?))
+        let unit = solidity::parse_snippet(src)?;
+        Self::check_build_fault()?;
+        Ok(Cpg::from_unit(&unit))
     }
 
     /// Parse `src` with the standard grammar and translate it.
     pub fn from_source(src: &str) -> Result<Cpg, solidity::AnalysisError> {
-        Ok(Cpg::from_unit(&solidity::parse_source(src)?))
+        let unit = solidity::parse_source(src)?;
+        Self::check_build_fault()?;
+        Ok(Cpg::from_unit(&unit))
+    }
+
+    /// Chaos-testing hook: the `cpg/build` injection point (no-op unless a
+    /// fault plan is active, see `faultinject`).
+    fn check_build_fault() -> Result<(), solidity::AnalysisError> {
+        match faultinject::fire("cpg/build") {
+            Some(message) => Err(solidity::AnalysisError::GraphBuild { message }),
+            None => Ok(()),
+        }
     }
 
     /// Translate an already parsed source unit.
@@ -662,15 +675,26 @@ impl Builder {
         self.current_record = None;
     }
 
-    fn lookup_declared_function(&self, idx: usize, f: &FunctionDef, legacy_ctor: bool) -> NodeId {
+    fn lookup_declared_function(&mut self, idx: usize, f: &FunctionDef, legacy_ctor: bool) -> NodeId {
         // Headers were declared in source order; find by name + kind.
         let record_node = self.records[idx].node;
         let is_ctor = legacy_ctor || f.kind == FunctionKind::Constructor;
         let role = if is_ctor { AstRole::Constructors } else { AstRole::Methods };
-        self.g
+        let declared = self
+            .g
             .ast_children_role(record_node, role)
-            .find(|n| self.g.node(*n).span == f.span)
-            .expect("function header declared in phase 1")
+            .find(|n| self.g.node(*n).span == f.span);
+        match declared {
+            Some(node) => node,
+            // A body whose phase-1 header is missing (span drift on
+            // malformed input) gets a fresh inferred header so the body
+            // is still translated instead of aborting the whole build.
+            None => {
+                let node = self.declare_function(f, idx, legacy_ctor);
+                self.g.node_mut(node).props.is_inferred = true;
+                node
+            }
+        }
     }
 
     fn translate_function_body(&mut self, f: &FunctionDef, fnode: NodeId, record: usize) {
@@ -872,7 +896,13 @@ impl Builder {
                         part.span,
                     );
                     self.g.add_edge(parent, EdgeKind::Ast(AstRole::Statements), decl);
-                    self.scopes.last_mut().expect("scope").insert(part.name.clone(), decl);
+                    // A declaration outside any open scope (malformed
+                    // nesting) opens one instead of aborting the build.
+                    if let Some(scope) = self.scopes.last_mut() {
+                        scope.insert(part.name.clone(), decl);
+                    } else {
+                        self.scopes.push([(part.name.clone(), decl)].into());
+                    }
                     if let Some(v) = &value_v {
                         self.g.add_edge(v.node, EdgeKind::Dfg, decl);
                         self.g.add_edge(decl, EdgeKind::Ast(AstRole::Initializer), v.node);
@@ -1406,7 +1436,16 @@ impl Builder {
     }
 
     fn member(&mut self, e: &Expr, write: bool) -> EValue {
-        let ExprKind::Member { base, member } = &e.kind else { unreachable!() };
+        let ExprKind::Member { base, member } = &e.kind else {
+            // Only Member expressions are dispatched here; a drift in the
+            // dispatch degrades to an opaque leaf node, not a panic.
+            let node = self.g.add_node(
+                NodeKind::MemberExpression,
+                Props { code: e.code(), ..Props::default() },
+                e.span,
+            );
+            return EValue { node, frag: Frag::single(node), decl: None };
+        };
 
         // Builtin member chains (`msg.sender`, `block.timestamp`,
         // `msg.data.length`) become single member nodes with the full code,
@@ -1463,7 +1502,16 @@ impl Builder {
     }
 
     fn call(&mut self, e: &Expr) -> EValue {
-        let ExprKind::Call { callee, options, args, .. } = &e.kind else { unreachable!() };
+        let ExprKind::Call { callee, options, args, .. } = &e.kind else {
+            // Only Call expressions are dispatched here; a drift in the
+            // dispatch degrades to an opaque leaf node, not a panic.
+            let node = self.g.add_node(
+                NodeKind::CallExpression,
+                Props { code: e.code(), ..Props::default() },
+                e.span,
+            );
+            return EValue { node, frag: Frag::single(node), decl: None };
+        };
 
         // Fold legacy `.value(x)` / `.gas(x)` chains into call options.
         let mut options = options.clone();

@@ -28,6 +28,11 @@ pub fn expand_modifiers(
     function: &FunctionDef,
     modifiers: &HashMap<String, ModifierDef>,
 ) -> Option<Block> {
+    // Chaos hook: expansion is infallible, so an injected *error* at this
+    // point escalates to a panic for the isolation layer to catch.
+    if let Some(message) = faultinject::fire("cpg/expand") {
+        panic!("faultinject: {message}");
+    }
     let mut body = function.body.clone()?;
     // Apply right-to-left so the leftmost modifier ends up outermost.
     for invocation in function.modifiers.iter().rev() {

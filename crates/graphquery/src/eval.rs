@@ -38,6 +38,11 @@ pub fn run<S: GraphSource>(query: &Query, source: &S) -> Vec<Bindings> {
     static SOLUTIONS: telemetry::Counter = telemetry::Counter::new("graphquery.solutions");
     static ROWS: telemetry::Counter = telemetry::Counter::new("graphquery.rows");
     QUERIES.incr();
+    // Chaos hook: evaluation is infallible, so an injected error at
+    // `query/eval` escalates to a panic for the isolation layer to catch.
+    if let Some(message) = faultinject::fire("query/eval") {
+        panic!("faultinject: {message}");
+    }
     let mut rows: Vec<Bindings> = Vec::new();
     let mut seen: HashSet<Vec<(String, u32)>> = HashSet::new();
     let mut solutions = Vec::new();
@@ -94,10 +99,17 @@ fn match_patterns<S: GraphSource>(
         out.push(bindings);
         return;
     };
-    let starts = candidates(source, &first.nodes[0], &bindings);
+    // A path with no node patterns cannot come out of the query parser,
+    // but a hand-built `Query` could carry one; treat it as vacuously
+    // matched instead of indexing out of bounds.
+    let Some(first_node) = first.nodes.first() else {
+        match_patterns(source, rest, bindings, out, limit);
+        return;
+    };
+    let starts = candidates(source, first_node, &bindings);
     for start in starts {
         let mut b = bindings.clone();
-        if !bind(&mut b, &first.nodes[0], start) {
+        if !bind(&mut b, first_node, start) {
             continue;
         }
         extend_path(source, first, 0, start, b, rest, out, limit);
@@ -126,7 +138,11 @@ fn extend_path<S: GraphSource>(
         return;
     }
     let edge = &path.edges[edge_idx];
-    let target_pat = &path.nodes[edge_idx + 1];
+    // Malformed hand-built paths (fewer nodes than edges + 1) match
+    // nothing rather than panicking.
+    let Some(target_pat) = path.nodes.get(edge_idx + 1) else {
+        return;
+    };
     for next in edge_targets(source, current, edge) {
         if !node_matches(source, target_pat, next) {
             continue;

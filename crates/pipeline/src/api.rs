@@ -412,6 +412,7 @@ fn decode_error(value: &Value) -> AnalysisError {
             col: value.get("col").and_then(Value::as_f64).unwrap_or(0.0) as u32,
         },
         Some("graph_build") => AnalysisError::GraphBuild { message },
+        Some("internal") => AnalysisError::Internal { message },
         Some("query") => AnalysisError::query(message),
         Some("timeout") => AnalysisError::timeout(
             value.get("stage").and_then(Value::as_str).unwrap_or("unknown"),
@@ -584,14 +585,24 @@ impl AnalysisEngine {
     ) -> Result<AnalysisResponse, AnalysisError> {
         static REQUESTS: telemetry::Counter = telemetry::Counter::new("api.requests");
         static ERRORS: telemetry::Counter = telemetry::Counter::new("api.errors");
+        static PANICS: telemetry::Counter = telemetry::Counter::new("api.panics_isolated");
         let _span = telemetry::span("api/analyze");
         REQUESTS.incr();
-        let result = match request {
-            AnalysisRequest::Scan { source, detectors } => {
-                self.scan(source, detectors.as_deref(), deadline)
+        // Panic isolation: a panic anywhere below the facade (a poisoned
+        // input, an injected fault) becomes a typed internal error instead
+        // of unwinding into the caller's worker thread.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match request {
+                AnalysisRequest::Scan { source, detectors } => {
+                    self.scan(source, detectors.as_deref(), deadline)
+                }
+                AnalysisRequest::CloneCheck { source } => self.clone_check(source, deadline),
             }
-            AnalysisRequest::CloneCheck { source } => self.clone_check(source, deadline),
-        };
+        }))
+        .unwrap_or_else(|payload| {
+            PANICS.incr();
+            Err(AnalysisError::from_panic(payload, "analysis request"))
+        });
         if result.is_err() {
             ERRORS.incr();
         }
@@ -609,17 +620,26 @@ impl AnalysisEngine {
         self.check_deadline(deadline, "parse")?;
         let cpg = self.cpg_for(source)?;
         self.check_deadline(deadline, "check")?;
-        let findings = match detectors {
+        let outcome = match detectors {
             // A per-request subset gets a throwaway checker with the same
             // path bound; results for the engine's own subset are
             // byte-identical to the warm checker by construction.
             Some(queries) => Checker::with_queries(queries)
                 .bounded(self.config.max_path)
-                .check(&cpg),
-            None => self.checker.check(&cpg),
+                .check_isolated(&cpg),
+            None => self.checker.check_isolated(&cpg),
         };
+        // A degraded scan must not masquerade as a clean one: a partial
+        // finding list would silently under-report, so any detector panic
+        // fails the whole request with a typed internal error.
+        if let Some((query, error)) = outcome.detector_errors.first() {
+            return Err(AnalysisError::internal(format!(
+                "detector {} failed: {error}",
+                query.name()
+            )));
+        }
         Ok(AnalysisResponse::Findings(
-            findings.into_iter().map(Finding::from).collect(),
+            outcome.findings.into_iter().map(Finding::from).collect(),
         ))
     }
 
@@ -662,13 +682,24 @@ impl AnalysisEngine {
         static HITS: telemetry::Counter = telemetry::Counter::new("api.cache_hits");
         static MISSES: telemetry::Counter = telemetry::Counter::new("api.cache_misses");
         let key = content_hash(source);
-        if let Some(cpg) = self.cache.lock().expect("cache lock").get(key) {
+        // The cache is a pure performance layer holding immutable `Arc<Cpg>`
+        // values, so a lock poisoned by a panicking request stays usable —
+        // recover the guard instead of propagating the poison forever.
+        if let Some(cpg) = self
+            .cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(key)
+        {
             HITS.incr();
             return Ok(cpg);
         }
         MISSES.incr();
         let cpg = Arc::new(Cpg::from_snippet(source)?);
-        self.cache.lock().expect("cache lock").insert(key, Arc::clone(&cpg));
+        self.cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(key, Arc::clone(&cpg));
         Ok(cpg)
     }
 }

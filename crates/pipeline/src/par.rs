@@ -13,8 +13,8 @@
 //! the queue) and graceful drain-then-join shutdown.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Map `work` over `items` in parallel, preserving input order in the
@@ -95,6 +95,68 @@ struct PoolShared {
     state: Mutex<PoolState>,
     work_ready: Condvar,
     capacity: usize,
+    /// Handles of live workers — including respawned ones, which register
+    /// themselves here so shutdown can join them.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Workers respawned after a job panicked through them.
+    respawns: AtomicU64,
+}
+
+impl PoolShared {
+    /// The state lock is never held while a job runs, so poisoning is
+    /// impossible in practice; recover the guard anyway so one anomalous
+    /// panic cannot wedge the whole pool.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A cheap cloneable view of a pool's health, for reporting (the analysis
+/// service surfaces it through `/health`). Stays valid after the pool
+/// itself shuts down.
+#[derive(Clone)]
+pub struct PoolMonitor {
+    shared: Arc<PoolShared>,
+}
+
+impl PoolMonitor {
+    /// Workers respawned after a panic.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently queued (excluding jobs already picked up).
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock_state().jobs.len()
+    }
+}
+
+/// Respawn guard armed for the lifetime of a worker thread. Leaked
+/// (`mem::forget`) on orderly exit; dropped during unwind when a job
+/// panics, where it replaces the dying worker so the pool never loses
+/// capacity to a poisoned job.
+struct Sentinel {
+    shared: Arc<PoolShared>,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        static RESPAWNS: telemetry::Counter = telemetry::Counter::new("pool.respawns");
+        if !std::thread::panicking() {
+            return;
+        }
+        {
+            // During shutdown a successor is still needed while jobs are
+            // queued — shutdown promises to drain them.
+            let state = self.shared.lock_state();
+            if state.shutdown && state.jobs.is_empty() {
+                return;
+            }
+        }
+        self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+        RESPAWNS.incr();
+        WorkerPool::spawn_worker(&self.shared);
+    }
 }
 
 /// A fixed-size worker pool over a bounded job queue.
@@ -104,10 +166,11 @@ struct PoolShared {
 /// *refuses* once `capacity` jobs are queued, making overload explicit at
 /// the edge instead of hiding it in unbounded memory growth. Workers park
 /// on a condvar between jobs; [`WorkerPool::shutdown`] drains the queue
-/// and joins every worker.
+/// and joins every worker. A job that panics kills only its worker, and
+/// the worker is respawned on the spot (counted in `pool.respawns`).
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
 }
 
 impl WorkerPool {
@@ -118,21 +181,39 @@ impl WorkerPool {
             state: Mutex::new(PoolState { jobs: VecDeque::new(), shutdown: false }),
             work_ready: Condvar::new(),
             capacity: capacity.max(1),
+            handles: Mutex::new(Vec::new()),
+            respawns: AtomicU64::new(0),
         });
-        let workers = (0..workers.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || Self::worker_loop(&shared))
-            })
-            .collect();
-        WorkerPool { shared, workers }
+        let worker_count = workers.max(1);
+        for _ in 0..worker_count {
+            Self::spawn_worker(&shared);
+        }
+        WorkerPool { shared, worker_count }
+    }
+
+    /// Spawn one worker and register its handle for shutdown to join.
+    /// Called both at construction and from a dying worker's [`Sentinel`];
+    /// in the latter case the handle is registered before the panicking
+    /// thread terminates, so shutdown's join loop always sees it.
+    fn spawn_worker(shared: &Arc<PoolShared>) {
+        let worker_shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            let sentinel = Sentinel { shared: Arc::clone(&worker_shared) };
+            Self::worker_loop(&worker_shared);
+            std::mem::forget(sentinel); // orderly exit: disarm the respawn guard
+        });
+        shared
+            .handles
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(handle);
     }
 
     fn worker_loop(shared: &PoolShared) {
         static EXECUTED: telemetry::Counter = telemetry::Counter::new("pool.executed");
         loop {
             let job = {
-                let mut state = shared.state.lock().expect("pool lock");
+                let mut state = shared.lock_state();
                 loop {
                     if let Some(job) = state.jobs.pop_front() {
                         break Some(job);
@@ -140,7 +221,10 @@ impl WorkerPool {
                     if state.shutdown {
                         break None;
                     }
-                    state = shared.work_ready.wait(state).expect("pool lock");
+                    state = shared
+                        .work_ready
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                 }
             };
             match job {
@@ -153,14 +237,24 @@ impl WorkerPool {
         }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool maintains.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.worker_count
     }
 
     /// Jobs currently queued (excluding jobs already picked up).
     pub fn queue_len(&self) -> usize {
-        self.shared.state.lock().expect("pool lock").jobs.len()
+        self.shared.lock_state().jobs.len()
+    }
+
+    /// Workers respawned after a panicking job killed their predecessor.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
+    }
+
+    /// A cloneable health view of this pool for reporting endpoints.
+    pub fn monitor(&self) -> PoolMonitor {
+        PoolMonitor { shared: Arc::clone(&self.shared) }
     }
 
     /// Submit a job without blocking. Returns the job inside
@@ -172,7 +266,7 @@ impl WorkerPool {
         static SUBMITTED: telemetry::Counter = telemetry::Counter::new("pool.submitted");
         static REJECTED: telemetry::Counter = telemetry::Counter::new("pool.rejected");
         static DEPTH: telemetry::Gauge = telemetry::Gauge::new("pool.queue_depth");
-        let mut state = self.shared.state.lock().expect("pool lock");
+        let mut state = self.shared.lock_state();
         if state.shutdown || state.jobs.len() >= self.shared.capacity {
             drop(state);
             REJECTED.incr();
@@ -187,15 +281,30 @@ impl WorkerPool {
     }
 
     /// Graceful shutdown: already-queued jobs still run, new submissions
-    /// are refused, and every worker is joined before returning.
+    /// are refused, and every worker is joined before returning. Joining
+    /// loops because a worker dying mid-shutdown may still register a
+    /// respawned successor.
     pub fn shutdown(self) {
         {
-            let mut state = self.shared.state.lock().expect("pool lock");
+            let mut state = self.shared.lock_state();
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
-        for worker in self.workers {
-            let _ = worker.join();
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut registered = self
+                    .shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                std::mem::take(&mut *registered)
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join(); // a worker that died panicking is fine here
+            }
         }
     }
 }
@@ -318,6 +427,33 @@ mod tests {
         *lock.lock().unwrap() = true;
         cv.notify_all();
         pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_jobs_respawn_workers_and_later_jobs_still_run() {
+        let pool = WorkerPool::new(2, 64);
+        let monitor = pool.monitor();
+        for _ in 0..4 {
+            pool.try_submit(|| panic!("injected job panic")).unwrap();
+        }
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let hits = Arc::clone(&hits);
+            pool.try_submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 8, "pool survives panicking jobs");
+        // A worker unwinding while the queue drains may legitimately skip
+        // its respawn once shutdown is flagged and no work remains, so the
+        // final panic accounts for 3-or-4, never fewer.
+        let respawns = monitor.respawns();
+        assert!(
+            (3..=4).contains(&respawns),
+            "each panicking job kills one worker (respawns: {respawns})"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency N]
-//!         [--out PATH] [--no-append] [--smoke]
+//!         [--out PATH] [--no-append] [--smoke] [--chaos]
 //! ```
 //!
 //! Drives a running daemon (`--addr`) or spins up an in-process one on an
@@ -11,6 +11,14 @@
 //! (`rps`, `p50/p95/p99` µs) to the benchmark trajectory file. `--smoke`
 //! is the CI mode: a small burst plus response well-formedness checks,
 //! designed to finish in seconds.
+//!
+//! `--chaos` is the fault-tolerance mode: the daemon is expected to be
+//! running under an armed `FAULT_SPEC`, so requests go through the
+//! retrying client and a *typed* error response (an `"kind":"error"`
+//! document, any status) counts as a correct outcome. The run fails only
+//! on transport-level breakage the retry budget cannot absorb or on
+//! responses that do not decode — i.e. exactly the failure modes fault
+//! isolation is supposed to prevent. No trajectory point is appended.
 
 use corpus::honeypots::honeypot_dataset;
 use pipeline::api::{AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse};
@@ -37,6 +45,7 @@ struct Args {
     out: String,
     append: bool,
     smoke: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +57,7 @@ fn parse_args() -> Args {
         out: "BENCH_trajectory.json".to_string(),
         append: true,
         smoke: false,
+        chaos: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -82,6 +92,10 @@ fn parse_args() -> Args {
                 args.smoke = true;
                 i += 1;
             }
+            "--chaos" => {
+                args.chaos = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -91,6 +105,11 @@ fn parse_args() -> Args {
     if args.smoke {
         args.requests = args.requests.min(64);
         args.concurrency = args.concurrency.min(8);
+    }
+    if args.chaos {
+        // Latency points measured through injected faults would poison
+        // the trajectory file.
+        args.append = false;
     }
     args
 }
@@ -120,7 +139,11 @@ fn main() {
         }
     };
 
-    smoke_checks(&addr, &dataset);
+    if args.chaos {
+        chaos_smoke(&addr);
+    } else {
+        smoke_checks(&addr, &dataset);
+    }
 
     // The measured burst: a deterministic scan/clone-check mix.
     let bodies: Vec<String> = (0..args.requests)
@@ -140,6 +163,14 @@ fn main() {
     let cursor = AtomicUsize::new(0);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(args.requests));
     let failures = AtomicUsize::new(0);
+    let typed_errors = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let retry_policy = client::RetryPolicy {
+        max_attempts: 4,
+        base_delay_ms: 5,
+        max_delay_ms: 100,
+        seed: 0xC4A05,
+    };
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..args.concurrency.max(1) {
@@ -151,13 +182,25 @@ fn main() {
                         break;
                     }
                     let t0 = Instant::now();
-                    match client::post(&addr, paths[i], &bodies[i]) {
+                    let outcome = if args.chaos {
+                        client::post_with_retry(&addr, paths[i], &bodies[i], &retry_policy)
+                    } else {
+                        client::post(&addr, paths[i], &bodies[i])
+                    };
+                    match outcome {
                         Ok((200, body)) if AnalysisResponse::from_json(&body).is_ok() => {
                             local.push(t0.elapsed().as_micros() as u64);
                         }
                         Ok((429, _)) => {
                             // Shed load is correct behavior, not a failure,
                             // but it carries no latency signal.
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok((_, body)) if args.chaos && is_typed_error(&body) => {
+                            // Under an armed fault plan, an injected fault
+                            // surfacing as a typed error document is the
+                            // contract we are checking, not a failure.
+                            typed_errors.fetch_add(1, Ordering::Relaxed);
                         }
                         _ => {
                             failures.fetch_add(1, Ordering::Relaxed);
@@ -173,6 +216,29 @@ fn main() {
     let mut lat = latencies.into_inner().expect("latency lock");
     lat.sort_unstable();
     let failed = failures.load(Ordering::Relaxed);
+    if args.chaos {
+        println!(
+            "[loadgen] chaos: {} ok, {} typed errors, {} shed, {} failed in {:.2}s",
+            lat.len(),
+            typed_errors.load(Ordering::Relaxed),
+            shed.load(Ordering::Relaxed),
+            failed,
+            elapsed.as_secs_f64()
+        );
+        if failed > 0 {
+            eprintln!("[loadgen] FAIL: {failed} requests broke through fault isolation");
+            std::process::exit(1);
+        }
+        if lat.is_empty() {
+            eprintln!("[loadgen] FAIL: no request succeeded under chaos");
+            std::process::exit(1);
+        }
+        if let Some((handle, join)) = in_process {
+            handle.shutdown();
+            join.join().expect("server thread");
+        }
+        return;
+    }
     if lat.is_empty() {
         eprintln!("[loadgen] FAIL: no successful requests ({failed} failures)");
         std::process::exit(1);
@@ -217,6 +283,31 @@ fn main() {
         handle.shutdown();
         join.join().expect("server thread");
     }
+}
+
+/// Minimal liveness check for chaos runs: the daemon must answer
+/// `/health` (through the retrying client — the health route itself can
+/// catch an injected `server/request` fault). Scan/clone-check payload
+/// assertions are skipped because injected faults make their outcomes
+/// nondeterministic by design.
+fn chaos_smoke(addr: &str) {
+    let policy = client::RetryPolicy::default();
+    let (status, body) =
+        client::get_with_retry(addr, "/health", &policy).expect("health request under chaos");
+    assert!(
+        status == 200 || is_typed_error(&body),
+        "health returned {status} with undecodable body: {body}"
+    );
+    println!("[loadgen] chaos smoke: daemon is answering at {addr}");
+}
+
+/// Whether a response body is a well-formed typed error document
+/// (`{"kind":"error","code":...}`) as produced by the server's error
+/// path — the shape every injected fault must decay to.
+fn is_typed_error(body: &str) -> bool {
+    let Ok(value) = telemetry::json::parse(body) else { return false };
+    value.get("kind").and_then(telemetry::json::Value::as_str) == Some("error")
+        && value.get("code").and_then(telemetry::json::Value::as_str).is_some()
 }
 
 /// Correctness spot-checks before measuring: health, one scan, one

@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--port N] [--port-file PATH] [--workers N] [--queue-cap N]
 //!       [--timeout-ms N] [--corpus N]
+//!       [--breaker-threshold N] [--breaker-open-ms N]
 //! ```
 //!
 //! Binds `127.0.0.1:<port>` (port 0 → ephemeral; the chosen port is
@@ -10,6 +11,10 @@
 //! pick up). The clone corpus is the honeypot dataset of the recorded
 //! run, truncated to `--corpus` contracts (0 → all 379). SIGTERM and
 //! SIGINT trigger a graceful drain.
+//!
+//! Chaos testing: `FAULT_SPEC`/`FAULT_SEED` in the environment arm the
+//! deterministic fault plan (see the `faultinject` crate); when armed,
+//! the active plan is logged at startup.
 
 use corpus::honeypots::honeypot_dataset;
 use pipeline::api::{AnalysisConfig, AnalysisEngine};
@@ -60,11 +65,26 @@ fn main() {
                 corpus_size = value(i).parse().expect("--corpus must be a count");
                 i += 2;
             }
+            "--breaker-threshold" => {
+                config.breaker.failure_threshold =
+                    value(i).parse().expect("--breaker-threshold must be a count");
+                i += 2;
+            }
+            "--breaker-open-ms" => {
+                config.breaker.open_ms =
+                    value(i).parse().expect("--breaker-open-ms must be milliseconds");
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
+    }
+
+    faultinject::init_from_env();
+    if faultinject::active() {
+        eprintln!("[serve] fault injection armed from FAULT_SPEC");
     }
 
     let mut analysis = AnalysisConfig::default();

@@ -1,0 +1,218 @@
+//! A per-endpoint circuit breaker.
+//!
+//! The daemon's analysis endpoints trip open after a run of *internal*
+//! errors (our fault: detector panics, injected faults), shedding load
+//! with 503 instead of burning workers on a failing dependency. After a
+//! cooldown one half-open probe is admitted; its outcome decides between
+//! closing the breaker and another cooldown. Request-caused errors
+//! (parse failures, bad JSON, timeouts from undersized budgets) never
+//! trip the breaker.
+//!
+//! State machine:
+//!
+//! ```text
+//!            N consecutive internal errors
+//!   Closed ───────────────────────────────▶ Open
+//!     ▲                                       │ cooldown elapses
+//!     │ probe succeeds                        ▼
+//!     └─────────────────────────────────── HalfOpen ──▶ Open (probe fails)
+//! ```
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive internal errors that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Cooldown before a half-open probe is admitted.
+    pub open_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, open_ms: 1000 }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Closed,
+    Open { until: Instant },
+    /// One probe in flight; further requests are rejected until its
+    /// outcome is recorded.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: State,
+    consecutive_failures: u32,
+    opened_total: u64,
+}
+
+/// A single endpoint's circuit breaker. All methods are thread-safe.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: State::Closed,
+                consecutive_failures: 0,
+                opened_total: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Ask to admit a request. `false` means shed it (breaker open, or a
+    /// half-open probe is already in flight). An admitted request MUST be
+    /// concluded with [`CircuitBreaker::record_success`] or
+    /// [`CircuitBreaker::record_failure`].
+    pub fn try_acquire(&self) -> bool {
+        static REJECTED: telemetry::Counter = telemetry::Counter::new("breaker.rejected");
+        let mut inner = self.lock();
+        let admitted = match inner.state {
+            State::Closed => true,
+            State::Open { until } => {
+                if Instant::now() >= until {
+                    inner.state = State::HalfOpen;
+                    true // this request is the probe
+                } else {
+                    false
+                }
+            }
+            State::HalfOpen => false,
+        };
+        if !admitted {
+            REJECTED.incr();
+        }
+        admitted
+    }
+
+    /// Conclude an admitted request that did not hit an internal error.
+    pub fn record_success(&self) {
+        let mut inner = self.lock();
+        inner.consecutive_failures = 0;
+        inner.state = State::Closed;
+    }
+
+    /// Conclude an admitted request that hit an internal error.
+    pub fn record_failure(&self) {
+        static OPENED: telemetry::Counter = telemetry::Counter::new("breaker.opened");
+        let mut inner = self.lock();
+        match inner.state {
+            State::HalfOpen | State::Open { .. } => {
+                // Failed probe (or a straggler admitted before the trip):
+                // back to a full cooldown.
+                inner.state = State::Open {
+                    until: Instant::now() + Duration::from_millis(self.config.open_ms),
+                };
+            }
+            State::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    OPENED.incr();
+                    inner.opened_total += 1;
+                    inner.state = State::Open {
+                        until: Instant::now() + Duration::from_millis(self.config.open_ms),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Reportable state name: `"closed"`, `"open"` or `"half_open"`.
+    pub fn state_name(&self) -> &'static str {
+        match self.lock().state {
+            State::Closed => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half_open",
+        }
+    }
+
+    /// How many times the breaker has tripped from closed to open.
+    pub fn opened_total(&self) -> u64 {
+        self.lock().opened_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig { failure_threshold: 3, open_ms: 30 })
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let b = fast();
+        for _ in 0..2 {
+            assert!(b.try_acquire());
+            b.record_failure();
+        }
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.try_acquire());
+        b.record_success(); // success resets the failure run
+        for _ in 0..2 {
+            assert!(b.try_acquire());
+            b.record_failure();
+        }
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn opens_at_threshold_and_rejects() {
+        let b = fast();
+        for _ in 0..3 {
+            assert!(b.try_acquire());
+            b.record_failure();
+        }
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.opened_total(), 1);
+        assert!(!b.try_acquire(), "open breaker sheds requests");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = fast();
+        for _ in 0..3 {
+            b.try_acquire();
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.try_acquire(), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state_name(), "half_open");
+        assert!(!b.try_acquire(), "only one probe at a time");
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.try_acquire());
+        b.record_success();
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let b = fast();
+        for _ in 0..3 {
+            b.try_acquire();
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        assert!(!b.try_acquire());
+    }
+}

@@ -2,10 +2,98 @@
 //! `loadgen` bin, the integration tests and the CI smoke step. Relies on
 //! the server's `Connection: close` discipline: read to EOF, split head
 //! from body.
+//!
+//! [`RetryPolicy`] adds bounded retries with exponential backoff and
+//! seeded jitter for transient failures: connection errors (a worker
+//! died mid-request), 429 (load shed), and 5xx (internal errors, open
+//! breakers, timeouts). 4xx client errors never retry — resending a bad
+//! request cannot fix it.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Bounded-retry tuning for [`post_with_retry`]/[`get_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, first try included (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_delay_ms << (n-1)`, capped at
+    /// `max_delay_ms`, plus jitter in `[0, delay/2]`.
+    pub base_delay_ms: u64,
+    /// Upper bound on a single backoff (before jitter).
+    pub max_delay_ms: u64,
+    /// Jitter seed — deterministic for a given policy, so test runs and
+    /// chaos reproductions back off identically.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_delay_ms: 10, max_delay_ms: 500, seed: 0x5eed }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt` (1-based retry index), with
+    /// deterministic jitter drawn from `rng`.
+    fn backoff(&self, attempt: u32, rng: &mut faultinject::SeededRng) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let base = self.base_delay_ms.saturating_mul(1u64 << shift).min(self.max_delay_ms);
+        Duration::from_millis(base + rng.next_below(base / 2 + 1))
+    }
+}
+
+/// Whether a status is worth retrying: overload (429) and server-side
+/// failures (5xx) are transient, everything else is final.
+pub fn retryable_status(status: u16) -> bool {
+    status == 429 || (500..=599).contains(&status)
+}
+
+/// Send one request under a retry policy. Returns the first
+/// non-retryable outcome, or the last outcome once attempts run out.
+pub fn request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<(u16, String)> {
+    static RETRIES: telemetry::Counter = telemetry::Counter::new("client.retries");
+    let mut rng = faultinject::SeededRng::new(policy.seed);
+    let attempts = policy.max_attempts.max(1);
+    let mut last: Option<std::io::Result<(u16, String)>> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            RETRIES.incr();
+            std::thread::sleep(policy.backoff(attempt, &mut rng));
+        }
+        match request(addr, method, path, body) {
+            Ok((status, body)) if !retryable_status(status) => return Ok((status, body)),
+            outcome => last = Some(outcome),
+        }
+    }
+    last.expect("at least one attempt was made")
+}
+
+/// `POST` a JSON body with retries.
+pub fn post_with_retry(
+    addr: &str,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<(u16, String)> {
+    request_with_retry(addr, "POST", path, body, policy)
+}
+
+/// `GET` a path with retries.
+pub fn get_with_retry(
+    addr: &str,
+    path: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<(u16, String)> {
+    request_with_retry(addr, "GET", path, "", policy)
+}
 
 /// Send one request and return `(status, body)`.
 pub fn request(
@@ -57,5 +145,82 @@ mod tests {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}";
         assert_eq!(parse_response(raw), Some((200, "{}".to_string())));
         assert_eq!(parse_response(b"garbage"), None);
+    }
+
+    /// A one-shot server answering each accepted connection with the next
+    /// canned status; returns how many connections it served.
+    fn canned_server(statuses: Vec<u16>) -> (String, std::thread::JoinHandle<usize>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let mut served = 0;
+            for status in statuses {
+                let Ok((mut stream, _)) = listener.accept() else { break };
+                let mut buf = [0u8; 4096];
+                let _ = stream.read(&mut buf);
+                let response = format!(
+                    "HTTP/1.1 {status} X\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{{}}"
+                );
+                let _ = stream.write_all(response.as_bytes());
+                served += 1;
+            }
+            served
+        });
+        (addr, handle)
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy { max_attempts: 4, base_delay_ms: 1, max_delay_ms: 4, seed: 7 }
+    }
+
+    #[test]
+    fn retries_past_transient_server_errors() {
+        let (addr, served) = canned_server(vec![500, 429, 200]);
+        let (status, body) = get_with_retry(&addr, "/health", &fast_policy()).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{}");
+        assert_eq!(served.join().unwrap(), 3, "two retries consumed");
+    }
+
+    #[test]
+    fn gives_up_with_last_response_after_max_attempts() {
+        let (addr, served) = canned_server(vec![503, 503, 503, 503]);
+        let (status, _) = get_with_retry(&addr, "/health", &fast_policy()).unwrap();
+        assert_eq!(status, 503, "exhausted retries surface the last response");
+        assert_eq!(served.join().unwrap(), 4);
+    }
+
+    #[test]
+    fn client_errors_are_not_retried() {
+        let (addr, served) = canned_server(vec![400]);
+        let (status, _) = get_with_retry(&addr, "/health", &fast_policy()).unwrap();
+        assert_eq!(status, 400);
+        assert_eq!(served.join().unwrap(), 1, "a 4xx must not be retried");
+    }
+
+    #[test]
+    fn connect_failures_retry_then_error() {
+        // Bind then drop to get a port with (very likely) nothing on it.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let policy = RetryPolicy { max_attempts: 2, ..fast_policy() };
+        assert!(get_with_retry(&addr, "/health", &policy).is_err());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 80, seed: 42 };
+        let draw = || {
+            let mut rng = faultinject::SeededRng::new(policy.seed);
+            (1..8).map(|n| policy.backoff(n, &mut rng).as_millis()).collect::<Vec<_>>()
+        };
+        let first = draw();
+        assert_eq!(first, draw(), "same seed, same backoff schedule");
+        for (i, ms) in first.iter().enumerate() {
+            let base = (10u64 << i.min(16)).min(80);
+            assert!(*ms >= base as u128 && *ms <= (base + base / 2) as u128, "retry {i}: {ms}ms");
+        }
     }
 }

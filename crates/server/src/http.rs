@@ -9,11 +9,15 @@ use std::net::TcpStream;
 /// Upper bound on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// Upper bound on the request line alone (method + target + version) —
+/// tighter than the whole head, since no legitimate target comes close.
+pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024;
+
 /// Upper bound on a request body.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
 /// A parsed request.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Request {
     /// Request method, upper-case as sent (`GET`, `POST`).
     pub method: String,
@@ -58,6 +62,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         if head.len() > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge);
         }
+        // Bail before buffering a pathological request line to the full
+        // head limit: no terminating CRLF within the line budget.
+        if head.len() > MAX_REQUEST_LINE_BYTES && !head.contains(&b'\n') {
+            return Err(HttpError::TooLarge);
+        }
         let n = stream.read(&mut buf).map_err(|e| HttpError::Io(e.to_string()))?;
         if n == 0 {
             return Err(HttpError::Io("connection closed mid-request".into()));
@@ -69,6 +78,9 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
     let mut lines = head_text.split("\r\n");
     let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_REQUEST_LINE_BYTES {
+        return Err(HttpError::TooLarge);
+    }
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -79,17 +91,26 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         .next()
         .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
     let path = target.split('?').next().unwrap_or(target).to_string();
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+                // Duplicate Content-Length headers with different values
+                // are a request-smuggling vector — reject, don't guess.
+                if content_length.is_some_and(|previous| previous != parsed) {
+                    return Err(HttpError::Malformed(
+                        "conflicting Content-Length headers".into(),
+                    ));
+                }
+                content_length = Some(parsed);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
     }
@@ -132,6 +153,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
     }
@@ -149,8 +171,52 @@ mod tests {
 
     #[test]
     fn reasons_cover_emitted_codes() {
-        for code in [200, 400, 404, 405, 413, 429, 500, 504] {
+        for code in [200, 400, 404, 405, 413, 429, 500, 503, 504] {
             assert_ne!(reason(code), "Unknown");
         }
+    }
+
+    /// Feed raw bytes through a real socket pair into `read_request`.
+    fn read_raw(raw: Vec<u8>) -> Result<Request, HttpError> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let _ = stream.write_all(&raw);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            stream // keep alive until the reader is done
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream);
+        let _ = writer.join();
+        result
+    }
+
+    #[test]
+    fn overlong_request_line_is_too_large() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE_BYTES));
+        assert_eq!(read_raw(raw.into_bytes()), Err(HttpError::TooLarge));
+        // Even without a terminating newline the reader bails early.
+        let unterminated = vec![b'G'; MAX_REQUEST_LINE_BYTES + 1024];
+        assert_eq!(read_raw(unterminated), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_malformed() {
+        let raw = b"POST /v1/scan HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\n{}".to_vec();
+        assert!(matches!(read_raw(raw), Err(HttpError::Malformed(_))));
+        // Agreeing duplicates are harmless and accepted.
+        let raw = b"POST /v1/scan HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}".to_vec();
+        let request = read_raw(raw).unwrap();
+        assert_eq!(request.body, b"{}");
+    }
+
+    #[test]
+    fn declared_body_over_limit_is_too_large() {
+        let raw = format!(
+            "POST /v1/scan HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(read_raw(raw.into_bytes()), Err(HttpError::TooLarge));
     }
 }

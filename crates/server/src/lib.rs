@@ -29,12 +29,14 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod client;
 pub mod http;
 
+use breaker::{BreakerConfig, CircuitBreaker};
 use http::{read_request, write_response, HttpError, Request};
 use pipeline::api::{error_to_json, AnalysisRequest, AnalysisResponse};
-use pipeline::par::{PoolFull, WorkerPool};
+use pipeline::par::{PoolFull, PoolMonitor, WorkerPool};
 use pipeline::AnalysisEngine;
 use solidity::AnalysisError;
 use std::io;
@@ -52,6 +54,8 @@ pub struct ServerConfig {
     /// Maximum pending (accepted but unserved) connections before the
     /// service sheds load with 429.
     pub queue_capacity: usize,
+    /// Per-endpoint circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +63,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             queue_capacity: 256,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -109,12 +114,33 @@ pub fn install_signal_handlers() {
 #[cfg(not(unix))]
 pub fn install_signal_handlers() {}
 
+/// Per-endpoint circuit breakers for the three analysis endpoints.
+struct Breakers {
+    scan: CircuitBreaker,
+    clone_check: CircuitBreaker,
+    analyze: CircuitBreaker,
+}
+
+impl Breakers {
+    fn new(config: BreakerConfig) -> Breakers {
+        Breakers {
+            scan: CircuitBreaker::new(config),
+            clone_check: CircuitBreaker::new(config),
+            analyze: CircuitBreaker::new(config),
+        }
+    }
+}
+
 /// Shared immutable state handed to every worker.
 struct ServiceState {
     engine: Arc<AnalysisEngine>,
     shutdown: ShutdownHandle,
     workers: usize,
     queue_capacity: usize,
+    breakers: Breakers,
+    /// Health view of the worker pool; `None` only in unit tests that
+    /// exercise routing without a pool.
+    pool: Option<PoolMonitor>,
 }
 
 /// The analysis daemon: listener + worker pool + warm engine.
@@ -140,6 +166,8 @@ impl Server {
             shutdown: ShutdownHandle::default(),
             workers: config.workers,
             queue_capacity: config.queue_capacity,
+            breakers: Breakers::new(config.breaker),
+            pool: Some(pool.monitor()),
         });
         Ok(Server { listener, pool, state })
     }
@@ -210,6 +238,16 @@ fn handle_connection(mut stream: TcpStream, state: &ServiceState) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     match read_request(&mut stream) {
         Ok(request) => {
+            // Chaos hook at the service edge, after the request is drained
+            // (answering earlier would RST the peer's in-flight write).
+            // Injected errors answer with a typed 500; injected *panics*
+            // unwind through this function, killing the worker — exactly
+            // the failure the pool's respawn sentinel and the client's
+            // retry policy exist for.
+            if let Some(message) = faultinject::fire("server/request") {
+                write_response(&mut stream, 500, &error_body("internal", &message));
+                return;
+            }
             let (status, body) = route(&request, state);
             write_response(&mut stream, status, &body);
         }
@@ -237,10 +275,17 @@ fn route(request: &Request, state: &ServiceState) -> (u16, String) {
         ("GET", "/health") => (
             200,
             format!(
-                "{{\"status\":\"ok\",\"v\":1,\"corpus\":{},\"workers\":{},\"queue_capacity\":{}}}",
+                "{{\"status\":\"ok\",\"v\":1,\"corpus\":{},\"workers\":{},\"queue_capacity\":{},\
+                 \"pool\":{{\"respawns\":{},\"queued\":{}}},\
+                 \"breakers\":{{\"scan\":\"{}\",\"clone_check\":\"{}\",\"analyze\":\"{}\"}}}}",
                 state.engine.corpus_len(),
                 state.workers,
-                state.queue_capacity
+                state.queue_capacity,
+                state.pool.as_ref().map_or(0, PoolMonitor::respawns),
+                state.pool.as_ref().map_or(0, PoolMonitor::queue_len),
+                state.breakers.scan.state_name(),
+                state.breakers.clone_check.state_name(),
+                state.breakers.analyze.state_name(),
             ),
         ),
         ("GET", "/telemetry") => (200, telemetry::snapshot().to_json()),
@@ -248,9 +293,13 @@ fn route(request: &Request, state: &ServiceState) -> (u16, String) {
             state.shutdown.shutdown();
             (200, "{\"status\":\"shutting_down\"}".to_string())
         }
-        ("POST", "/v1/scan") => analyze(request, state, Some(RequestKind::Scan)),
-        ("POST", "/v1/clone-check") => analyze(request, state, Some(RequestKind::CloneCheck)),
-        ("POST", "/v1/analyze") => analyze(request, state, None),
+        ("POST", "/v1/scan") => {
+            analyze(request, state, Some(RequestKind::Scan), &state.breakers.scan)
+        }
+        ("POST", "/v1/clone-check") => {
+            analyze(request, state, Some(RequestKind::CloneCheck), &state.breakers.clone_check)
+        }
+        ("POST", "/v1/analyze") => analyze(request, state, None, &state.breakers.analyze),
         (_, "/health" | "/telemetry" | "/shutdown" | "/v1/scan" | "/v1/clone-check" | "/v1/analyze") => {
             (405, error_body("method_not_allowed", "wrong method for endpoint"))
         }
@@ -264,7 +313,12 @@ enum RequestKind {
     CloneCheck,
 }
 
-fn analyze(request: &Request, state: &ServiceState, expected: Option<RequestKind>) -> (u16, String) {
+fn analyze(
+    request: &Request,
+    state: &ServiceState,
+    expected: Option<RequestKind>,
+    breaker: &CircuitBreaker,
+) -> (u16, String) {
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
         Err(_) => {
@@ -287,17 +341,40 @@ fn analyze(request: &Request, state: &ServiceState, expected: Option<RequestKind
             error_body("bad_request", "request kind does not match endpoint"),
         );
     }
+    // Acquire the breaker only once the request is validated: malformed
+    // requests are the caller's fault and must neither consume a
+    // half-open probe nor be shed by an open breaker.
+    if !breaker.try_acquire() {
+        return (
+            503,
+            error_body("breaker_open", "circuit breaker is open; retry after cooldown"),
+        );
+    }
     match state.engine.analyze(&parsed) {
-        Ok(response) => (200, AnalysisResponse::to_json(&response)),
-        Err(error) => (status_of(&error), error_to_json(&error)),
+        Ok(response) => {
+            breaker.record_success();
+            (200, AnalysisResponse::to_json(&response))
+        }
+        Err(error) => {
+            // Only *internal* errors (our fault) count against the
+            // breaker; request-caused errors are successes breaker-wise.
+            if error.code() == "internal" {
+                breaker.record_failure();
+            } else {
+                breaker.record_success();
+            }
+            (status_of(&error), error_to_json(&error))
+        }
     }
 }
 
 /// HTTP status of an analysis error: timeouts are the gateway's fault
-/// (504), everything else is the request's (400).
+/// (504), internal errors are ours (500), everything else is the
+/// request's (400).
 fn status_of(error: &AnalysisError) -> u16 {
     match error.code() {
         "timeout" => 504,
+        "internal" => 500,
         _ => 400,
     }
 }
@@ -313,6 +390,8 @@ mod tests {
             shutdown: ShutdownHandle::default(),
             workers: 1,
             queue_capacity: 1,
+            breakers: Breakers::new(BreakerConfig::default()),
+            pool: None,
         })
     }
 

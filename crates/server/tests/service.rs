@@ -86,7 +86,7 @@ fn serves_64_concurrent_requests() {
 #[test]
 fn sheds_load_with_429_past_the_queue_bound() {
     // One worker, queue of one: concurrent expensive scans must overflow.
-    let config = ServerConfig { workers: 1, queue_capacity: 1 };
+    let config = ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() };
     let expensive = format!(
         "contract C {{ {} }}",
         "function f(uint a) public { total += a; msg.sender.call{value: a}(\"\"); } "

@@ -53,6 +53,14 @@ pub enum AnalysisError {
         /// Request diagnostic.
         message: String,
     },
+    /// The pipeline itself failed: a panic caught by the isolation layer,
+    /// an injected fault, or a violated internal invariant. Unlike every
+    /// other variant this is *our* fault, not the request's — the analysis
+    /// service maps it to HTTP 500 and the circuit breaker counts it.
+    Internal {
+        /// What went wrong (panic payload or fault description).
+        message: String,
+    },
 }
 
 impl AnalysisError {
@@ -71,6 +79,22 @@ impl AnalysisError {
         AnalysisError::Timeout { stage: stage.into(), budget_ms }
     }
 
+    /// Shorthand for an [`AnalysisError::Internal`] error.
+    pub fn internal(message: impl Into<String>) -> AnalysisError {
+        AnalysisError::Internal { message: message.into() }
+    }
+
+    /// Build an [`AnalysisError::Internal`] from a caught panic payload
+    /// (the `Box<dyn Any>` handed back by `catch_unwind`).
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>, unit: &str) -> AnalysisError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        AnalysisError::internal(format!("panic in {unit}: {message}"))
+    }
+
     /// Stable machine-readable error code, used in the versioned JSON
     /// encoding and for HTTP status mapping in the analysis service.
     pub fn code(&self) -> &'static str {
@@ -80,6 +104,7 @@ impl AnalysisError {
             AnalysisError::Query { .. } => "query",
             AnalysisError::Timeout { .. } => "timeout",
             AnalysisError::InvalidRequest { .. } => "invalid_request",
+            AnalysisError::Internal { .. } => "internal",
         }
     }
 }
@@ -99,6 +124,7 @@ impl fmt::Display for AnalysisError {
             AnalysisError::InvalidRequest { message } => {
                 write!(f, "invalid request: {message}")
             }
+            AnalysisError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }
 }
@@ -135,6 +161,7 @@ mod tests {
             AnalysisError::query("m"),
             AnalysisError::timeout("scan/parse", 5),
             AnalysisError::invalid("m"),
+            AnalysisError::internal("m"),
         ];
         let codes: std::collections::HashSet<&str> = all.iter().map(|e| e.code()).collect();
         assert_eq!(codes.len(), all.len());

@@ -93,6 +93,9 @@ pub fn parse_snippet(src: &str) -> Result<SourceUnit, ParseError> {
 /// Parse with explicit options.
 pub fn parse_with(src: &str, opts: ParserOptions) -> Result<SourceUnit, ParseError> {
     let result = (|| {
+        if let Some(message) = faultinject::fire("parse") {
+            return Err(ParseError { message, span: Span::DUMMY });
+        }
         let tokens = lex(src)?;
         if telemetry::enabled() && opts.placeholders {
             let placeholders =

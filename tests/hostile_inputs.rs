@@ -1,0 +1,91 @@
+//! Hostile-input suite: malformed, truncated, and adversarial Solidity
+//! fed through the full `pipeline::api` facade must come back as typed
+//! errors (or clean results) — never a panic, never an unknown code.
+
+use pipeline::api::{AnalysisConfig, AnalysisEngine, AnalysisRequest};
+
+const KNOWN_CODES: &[&str] =
+    &["parse", "graph_build", "query", "timeout", "invalid_request", "internal"];
+
+fn hostile_sources() -> Vec<(&'static str, String)> {
+    let mut nested = String::from("function f() public { ");
+    for _ in 0..200 {
+        nested.push_str("if (true) { ");
+    }
+    for _ in 0..200 {
+        nested.push('}');
+    }
+    nested.push_str(" }");
+
+    vec![
+        ("empty", String::new()),
+        ("whitespace", "   \n\t  \r\n ".to_string()),
+        ("truncated contract", "contract C { function f() public {".to_string()),
+        ("truncated string", "contract C { string s = \"unterminated".to_string()),
+        ("garbage symbols", "%$@@@!!~~ ؆ ((((((((".to_string()),
+        ("binary noise", "\u{0}\u{1}\u{7f}\u{fffd}contract\u{0}".to_string()),
+        ("deeply nested", nested),
+        ("unbalanced braces", "}}}}}}{{{{{{".to_string()),
+        ("huge identifier", format!("contract C {{ uint {}; }}", "a".repeat(100_000))),
+        ("pragma soup", "pragma pragma pragma ;;; contract".to_string()),
+        ("only comments", "// nothing\n/* here */".to_string()),
+        ("stray unicode op", "contract C { function f() public { x ≈ y; } }".to_string()),
+    ]
+}
+
+#[test]
+fn hostile_sources_yield_typed_outcomes_on_scan() {
+    let engine = AnalysisEngine::new(AnalysisConfig::default());
+    for (label, source) in hostile_sources() {
+        match engine.analyze(&AnalysisRequest::scan(source)) {
+            Ok(_) => {}
+            Err(error) => assert!(
+                KNOWN_CODES.contains(&error.code()),
+                "{label}: unknown error code {} ({error})",
+                error.code()
+            ),
+        }
+    }
+}
+
+#[test]
+fn hostile_sources_yield_typed_outcomes_on_clone_check() {
+    let engine = AnalysisEngine::with_corpus(
+        AnalysisConfig::default(),
+        [(1u64, "contract Wallet { function w(uint v) public { msg.sender.transfer(v); } }")],
+    );
+    for (label, source) in hostile_sources() {
+        match engine.analyze(&AnalysisRequest::clone_check(source)) {
+            Ok(_) => {}
+            Err(error) => assert!(
+                KNOWN_CODES.contains(&error.code()),
+                "{label}: unknown error code {} ({error})",
+                error.code()
+            ),
+        }
+    }
+}
+
+#[test]
+fn hostile_request_documents_decode_to_typed_errors() {
+    let garbage = [
+        "",
+        "{",
+        "not json at all",
+        "{\"v\":1}",
+        "{\"v\":99,\"kind\":\"scan\",\"source\":\"contract C {}\"}",
+        "{\"v\":1,\"kind\":\"launch_missiles\",\"source\":\"x\"}",
+        "{\"v\":1,\"kind\":\"scan\"}",
+        "[1,2,3]",
+        "{\"v\":1,\"kind\":\"scan\",\"source\":12}",
+    ];
+    for text in garbage {
+        let error = AnalysisRequest::from_json(text)
+            .expect_err(&format!("garbage request must not decode: {text:?}"));
+        assert!(
+            KNOWN_CODES.contains(&error.code()),
+            "{text:?}: unknown error code {}",
+            error.code()
+        );
+    }
+}
