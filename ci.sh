@@ -9,6 +9,12 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 
+# Frontend perf smoke: re-measure the parse+CPG pass and fail on a >20%
+# throughput regression against the last `interned` point recorded in
+# BENCH_trajectory.json. Measures only (no append), so CI runs do not
+# rewrite the committed trajectory.
+FRONTEND_GATE=1 FRONTEND_APPEND=0 cargo bench -p bench --bench frontend
+
 # Telemetry smoke: run the 17 detectors (table1) and the CCD sweep
 # (table9) in one process with telemetry on, then validate the emitted
 # JSON report — it must parse and contain a span for every CCC detector

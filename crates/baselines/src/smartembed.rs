@@ -104,7 +104,7 @@ impl Visit for Collector {
             ExprKind::Unary { op, .. } => format!("un:{}", op.as_str()),
             ExprKind::Ternary { .. } => "ternary".to_string(),
             ExprKind::Call { callee, .. } => {
-                format!("call:{}", callee.local_name().unwrap_or("?"))
+                format!("call:{}", callee.local_name().map(|s| s.as_str()).unwrap_or("?"))
             }
             ExprKind::Member { member, .. } => format!("member:{member}"),
             ExprKind::Index { .. } => "index".to_string(),

@@ -1,0 +1,101 @@
+//! Byte-identity regression harness for the interned frontend rebuild.
+//!
+//! Runs the full `pipeline::api` analyze path (17 CCC detectors) over the
+//! honeypot corpus plus a small CCD parameter sweep, renders both to a
+//! canonical JSON document, and compares it byte-for-byte against the
+//! golden file committed *before* the interning rebuild. Any change to
+//! detector output (finding set, lines, codes) or clone scores (tp/fp/fn
+//! per grid cell) fails this test.
+//!
+//! Regenerate with `GOLDEN_REGEN=1 cargo test -p bench --test golden_identity`.
+
+use ccd::{parameter_grid, sweep, LabelledCorpus};
+use pipeline::api::{AnalysisConfig, AnalysisEngine, AnalysisRequest};
+
+/// Honeypot contracts scanned through the detector battery.
+const SCAN_DOCS: usize = 80;
+/// Honeypot contracts in the CCD sweep corpus.
+const SWEEP_DOCS: usize = 20;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("frontend_identity.json")
+}
+
+fn sweep_corpus(n: usize) -> LabelledCorpus {
+    let ds = bench::honeypots();
+    let mut corpus = LabelledCorpus::default();
+    for hp in ds.contracts.iter().take(n) {
+        corpus.add_document(hp.id, hp.source.clone());
+    }
+    for (i, a) in ds.contracts.iter().take(n).enumerate() {
+        for b in ds.contracts.iter().take(n).skip(i + 1) {
+            if a.ty == b.ty {
+                corpus.add_clone_pair(a.id, b.id);
+            }
+        }
+    }
+    corpus
+}
+
+/// Render the current tree's detector findings and sweep scores as one
+/// canonical JSON document.
+fn render_current() -> String {
+    let ds = bench::honeypots();
+    let engine = AnalysisEngine::new(AnalysisConfig::default());
+
+    let mut out = String::from("{\n  \"scan\": [\n");
+    for (i, hp) in ds.contracts.iter().take(SCAN_DOCS).enumerate() {
+        let response = engine
+            .analyze(&AnalysisRequest::scan(hp.source.clone()))
+            .unwrap_or_else(|e| panic!("honeypot {} failed to analyze: {e}", hp.id));
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"response\": {}}}",
+            hp.id,
+            response.to_json()
+        ));
+    }
+    out.push_str("\n  ],\n  \"sweep\": [\n");
+
+    let corpus = sweep_corpus(SWEEP_DOCS);
+    let points = sweep(&corpus);
+    assert_eq!(points.len(), parameter_grid().len());
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"params\": \"{:?}\", \"tp\": {}, \"fp\": {}, \"fn\": {}}}",
+            p.params, p.tp, p.fp, p.fn_
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[test]
+fn findings_and_sweep_scores_match_golden() {
+    let current = render_current();
+    let path = golden_path();
+    if std::env::var("GOLDEN_REGEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &current).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); regenerate with GOLDEN_REGEN=1", path.display()));
+    if current != golden {
+        // Locate the first diverging line for a readable failure.
+        for (i, (c, g)) in current.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(c, g, "first divergence at golden line {}", i + 1);
+        }
+        assert_eq!(current.len(), golden.len(), "document lengths diverge");
+        panic!("golden mismatch that line comparison did not localize");
+    }
+}

@@ -322,7 +322,7 @@ impl<'a> Ctx<'a> {
         let props = &self.g().node(function).props;
         props.local_name.is_empty()
             && matches!(
-                props.extra.get("fn_kind").map(String::as_str),
+                props.extra.get("fn_kind").map(|s| s.as_str()),
                 Some("fallback") | Some("receive")
             )
     }

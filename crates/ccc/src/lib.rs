@@ -54,8 +54,8 @@ impl Finding {
         Finding {
             query,
             node,
-            code: n.props.code.clone(),
-            line: n.span.line,
+            code: n.props.code.to_string(),
+            line: ctx.cpg.graph.line_of(n.span),
         }
     }
 

@@ -95,7 +95,7 @@ pub fn arithmetic_overflow(ctx: &Ctx) -> Vec<Finding> {
         if !OVERFLOW_OPS.contains(&operator) {
             continue;
         }
-        let unchecked_block = node.props.extra.get("unchecked").map(String::as_str) == Some("true");
+        let unchecked_block = node.props.extra.get("unchecked").map(|s| s.as_str()) == Some("true");
         if checked_arithmetic && !unchecked_block {
             continue;
         }

@@ -17,20 +17,20 @@ pub fn uninitialized_storage_pointer(ctx: &Ctx) -> Vec<Finding> {
     let mut findings = Vec::new();
 
     // User-defined struct names declared in the unit.
-    let struct_names: Vec<String> = g
+    let struct_names: Vec<intern::Symbol> = g
         .nodes_of_kind(NodeKind::RecordDeclaration)
         .filter(|r| g.node(*r).props.record_kind.as_deref() == Some("struct"))
-        .map(|r| g.node(r).props.local_name.clone())
+        .map(|r| g.node(r).props.local_name)
         .collect();
 
     for decl in g.nodes_of_kind(NodeKind::VariableDeclaration) {
         let node = g.node(decl);
-        let storage_kw = node.props.extra.get("storage").map(String::as_str);
+        let storage_kw = node.props.extra.get("storage").map(|s| s.as_str());
         // Explicit memory/calldata is safe.
         if matches!(storage_kw, Some("memory") | Some("calldata")) {
             continue;
         }
-        let ty = node.props.ty.clone().unwrap_or_default();
+        let ty = node.props.ty.unwrap_or_default();
         let is_aliasing_type = storage_kw == Some("storage")
             || struct_names.contains(&ty)
             || ty.ends_with("[]");

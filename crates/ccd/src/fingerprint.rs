@@ -81,7 +81,7 @@ impl std::fmt::Display for Fingerprint {
     }
 }
 
-fn hash_stream(tokens: &[String]) -> String {
+fn hash_stream(tokens: &[intern::Symbol]) -> String {
     let mut hasher = FuzzyHasher::new(BLOCK_SIZE);
     for token in tokens {
         hasher.update_token(token);

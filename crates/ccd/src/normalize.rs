@@ -13,6 +13,7 @@
 //! Numeric constants are deliberately left untouched: a changed constant
 //! can flip a contract from vulnerable to safe (§5.2).
 
+use intern::Symbol;
 use solidity::ast::*;
 use std::collections::HashMap;
 
@@ -36,7 +37,7 @@ const IDENT_BUILTINS: &[&str] = &[
 
 /// Normalize a parsed source unit in place, returning the renaming that was
 /// applied (useful for debugging and tests).
-pub fn normalize_unit(unit: &mut SourceUnit) -> HashMap<String, String> {
+pub fn normalize_unit(unit: &mut SourceUnit) -> HashMap<Symbol, Symbol> {
     let mut n = Normalizer::default();
     n.collect_unit(unit);
     // Second collection pass: subscript-base usage of undeclared names.
@@ -49,7 +50,7 @@ pub fn normalize_unit(unit: &mut SourceUnit) -> HashMap<String, String> {
                         if !self.0.renames.contains_key(name)
                             && !self.0.var_types.contains_key(name)
                         {
-                            self.0.subscripted.insert(name.clone());
+                            self.0.subscripted.insert(*name);
                         }
                     }
                 }
@@ -68,13 +69,13 @@ pub fn normalize_unit(unit: &mut SourceUnit) -> HashMap<String, String> {
 #[derive(Default)]
 struct Normalizer {
     /// Global renaming decisions: original → replacement.
-    renames: HashMap<String, String>,
+    renames: HashMap<Symbol, Symbol>,
     /// Variable → declared type (canonical), feeding the type-renaming.
-    var_types: HashMap<String, String>,
+    var_types: HashMap<Symbol, Symbol>,
     /// Undeclared names observed as subscript bases (`x[..]`): renamed to
     /// `mapping` rather than the flat default, so a snippet missing the
     /// `mapping(...)` declaration still normalizes like the full contract.
-    subscripted: std::collections::HashSet<String>,
+    subscripted: std::collections::HashSet<Symbol>,
 }
 
 impl Normalizer {
@@ -89,7 +90,7 @@ impl Normalizer {
                         ContractKind::Interface => "i",
                         _ => "c",
                     };
-                    self.renames.insert(c.name.clone(), replacement.to_string());
+                    self.renames.insert(c.name, Symbol::intern(replacement));
                     for part in &c.parts {
                         self.collect_part(part);
                     }
@@ -97,21 +98,21 @@ impl Normalizer {
                 SourceItem::Function(f) => self.collect_function(f),
                 SourceItem::Modifier(m) => self.collect_modifier(m),
                 SourceItem::Variable(v) => {
-                    self.var_types.insert(v.name.clone(), type_token(&v.ty));
+                    self.var_types.insert(v.name, type_token(&v.ty));
                 }
                 SourceItem::Struct(s) => {
-                    self.renames.insert(s.name.clone(), "s".into());
+                    self.renames.insert(s.name, "s".into());
                     for field in &s.fields {
-                        if let Some(name) = &field.name {
-                            self.var_types.insert(name.clone(), type_token(&field.ty));
+                        if let Some(name) = field.name {
+                            self.var_types.insert(name, type_token(&field.ty));
                         }
                     }
                 }
                 SourceItem::Event(e) => {
-                    self.renames.insert(e.name.clone(), "e".into());
+                    self.renames.insert(e.name, "e".into());
                 }
                 SourceItem::ErrorDef(e) => {
-                    self.renames.insert(e.name.clone(), "err".into());
+                    self.renames.insert(e.name, "err".into());
                 }
                 SourceItem::Statement(s) => self.collect_stmt(s),
                 _ => {}
@@ -122,30 +123,30 @@ impl Normalizer {
     fn collect_part(&mut self, part: &ContractPart) {
         match part {
             ContractPart::Variable(v) => {
-                self.var_types.insert(v.name.clone(), type_token(&v.ty));
+                self.var_types.insert(v.name, type_token(&v.ty));
             }
             ContractPart::Function(f) => self.collect_function(f),
             ContractPart::Modifier(m) => self.collect_modifier(m),
             ContractPart::Struct(s) => {
-                self.renames.insert(s.name.clone(), "s".into());
+                self.renames.insert(s.name, "s".into());
             }
             ContractPart::Event(e) => {
-                self.renames.insert(e.name.clone(), "e".into());
+                self.renames.insert(e.name, "e".into());
             }
             ContractPart::ErrorDef(e) => {
-                self.renames.insert(e.name.clone(), "err".into());
+                self.renames.insert(e.name, "err".into());
             }
             _ => {}
         }
     }
 
     fn collect_function(&mut self, f: &FunctionDef) {
-        if let Some(name) = &f.name {
-            self.renames.insert(name.clone(), "f".into());
+        if let Some(name) = f.name {
+            self.renames.insert(name, "f".into());
         }
         for p in f.params.iter().chain(&f.returns) {
-            if let Some(name) = &p.name {
-                self.var_types.insert(name.clone(), type_token(&p.ty));
+            if let Some(name) = p.name {
+                self.var_types.insert(name, type_token(&p.ty));
             }
         }
         if let Some(body) = &f.body {
@@ -156,10 +157,10 @@ impl Normalizer {
     }
 
     fn collect_modifier(&mut self, m: &ModifierDef) {
-        self.renames.insert(m.name.clone(), "m".into());
+        self.renames.insert(m.name, "m".into());
         for p in &m.params {
-            if let Some(name) = &p.name {
-                self.var_types.insert(name.clone(), type_token(&p.ty));
+            if let Some(name) = p.name {
+                self.var_types.insert(name, type_token(&p.ty));
             }
         }
         if let Some(body) = &m.body {
@@ -173,12 +174,8 @@ impl Normalizer {
         match &s.kind {
             StatementKind::VariableDecl { parts, .. } => {
                 for part in parts {
-                    let ty = part
-                        .ty
-                        .as_ref()
-                        .map(type_token)
-                        .unwrap_or_else(|| "uint".to_string());
-                    self.var_types.insert(part.name.clone(), ty);
+                    let ty = part.ty.as_ref().map(type_token).unwrap_or_else(|| "uint".into());
+                    self.var_types.insert(part.name, ty);
                 }
             }
             StatementKind::Block(b) | StatementKind::Unchecked(b) => {
@@ -215,21 +212,21 @@ impl Normalizer {
         }
     }
 
-    fn rename(&self, name: &str) -> String {
-        if let Some(replacement) = self.renames.get(name) {
-            return replacement.clone();
+    fn rename(&self, name: Symbol) -> Symbol {
+        if let Some(replacement) = self.renames.get(&name) {
+            return *replacement;
         }
-        if let Some(ty) = self.var_types.get(name) {
-            return ty.clone();
+        if let Some(ty) = self.var_types.get(&name) {
+            return *ty;
         }
-        if IDENT_BUILTINS.contains(&name) {
-            return name.to_string();
+        if IDENT_BUILTINS.contains(&name.as_str()) {
+            return name;
         }
-        if self.subscripted.contains(name) {
-            return "mapping".to_string();
+        if self.subscripted.contains(&name) {
+            return "mapping".into();
         }
         // Missing declaration (incomplete snippet): the paper's default.
-        "uint".to_string()
+        "uint".into()
     }
 
     // ---- rewrite pass ------------------------------------------------------
@@ -237,9 +234,9 @@ impl Normalizer {
     fn item(&mut self, item: &mut SourceItem) {
         match item {
             SourceItem::Contract(c) => {
-                c.name = self.rename(&c.name);
+                c.name = self.rename(c.name);
                 for base in &mut c.bases {
-                    base.name = self.rename(&base.name);
+                    base.name = self.rename(base.name);
                     for arg in &mut base.args {
                         self.expr(arg);
                     }
@@ -253,25 +250,25 @@ impl Normalizer {
             SourceItem::Variable(v) => self.state_var(v),
             SourceItem::Statement(s) => self.stmt(s),
             SourceItem::Struct(s) => {
-                s.name = self.rename(&s.name);
+                s.name = self.rename(s.name);
                 for field in &mut s.fields {
                     self.param(field);
                 }
             }
             SourceItem::Event(e) => {
-                e.name = self.rename(&e.name);
+                e.name = self.rename(e.name);
                 for p in &mut e.params {
                     self.param(p);
                 }
             }
             SourceItem::ErrorDef(e) => {
-                e.name = self.rename(&e.name);
+                e.name = self.rename(e.name);
                 for p in &mut e.params {
                     self.param(p);
                 }
             }
             SourceItem::UsingFor(u) => {
-                u.library = self.rename(&u.library);
+                u.library = self.rename(u.library);
             }
             _ => {}
         }
@@ -283,25 +280,25 @@ impl Normalizer {
             ContractPart::Function(f) => self.function(f),
             ContractPart::Modifier(m) => self.modifier(m),
             ContractPart::Struct(s) => {
-                s.name = self.rename(&s.name);
+                s.name = self.rename(s.name);
                 for field in &mut s.fields {
                     self.param(field);
                 }
             }
             ContractPart::Event(e) => {
-                e.name = self.rename(&e.name);
+                e.name = self.rename(e.name);
                 for p in &mut e.params {
                     self.param(p);
                 }
             }
             ContractPart::ErrorDef(e) => {
-                e.name = self.rename(&e.name);
+                e.name = self.rename(e.name);
             }
             ContractPart::UsingFor(u) => {
-                u.library = self.rename(&u.library);
+                u.library = self.rename(u.library);
             }
             ContractPart::Enum(e) => {
-                e.name = self.rename(&e.name);
+                e.name = self.rename(e.name);
             }
             ContractPart::Placeholder(_) => {}
         }
@@ -310,14 +307,14 @@ impl Normalizer {
     fn state_var(&mut self, v: &mut StateVarDecl) {
         self.ty(&mut v.ty);
         v.visibility = None;
-        v.name = self.rename(&v.name);
+        v.name = self.rename(v.name);
         if let Some(init) = &mut v.initializer {
             self.expr(init);
         }
     }
 
     fn function(&mut self, f: &mut FunctionDef) {
-        if let Some(name) = &f.name {
+        if let Some(name) = f.name {
             f.name = Some(self.rename(name));
         }
         // Visibility and mutability are removed entirely (§5.2).
@@ -329,7 +326,7 @@ impl Normalizer {
             self.param(p);
         }
         for m in &mut f.modifiers {
-            m.name = self.rename(&m.name);
+            m.name = self.rename(m.name);
             for arg in &mut m.args {
                 self.expr(arg);
             }
@@ -340,7 +337,7 @@ impl Normalizer {
     }
 
     fn modifier(&mut self, m: &mut ModifierDef) {
-        m.name = self.rename(&m.name);
+        m.name = self.rename(m.name);
         for p in &mut m.params {
             self.param(p);
         }
@@ -361,7 +358,7 @@ impl Normalizer {
     fn ty(&mut self, ty: &mut TypeName) {
         match ty {
             TypeName::UserDefined(name) => {
-                *name = self.rename(name);
+                *name = self.rename(*name);
             }
             TypeName::Mapping(k, v) => {
                 self.ty(k);
@@ -428,11 +425,7 @@ impl Normalizer {
                     // changes behavior (uninitialized storage pointers!),
                     // so collapsing them would merge vulnerable and safe
                     // code into one clone class.
-                    let ty = part
-                        .ty
-                        .as_ref()
-                        .map(type_token)
-                        .unwrap_or_else(|| "uint".to_string());
+                    let ty = part.ty.as_ref().map(type_token).unwrap_or_else(|| "uint".into());
                     part.name = ty;
                 }
                 if let Some(value) = value {
@@ -458,7 +451,7 @@ impl Normalizer {
     fn expr(&mut self, e: &mut Expr) {
         match &mut e.kind {
             ExprKind::Ident(name) => {
-                *name = self.rename(name);
+                *name = self.rename(*name);
             }
             ExprKind::Literal(lit) => {
                 if let Lit::Str(_) = lit {
@@ -488,7 +481,7 @@ impl Normalizer {
             ExprKind::Member { base, member } => {
                 self.expr(base);
                 if !MEMBER_BUILTINS.contains(&member.as_str()) {
-                    *member = self.rename(member);
+                    *member = self.rename(*member);
                 }
             }
             ExprKind::Index { base, index } => {
@@ -510,14 +503,14 @@ impl Normalizer {
 
 /// The single-token type name used for variable renaming: `uint` for
 /// `uint`/`uint256`, the canonical text otherwise, `uint` for unknown.
-fn type_token(ty: &TypeName) -> String {
+fn type_token(ty: &TypeName) -> Symbol {
     match ty {
-        TypeName::Elementary(t) => t.split(' ').next().unwrap_or("uint").to_string(),
-        TypeName::UserDefined(_) => "s".to_string(),
-        TypeName::Mapping(..) => "mapping".to_string(),
-        TypeName::Array(..) => "array".to_string(),
-        TypeName::Function { .. } => "function".to_string(),
-        TypeName::Unknown => "uint".to_string(),
+        TypeName::Elementary(t) => Symbol::intern(t.split(' ').next().unwrap_or("uint")),
+        TypeName::UserDefined(_) => "s".into(),
+        TypeName::Mapping(..) => "mapping".into(),
+        TypeName::Array(..) => "array".into(),
+        TypeName::Function { .. } => "function".into(),
+        TypeName::Unknown => "uint".into(),
     }
 }
 

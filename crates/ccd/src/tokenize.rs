@@ -8,6 +8,7 @@
 //! `msg.sender.transfer(uint)` becomes
 //! `['msg', '.', 'sender', '.', 'transfer', 'uint']`.
 
+use intern::Symbol;
 use solidity::ast::*;
 use solidity::lexer::lex;
 use solidity::printer;
@@ -26,10 +27,10 @@ pub struct TokenizedUnit {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TokenizedContract {
     /// Tokens of the contract header (`contract c is c2`).
-    pub header: Vec<String>,
+    pub header: Vec<Symbol>,
     /// Tokens of each function body (including its header), in source
     /// order.
-    pub functions: Vec<Vec<String>>,
+    pub functions: Vec<Vec<Symbol>>,
 }
 
 impl TokenizedUnit {
@@ -57,7 +58,7 @@ fn keep_punct(p: &str) -> bool {
 
 /// Split a source fragment into tokens using the Solidity lexer, dropping
 /// grouping punctuation.
-pub fn split_tokens(fragment: &str) -> Vec<String> {
+pub fn split_tokens(fragment: &str) -> Vec<Symbol> {
     let Ok(tokens) = lex(fragment) else {
         return Vec::new();
     };
@@ -65,11 +66,11 @@ pub fn split_tokens(fragment: &str) -> Vec<String> {
         .into_iter()
         .filter_map(|t| match t.kind {
             TokenKind::Ident(s) => Some(s),
-            TokenKind::Keyword(k) => Some(k.as_str().to_string()),
+            TokenKind::Keyword(k) => Some(Symbol::intern(k.as_str())),
             TokenKind::Number(n) => Some(n),
-            TokenKind::Str(_) => Some("stringLiteral".to_string()),
+            TokenKind::Str(_) => Some("stringLiteral".into()),
             TokenKind::HexStr(h) => Some(h),
-            TokenKind::Punct(p) if keep_punct(p) => Some(p.to_string()),
+            TokenKind::Punct(p) if keep_punct(p) => Some(Symbol::intern(p)),
             _ => None,
         })
         .collect()
@@ -81,7 +82,7 @@ pub fn tokenize_unit(unit: &SourceUnit) -> TokenizedUnit {
     // Free-standing functions and bare statements are grouped under
     // synthetic contracts so every fingerprint has the same two-level
     // structure.
-    let mut loose_functions: Vec<Vec<String>> = Vec::new();
+    let mut loose_functions: Vec<Vec<Symbol>> = Vec::new();
     let mut loose_statements: Vec<String> = Vec::new();
 
     for item in &unit.items {
@@ -111,10 +112,10 @@ pub fn tokenize_unit(unit: &SourceUnit) -> TokenizedUnit {
 }
 
 fn tokenize_contract(c: &ContractDef) -> TokenizedContract {
-    let mut header = vec![c.kind.as_str().to_string(), c.name.clone()];
+    let mut header = vec![Symbol::intern(c.kind.as_str()), c.name];
     for base in &c.bases {
-        header.push("is".to_string());
-        header.push(base.name.clone());
+        header.push("is".into());
+        header.push(base.name);
     }
     let mut functions = Vec::new();
     for part in &c.parts {
@@ -128,11 +129,11 @@ fn tokenize_contract(c: &ContractDef) -> TokenizedContract {
     TokenizedContract { header, functions }
 }
 
-fn tokenize_function(f: &FunctionDef) -> Vec<String> {
+fn tokenize_function(f: &FunctionDef) -> Vec<Symbol> {
     split_tokens(&printer::print_function(f))
 }
 
-fn tokenize_modifier(m: &ModifierDef) -> Vec<String> {
+fn tokenize_modifier(m: &ModifierDef) -> Vec<Symbol> {
     let header = format!("modifier {}", m.name);
     let body = m
         .body
@@ -189,7 +190,7 @@ mod tests {
         )
         .unwrap();
         let t = tokenize_unit(&unit);
-        let all: Vec<&String> = t.contracts[0].functions.iter().flatten().collect();
+        let all: Vec<&Symbol> = t.contracts[0].functions.iter().flatten().collect();
         assert!(!all.iter().any(|t| *t == "balance"));
         assert!(!all.iter().any(|t| *t == "E"));
     }
@@ -200,7 +201,7 @@ mod tests {
         let t = tokenize_unit(&unit);
         assert_eq!(t.contracts.len(), 1);
         assert_eq!(t.contracts[0].functions.len(), 1);
-        assert!(t.contracts[0].functions[0].contains(&"+".to_string()));
+        assert!(t.contracts[0].functions[0].contains(&"+".into()));
     }
 
     #[test]

@@ -100,11 +100,11 @@ fn renameable_identifiers(source: &str) -> Vec<String> {
     let Ok(tokens) = solidity::lexer::lex(source) else {
         return Vec::new();
     };
-    let mut seen = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
     for token in tokens {
         if let solidity::token::TokenKind::Ident(word) = token.kind {
-            if !is_protected(&word) && !seen.contains(&word) {
-                seen.push(word);
+            if !is_protected(&word) && !seen.iter().any(|s| word == *s) {
+                seen.push(word.to_string());
             }
         }
     }
@@ -160,7 +160,7 @@ pub fn type_ii(source: &str, rng: &mut StdRng) -> String {
                 if let Ok(value) = n.parse::<u64>() {
                     if value > 1 && rng.gen_bool(0.5) {
                         let tweaked = value.saturating_add(rng.gen_range(1..=9));
-                        renames.entry(n.clone()).or_insert(tweaked.to_string());
+                        renames.entry(n.to_string()).or_insert(tweaked.to_string());
                     }
                 }
             }
@@ -231,12 +231,12 @@ mod tests {
         let original_tokens: Vec<String> = solidity::lexer::lex(SRC)
             .unwrap()
             .into_iter()
-            .map(|t| t.kind.text())
+            .map(|t| t.kind.text().into_owned())
             .collect();
         let mutated_tokens: Vec<String> = solidity::lexer::lex(&mutated)
             .unwrap()
             .into_iter()
-            .map(|t| t.kind.text())
+            .map(|t| t.kind.text().into_owned())
             .collect();
         assert_eq!(original_tokens, mutated_tokens);
     }

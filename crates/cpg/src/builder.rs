@@ -20,10 +20,11 @@
 use crate::expand::{collect_modifiers, expand_modifiers};
 use crate::graph::{Graph, NodeId, Props};
 use crate::kinds::{AstRole, EdgeKind, NodeKind};
+use intern::{intern_fmt, sym, FxHashMap, Symbol};
 use solidity::ast::*;
 use solidity::printer;
 use solidity::Span;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Translation options.
 #[derive(Debug, Clone, Copy)]
@@ -136,7 +137,7 @@ impl Cpg {
 #[derive(Debug, Clone, Default)]
 struct Frag {
     entry: Option<NodeId>,
-    exits: Vec<NodeId>,
+    exits: Exits,
 }
 
 impl Frag {
@@ -145,12 +146,57 @@ impl Frag {
     }
 
     fn single(node: NodeId) -> Frag {
-        Frag { entry: Some(node), exits: vec![node] }
+        Frag { entry: Some(node), exits: Exits::one(node) }
     }
 
     /// A fragment that starts somewhere but never continues (revert/return).
     fn terminal(node: NodeId) -> Frag {
-        Frag { entry: Some(node), exits: vec![] }
+        Frag { entry: Some(node), exits: Exits::default() }
+    }
+}
+
+/// Exit set of a [`Frag`]. Straight-line fragments have exactly one exit
+/// and an if/else join has two, so the first two live inline; only
+/// pathological fan-outs (long if/else-if chains, try/catch with many
+/// clauses) spill to the heap. Keeping the common cases allocation-free
+/// matters: one fragment is built per translated statement and expression.
+#[derive(Debug, Clone)]
+struct Exits {
+    inline: [NodeId; 2],
+    len: u8,
+    spill: Vec<NodeId>,
+}
+
+impl Default for Exits {
+    fn default() -> Exits {
+        Exits { inline: [NodeId(0); 2], len: 0, spill: Vec::new() }
+    }
+}
+
+impl Exits {
+    fn one(node: NodeId) -> Exits {
+        Exits { inline: [node, NodeId(0)], len: 1, spill: Vec::new() }
+    }
+
+    fn push(&mut self, node: NodeId) {
+        match self.len {
+            0 | 1 => {
+                self.inline[self.len as usize] = node;
+                self.len += 1;
+            }
+            _ => self.spill.push(node),
+        }
+    }
+
+    /// Move every exit of `other` into `self`.
+    fn append(&mut self, other: Exits) {
+        for node in other.iter() {
+            self.push(node);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.inline[..self.len as usize].iter().copied().chain(self.spill.iter().copied())
     }
 }
 
@@ -164,32 +210,37 @@ struct EValue {
 
 #[derive(Debug)]
 struct RecordCtx {
-    name: String,
+    name: Symbol,
     node: NodeId,
-    bases: Vec<String>,
-    fields: HashMap<String, NodeId>,
-    methods: HashMap<String, NodeId>,
+    bases: Vec<Symbol>,
+    fields: FxHashMap<Symbol, NodeId>,
+    methods: FxHashMap<Symbol, NodeId>,
 }
 
 struct PendingCall {
     call: NodeId,
     record: Option<usize>,
-    name: String,
+    name: Symbol,
     args: Vec<NodeId>,
 }
 
-struct Builder {
+struct Builder<'u> {
     g: Graph,
     unit_node: NodeId,
-    modifiers: HashMap<String, ModifierDef>,
+    modifiers: FxHashMap<Symbol, &'u ModifierDef>,
     records: Vec<RecordCtx>,
-    record_index: HashMap<String, usize>,
-    free_functions: HashMap<String, NodeId>,
-    fn_params: HashMap<NodeId, Vec<NodeId>>,
-    fn_returns: HashMap<NodeId, Vec<NodeId>>,
+    record_index: FxHashMap<Symbol, usize>,
+    free_functions: FxHashMap<Symbol, NodeId>,
+    fn_params: FxHashMap<NodeId, Vec<NodeId>>,
+    fn_returns: FxHashMap<NodeId, Vec<NodeId>>,
     pending_calls: Vec<PendingCall>,
     /// Lexical scopes for locals/params during body translation.
-    scopes: Vec<HashMap<String, NodeId>>,
+    scopes: Vec<FxHashMap<Symbol, NodeId>>,
+    /// Cleared scope maps kept for reuse: entering a block or loop scope
+    /// recycles a table instead of allocating a fresh one.
+    scope_pool: Vec<FxHashMap<Symbol, NodeId>>,
+    /// Return statements of the function body currently being translated.
+    current_returns: Vec<NodeId>,
     current_record: Option<usize>,
     in_unchecked: bool,
     options: BuildOptions,
@@ -215,19 +266,23 @@ const BUILTIN_CALLS: &[&str] = &[
     "gasleft",
 ];
 
-impl Builder {
-    fn new(unit: &SourceUnit, options: BuildOptions) -> Builder {
+impl<'u> Builder<'u> {
+    fn new(unit: &'u SourceUnit, options: BuildOptions) -> Builder<'u> {
         let mut g = Graph::new();
-        let mut extra = std::collections::BTreeMap::new();
+        // Ballpark from the study corpus: ~2.5 nodes and ~4 edges per
+        // source-unit AST item statement; a flat floor covers snippets.
+        g.reserve(256, 512);
+        g.set_line_index(std::sync::Arc::clone(&unit.line_index));
+        let mut extra = BTreeMap::new();
 
         // Pragma-derived unit facts, used by the Arithmetic detector to
         // recognize the >= 0.8 checked-arithmetic mitigation.
-        let mut pragma_value = String::new();
+        let mut pragma_value = Symbol::default();
         let mut safemath = false;
         for item in &unit.items {
             match item {
                 SourceItem::Pragma(p) if p.name == "solidity" => {
-                    pragma_value = p.value.clone();
+                    pragma_value = p.value;
                 }
                 SourceItem::UsingFor(u) if u.library.to_lowercase().contains("safemath") => {
                     safemath = true;
@@ -250,13 +305,13 @@ impl Builder {
             }
         }
         if !pragma_value.is_empty() {
-            extra.insert("pragma".to_string(), pragma_value.clone());
+            extra.insert(sym::PRAGMA, pragma_value);
         }
         extra.insert(
-            "solidity08".to_string(),
-            pragma_is_08(&pragma_value).to_string(),
+            sym::SOLIDITY08,
+            if pragma_is_08(&pragma_value) { sym::TRUE } else { sym::FALSE },
         );
-        extra.insert("safemath".to_string(), safemath.to_string());
+        extra.insert(sym::SAFEMATH, if safemath { sym::TRUE } else { sym::FALSE });
 
         let unit_node = g.add_node(
             NodeKind::TranslationUnit,
@@ -268,19 +323,21 @@ impl Builder {
             unit_node,
             modifiers: collect_modifiers(unit),
             records: Vec::new(),
-            record_index: HashMap::new(),
-            free_functions: HashMap::new(),
-            fn_params: HashMap::new(),
-            fn_returns: HashMap::new(),
+            record_index: FxHashMap::default(),
+            free_functions: FxHashMap::default(),
+            fn_params: FxHashMap::default(),
+            fn_returns: FxHashMap::default(),
             pending_calls: Vec::new(),
             scopes: Vec::new(),
+            scope_pool: Vec::new(),
+            current_returns: Vec::new(),
             current_record: None,
             in_unchecked: false,
             options,
         }
     }
 
-    fn build(mut self, unit: &SourceUnit) -> Cpg {
+    fn build(mut self, unit: &'u SourceUnit) -> Cpg {
         // ---- Phase 1: declarations ---------------------------------------
         let mut inferred_record: Option<usize> = None;
         let mut free_items: Vec<&SourceItem> = Vec::new();
@@ -319,12 +376,12 @@ impl Builder {
                 match item {
                     SourceItem::Variable(v) => {
                         let field = self.declare_field(v, self.records[idx].node, false);
-                        self.records[idx].fields.insert(v.name.clone(), field);
+                        self.records[idx].fields.insert(v.name, field);
                     }
                     SourceItem::Function(f) => {
                         let node = self.declare_function(f, idx, false);
-                        if let Some(name) = &f.name {
-                            self.records[idx].methods.insert(name.clone(), node);
+                        if let Some(name) = f.name {
+                            self.records[idx].methods.insert(name, node);
                         }
                     }
                     SourceItem::Modifier(m) => {
@@ -335,6 +392,7 @@ impl Builder {
             }
         }
 
+
         // ---- Phase 3+4: bodies --------------------------------------------
         for (idx, c) in &declared {
             self.translate_record_bodies(c, *idx);
@@ -342,6 +400,7 @@ impl Builder {
         if let Some(idx) = inferred_record {
             self.translate_inferred_bodies(&free_items, idx);
         }
+
 
         // ---- Phase 5: call resolution --------------------------------------
         self.resolve_calls();
@@ -360,8 +419,8 @@ impl Builder {
         let node = self.g.add_node(
             NodeKind::RecordDeclaration,
             Props {
-                code: format!("{} {}", c.kind.as_str(), c.name),
-                local_name: c.name.clone(),
+                code: intern_fmt(format_args!("{} {}", c.kind.as_str(), c.name)),
+                local_name: c.name,
                 record_kind: Some(kind_str.into()),
                 ..Props::default()
             },
@@ -369,18 +428,18 @@ impl Builder {
         );
         self.g.add_edge(self.unit_node, EdgeKind::Ast(AstRole::Declarations), node);
         let mut ctx = RecordCtx {
-            name: c.name.clone(),
+            name: c.name,
             node,
-            bases: c.bases.iter().map(|b| b.name.clone()).collect(),
-            fields: HashMap::new(),
-            methods: HashMap::new(),
+            bases: c.bases.iter().map(|b| b.name).collect(),
+            fields: FxHashMap::default(),
+            methods: FxHashMap::default(),
         };
 
         for part in &c.parts {
             match part {
                 ContractPart::Variable(v) => {
                     let field = self.declare_field(v, node, false);
-                    ctx.fields.insert(v.name.clone(), field);
+                    ctx.fields.insert(v.name, field);
                 }
                 ContractPart::Struct(s) => {
                     self.declare_struct(s, node);
@@ -399,17 +458,17 @@ impl Builder {
         }
 
         let idx = self.records.len();
-        self.record_index.insert(c.name.clone(), idx);
+        self.record_index.insert(c.name, idx);
         self.records.push(ctx);
 
         // Function headers need the record context registered first.
         for part in &c.parts {
             if let ContractPart::Function(f) = part {
-                let legacy_ctor = f.name.as_deref() == Some(&c.name);
+                let legacy_ctor = f.name == Some(c.name);
                 let fnode = self.declare_function(f, idx, legacy_ctor);
-                if let Some(name) = &f.name {
+                if let Some(name) = f.name {
                     if !legacy_ctor {
-                        self.records[idx].methods.insert(name.clone(), fnode);
+                        self.records[idx].methods.insert(name, fnode);
                     }
                 }
             }
@@ -436,8 +495,8 @@ impl Builder {
             name: "<inferred>".into(),
             node,
             bases: vec![],
-            fields: HashMap::new(),
-            methods: HashMap::new(),
+            fields: FxHashMap::default(),
+            methods: FxHashMap::default(),
         });
         idx
     }
@@ -446,14 +505,14 @@ impl Builder {
         let field = self.g.add_node(
             NodeKind::FieldDeclaration,
             Props {
-                code: format!("{} {}", printer::print_type(&v.ty), v.name),
-                local_name: v.name.clone(),
-                ty: Some(v.ty.canonical()),
-                visibility: v.visibility.map(|vis| vis.as_str().to_string()),
+                code: intern_fmt(format_args!("{} {}", printer::print_type(&v.ty), v.name)),
+                local_name: v.name,
+                ty: Some(Symbol::intern(&v.ty.canonical())),
+                visibility: v.visibility.map(|vis| Symbol::intern(vis.as_str())),
                 is_inferred: inferred,
                 extra: [(
-                    "constant".to_string(),
-                    (v.is_constant || v.is_immutable).to_string(),
+                    sym::CONSTANT,
+                    if v.is_constant || v.is_immutable { sym::TRUE } else { sym::FALSE },
                 )]
                 .into(),
                 ..Props::default()
@@ -472,9 +531,9 @@ impl Builder {
             NodeKind::FunctionDeclaration
         };
         let local_name = if is_ctor || f.is_default_function() {
-            String::new()
+            Symbol::default()
         } else {
-            f.name.clone().unwrap_or_default()
+            f.name.unwrap_or_default()
         };
         let fn_kind = match f.kind {
             _ if is_ctor => "constructor",
@@ -483,23 +542,23 @@ impl Builder {
             _ if f.name.is_none() => "fallback",
             _ => "function",
         };
-        let mut extra: std::collections::BTreeMap<String, String> =
-            [("fn_kind".to_string(), fn_kind.to_string())].into();
+        let mut extra: BTreeMap<Symbol, Symbol> =
+            [(sym::FN_KIND, Symbol::intern(fn_kind))].into();
         if let Some(m) = f.mutability {
-            extra.insert("mutability".into(), m.as_str().to_string());
+            extra.insert(sym::MUTABILITY, Symbol::intern(m.as_str()));
         }
         if !f.modifiers.is_empty() {
             extra.insert(
-                "modifiers".into(),
-                f.modifiers.iter().map(|m| m.name.clone()).collect::<Vec<_>>().join(","),
+                sym::MODIFIERS,
+                Symbol::intern(&f.modifiers.iter().map(|m| m.name).collect::<Vec<_>>().join(",")),
             );
         }
         let node = self.g.add_node(
             kind,
             Props {
-                code: signature_of(f),
+                code: signature_sym(f),
                 local_name,
-                visibility: f.visibility.map(|v| v.as_str().to_string()),
+                visibility: f.visibility.map(|v| Symbol::intern(v.as_str())),
                 extra,
                 ..Props::default()
             },
@@ -514,10 +573,9 @@ impl Builder {
             let pnode = self.g.add_node(
                 NodeKind::ParamVariableDeclaration,
                 Props {
-                    code: printer::print_type(&p.ty)
-                        + &p.name.as_ref().map(|n| format!(" {n}")).unwrap_or_default(),
-                    local_name: p.name.clone().unwrap_or_default(),
-                    ty: Some(p.ty.canonical()),
+                    code: param_code(p),
+                    local_name: p.name.unwrap_or_default(),
+                    ty: Some(Symbol::intern(&p.ty.canonical())),
                     index: Some(i),
                     ..Props::default()
                 },
@@ -534,8 +592,8 @@ impl Builder {
         let node = self.g.add_node(
             NodeKind::ModifierDeclaration,
             Props {
-                code: format!("modifier {}", m.name),
-                local_name: m.name.clone(),
+                code: intern_fmt(format_args!("modifier {}", m.name)),
+                local_name: m.name,
                 ..Props::default()
             },
             m.span,
@@ -548,8 +606,8 @@ impl Builder {
         let node = self.g.add_node(
             NodeKind::RecordDeclaration,
             Props {
-                code: format!("struct {}", s.name),
-                local_name: s.name.clone(),
+                code: intern_fmt(format_args!("struct {}", s.name)),
+                local_name: s.name,
                 record_kind: Some("struct".into()),
                 ..Props::default()
             },
@@ -560,10 +618,12 @@ impl Builder {
             let fnode = self.g.add_node(
                 NodeKind::FieldDeclaration,
                 Props {
-                    code: printer::print_type(&field.ty)
-                        + &field.name.as_ref().map(|n| format!(" {n}")).unwrap_or_default(),
-                    local_name: field.name.clone().unwrap_or_default(),
-                    ty: Some(field.ty.canonical()),
+                    code: Symbol::intern(
+                        &(printer::print_type(&field.ty)
+                            + &field.name.map(|n| format!(" {n}")).unwrap_or_default()),
+                    ),
+                    local_name: field.name.unwrap_or_default(),
+                    ty: Some(Symbol::intern(&field.ty.canonical())),
                     ..Props::default()
                 },
                 field.span,
@@ -577,8 +637,8 @@ impl Builder {
         let node = self.g.add_node(
             NodeKind::EnumDeclaration,
             Props {
-                code: format!("enum {}", e.name),
-                local_name: e.name.clone(),
+                code: intern_fmt(format_args!("enum {}", e.name)),
+                local_name: e.name,
                 ..Props::default()
             },
             e.span,
@@ -591,8 +651,8 @@ impl Builder {
         let node = self.g.add_node(
             NodeKind::EventDeclaration,
             Props {
-                code: format!("event {}", e.name),
-                local_name: e.name.clone(),
+                code: intern_fmt(format_args!("event {}", e.name)),
+                local_name: e.name,
                 ..Props::default()
             },
             e.span,
@@ -615,9 +675,9 @@ impl Builder {
                 // Field initializers produce data flow into the field.
                 if let Some(init) = &v.initializer {
                     let field = self.records[idx].fields[&v.name];
-                    self.scopes.push(HashMap::new());
+                    self.enter_scope();
                     let value = self.expr(init, false);
-                    self.scopes.pop();
+                    self.leave_scope();
                     self.g.add_edge(value.node, EdgeKind::Dfg, field);
                     self.g.add_edge(field, EdgeKind::Ast(AstRole::Initializer), value.node);
                 }
@@ -640,9 +700,9 @@ impl Builder {
                 SourceItem::Variable(v) => {
                     if let Some(init) = &v.initializer {
                         let field = self.records[idx].fields[&v.name];
-                        self.scopes.push(HashMap::new());
+                        self.enter_scope();
                         let value = self.expr(init, false);
-                        self.scopes.pop();
+                        self.leave_scope();
                         self.g.add_edge(value.node, EdgeKind::Dfg, field);
                         self.g.add_edge(field, EdgeKind::Ast(AstRole::Initializer), value.node);
                     }
@@ -698,19 +758,28 @@ impl Builder {
     }
 
     fn translate_function_body(&mut self, f: &FunctionDef, fnode: NodeId, record: usize) {
+        // `expand_modifiers` borrows the body when no modifier applies, so
+        // the common case clones nothing. Temporarily moving the modifier
+        // map out of `self` sidesteps the simultaneous `&mut self` borrow
+        // below without copying a single definition.
+        let modifiers = std::mem::take(&mut self.modifiers);
         let body = if self.options.expand_modifiers {
-            expand_modifiers(f, &self.modifiers.clone())
+            expand_modifiers(f, &modifiers)
         } else {
-            f.body.clone()
+            f.body.as_ref().map(std::borrow::Cow::Borrowed)
         };
+        self.modifiers = modifiers;
         let Some(body) = body else {
             return;
         };
+        // Anything collected outside a function body (e.g. a stray return
+        // in a translated modifier body) must not leak into this function.
+        self.current_returns.clear();
         // Scope: parameters (and named returns).
-        let mut param_scope = HashMap::new();
+        let mut param_scope = FxHashMap::default();
         for (p, pnode) in f.params.iter().zip(&self.fn_params[&fnode]) {
             if let Some(name) = &p.name {
-                param_scope.insert(name.clone(), *pnode);
+                param_scope.insert(*name, *pnode);
             }
         }
         for r in &f.returns {
@@ -718,15 +787,15 @@ impl Builder {
                 let rnode = self.g.add_node(
                     NodeKind::VariableDeclaration,
                     Props {
-                        code: format!("{} {}", printer::print_type(&r.ty), name),
-                        local_name: name.clone(),
-                        ty: Some(r.ty.canonical()),
+                        code: intern_fmt(format_args!("{} {}", printer::print_type(&r.ty), name)),
+                        local_name: *name,
+                        ty: Some(Symbol::intern(&r.ty.canonical())),
                         ..Props::default()
                     },
                     r.span,
                 );
                 self.g.add_edge(fnode, EdgeKind::Ast(AstRole::ReturnTypes), rnode);
-                param_scope.insert(name.clone(), rnode);
+                param_scope.insert(*name, rnode);
             }
         }
         self.scopes.push(param_scope);
@@ -743,27 +812,37 @@ impl Builder {
         if let Some(entry) = frag.entry {
             self.g.add_edge(fnode, EdgeKind::Eog, entry);
         }
-        self.scopes.pop();
+        self.leave_scope();
 
-        // Remember return statements for RETURNS edges.
-        let returns: Vec<NodeId> = self
-            .g
-            .descendants(fnode)
-            .into_iter()
-            .filter(|n| self.g.node(*n).kind == NodeKind::ReturnStatement)
-            .collect();
+        // Remember return statements for RETURNS edges; they were
+        // collected while translating, sparing a full subtree walk.
+        let returns = std::mem::take(&mut self.current_returns);
         self.fn_returns.insert(fnode, returns);
     }
 
     /// Translate a statement list under `parent`, chaining EOG.
+    /// Enter a fresh lexical scope, recycling a cleared map if available.
+    fn enter_scope(&mut self) {
+        let map = self.scope_pool.pop().unwrap_or_default();
+        self.scopes.push(map);
+    }
+
+    /// Leave the innermost scope, returning its map to the pool.
+    fn leave_scope(&mut self) {
+        if let Some(mut map) = self.scopes.pop() {
+            map.clear();
+            self.scope_pool.push(map);
+        }
+    }
+
     fn block_stmts(&mut self, stmts: &[Statement], parent: NodeId) -> Frag {
-        self.scopes.push(HashMap::new());
+        self.enter_scope();
         let mut frag = Frag::empty();
         for s in stmts {
             let sfrag = self.stmt(s, parent);
             frag = self.seq(frag, sfrag);
         }
-        self.scopes.pop();
+        self.leave_scope();
         frag
     }
 
@@ -773,8 +852,8 @@ impl Builder {
             (None, _) => next,
             (_, None) => prev,
             (Some(_), Some(next_entry)) => {
-                for exit in &prev.exits {
-                    self.g.add_edge(*exit, EdgeKind::Eog, next_entry);
+                for exit in prev.exits.iter() {
+                    self.g.add_edge(exit, EdgeKind::Eog, next_entry);
                 }
                 Frag { entry: prev.entry, exits: next.exits }
             }
@@ -809,10 +888,10 @@ impl Builder {
                 if let Some(then_entry_node) = then_frag.entry {
                     self.g.add_edge(node, EdgeKind::Ast(AstRole::Then), then_entry_node);
                 }
-                let mut exits = Vec::new();
+                let mut exits = Exits::default();
                 if let Some(entry) = then_frag.entry {
                     self.g.add_edge(node, EdgeKind::Eog, entry);
-                    exits.extend(then_frag.exits);
+                    exits.append(then_frag.exits);
                 } else {
                     exits.push(node);
                 }
@@ -822,7 +901,7 @@ impl Builder {
                         if let Some(entry) = alt_frag.entry {
                             self.g.add_edge(node, EdgeKind::Ast(AstRole::Else), entry);
                             self.g.add_edge(node, EdgeKind::Eog, entry);
-                            exits.extend(alt_frag.exits);
+                            exits.append(alt_frag.exits);
                         } else {
                             exits.push(node);
                         }
@@ -852,13 +931,13 @@ impl Builder {
             }
             StatementKind::For { init, cond, update, body } => {
                 let node = self.add_stmt_node(NodeKind::ForStatement, "for", s.span, parent);
-                self.scopes.push(HashMap::new());
+                self.enter_scope();
                 let init_frag = match init {
                     Some(init) => self.stmt(init, node),
                     None => Frag::empty(),
                 };
                 let frag = self.loop_frag(node, cond.as_ref(), Some(init_frag), update.as_ref(), body);
-                self.scopes.pop();
+                self.leave_scope();
                 frag
             }
             StatementKind::Expression(e) => {
@@ -884,12 +963,15 @@ impl Builder {
                     let decl = self.g.add_node(
                         NodeKind::VariableDeclaration,
                         Props {
-                            code,
-                            local_name: part.name.clone(),
-                            ty: part.ty.as_ref().map(|t| t.canonical()),
+                            code: Symbol::intern(&code),
+                            local_name: part.name,
+                            ty: part.ty.as_ref().map(|t| Symbol::intern(&t.canonical())),
                             extra: part
                                 .storage
-                                .map(|st| [("storage".to_string(), st.as_str().to_string())].into())
+                                .map(|st| {
+                                    [(Symbol::intern("storage"), Symbol::intern(st.as_str()))]
+                                        .into()
+                                })
                                 .unwrap_or_default(),
                             ..Props::default()
                         },
@@ -899,9 +981,9 @@ impl Builder {
                     // A declaration outside any open scope (malformed
                     // nesting) opens one instead of aborting the build.
                     if let Some(scope) = self.scopes.last_mut() {
-                        scope.insert(part.name.clone(), decl);
+                        scope.insert(part.name, decl);
                     } else {
-                        self.scopes.push([(part.name.clone(), decl)].into());
+                        self.scopes.push(FxHashMap::from_iter([(part.name, decl)]));
                     }
                     if let Some(v) = &value_v {
                         self.g.add_edge(v.node, EdgeKind::Dfg, decl);
@@ -913,6 +995,7 @@ impl Builder {
             }
             StatementKind::Return(value) => {
                 let node = self.add_stmt_node(NodeKind::ReturnStatement, "return", s.span, parent);
+                self.current_returns.push(node);
                 let mut frag = Frag::empty();
                 if let Some(value) = value {
                     let v = self.expr(value, false);
@@ -999,11 +1082,11 @@ impl Builder {
                 let guarded = self.expr(expr, false);
                 self.g.add_edge(node, EdgeKind::Ast(AstRole::Condition), guarded.node);
                 let frag = self.seq(guarded.frag, Frag::single(node));
-                let mut exits = Vec::new();
+                let mut exits = Exits::default();
                 let success_frag = self.block_stmts_under(success, node);
                 if let Some(entry) = success_frag.entry {
                     self.g.add_edge(node, EdgeKind::Eog, entry);
-                    exits.extend(success_frag.exits);
+                    exits.append(success_frag.exits);
                 } else {
                     exits.push(node);
                 }
@@ -1011,7 +1094,7 @@ impl Builder {
                     let cfrag = self.block_stmts_under(c, node);
                     if let Some(entry) = cfrag.entry {
                         self.g.add_edge(node, EdgeKind::Eog, entry);
-                        exits.extend(cfrag.exits);
+                        exits.append(cfrag.exits);
                     } else {
                         exits.push(node);
                     }
@@ -1064,8 +1147,8 @@ impl Builder {
             self.g.add_edge(node, EdgeKind::Eog, entry);
             // Back edge closing the loop cycle.
             let back_target = cond_entry.unwrap_or(node);
-            for exit in &tail.exits {
-                self.g.add_edge(*exit, EdgeKind::Eog, back_target);
+            for exit in tail.exits.iter() {
+                self.g.add_edge(exit, EdgeKind::Eog, back_target);
             }
         } else {
             // Empty body: self-cycle through the condition.
@@ -1077,7 +1160,7 @@ impl Builder {
             Some(init_frag) => self.seq(init_frag, head),
             None => head,
         };
-        Frag { entry: whole.entry, exits: vec![node] }
+        Frag { entry: whole.entry, exits: Exits::one(node) }
     }
 
     fn add_stmt_node(&mut self, kind: NodeKind, code: &str, span: Span, parent: NodeId) -> NodeId {
@@ -1104,14 +1187,17 @@ impl Builder {
                 let (code, value) = match lit {
                     Lit::Number { value, unit } => (
                         match unit {
-                            Some(u) => format!("{value} {u}"),
-                            None => value.clone(),
+                            Some(u) => intern_fmt(format_args!("{value} {u}")),
+                            None => *value,
                         },
-                        value.clone(),
+                        *value,
                     ),
-                    Lit::Str(s) => (format!("\"{s}\""), s.clone()),
-                    Lit::Bool(b) => (b.to_string(), b.to_string()),
-                    Lit::Hex(h) => (format!("hex\"{h}\""), h.clone()),
+                    Lit::Str(s) => (intern_fmt(format_args!("\"{s}\"")), *s),
+                    Lit::Bool(b) => {
+                        let s = if *b { sym::TRUE } else { sym::FALSE };
+                        (s, s)
+                    }
+                    Lit::Hex(h) => (intern_fmt(format_args!("hex\"{h}\"")), *h),
                 };
                 let ty = match lit {
                     Lit::Number { .. } => "uint256",
@@ -1131,14 +1217,14 @@ impl Builder {
                 );
                 EValue { node, frag: Frag::single(node), decl: None }
             }
-            ExprKind::Ident(name) => self.ident_ref(name, e.span, write),
+            ExprKind::Ident(name) => self.ident_ref(*name, e.span, write),
             ExprKind::Member { .. } => self.member(e, write),
             ExprKind::Index { base, index } => {
                 let base_v = self.expr(base, write);
                 let node = self.g.add_node(
                     NodeKind::SubscriptExpression,
                     Props {
-                        code: e.code(),
+                        code: e.code_sym(),
                         local_name: base_v_local(&self.g, base_v.node),
                         ty: element_type(self.g.node(base_v.node).props.ty.as_deref()),
                         ..Props::default()
@@ -1169,18 +1255,18 @@ impl Builder {
                 let lhs_v = self.expr(lhs, false);
                 let rhs_v = self.expr(rhs, false);
                 let ty = if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
-                    Some("bool".to_string())
+                    Some(Symbol::intern("bool"))
                 } else {
-                    self.g.node(lhs_v.node).props.ty.clone()
+                    self.g.node(lhs_v.node).props.ty
                 };
-                let mut extra = std::collections::BTreeMap::new();
+                let mut extra = BTreeMap::new();
                 if self.in_unchecked {
-                    extra.insert("unchecked".to_string(), "true".to_string());
+                    extra.insert(sym::UNCHECKED, sym::TRUE);
                 }
                 let node = self.g.add_node(
                     NodeKind::BinaryOperator,
                     Props {
-                        code: e.code(),
+                        code: e.code_sym(),
                         operator_code: Some(op.as_str().into()),
                         ty,
                         extra,
@@ -1199,16 +1285,16 @@ impl Builder {
             ExprKind::Assign { op, lhs, rhs } => {
                 let rhs_v = self.expr(rhs, false);
                 let lhs_v = self.expr(lhs, true);
-                let mut extra = std::collections::BTreeMap::new();
+                let mut extra = BTreeMap::new();
                 if self.in_unchecked {
-                    extra.insert("unchecked".to_string(), "true".to_string());
+                    extra.insert(sym::UNCHECKED, sym::TRUE);
                 }
                 let node = self.g.add_node(
                     NodeKind::BinaryOperator,
                     Props {
-                        code: e.code(),
+                        code: e.code_sym(),
                         operator_code: Some(op.as_str().into()),
-                        ty: self.g.node(lhs_v.node).props.ty.clone(),
+                        ty: self.g.node(lhs_v.node).props.ty,
                         extra,
                         ..Props::default()
                     },
@@ -1237,10 +1323,14 @@ impl Builder {
                 let node = self.g.add_node(
                     NodeKind::UnaryOperator,
                     Props {
-                        code: e.code(),
+                        code: e.code_sym(),
                         operator_code: Some(op.as_str().into()),
-                        ty: self.g.node(operand_v.node).props.ty.clone(),
-                        extra: [("prefix".to_string(), prefix.to_string())].into(),
+                        ty: self.g.node(operand_v.node).props.ty,
+                        extra: [(
+                            sym::PREFIX,
+                            if *prefix { sym::TRUE } else { sym::FALSE },
+                        )]
+                        .into(),
                         ..Props::default()
                     },
                     e.span,
@@ -1264,8 +1354,8 @@ impl Builder {
                 let node = self.g.add_node(
                     NodeKind::ConditionalExpression,
                     Props {
-                        code: e.code(),
-                        ty: self.g.node(then_v.node).props.ty.clone(),
+                        code: e.code_sym(),
+                        ty: self.g.node(then_v.node).props.ty,
                         ..Props::default()
                     },
                     e.span,
@@ -1285,7 +1375,7 @@ impl Builder {
             ExprKind::Tuple(entries) => {
                 let node = self.g.add_node(
                     NodeKind::TupleExpression,
-                    Props { code: e.code(), ..Props::default() },
+                    Props { code: e.code_sym(), ..Props::default() },
                     e.span,
                 );
                 let mut frag = Frag::empty();
@@ -1302,9 +1392,9 @@ impl Builder {
                 let node = self.g.add_node(
                     NodeKind::NewExpression,
                     Props {
-                        code: e.code(),
-                        local_name: ty.canonical(),
-                        ty: Some(ty.canonical()),
+                        code: e.code_sym(),
+                        local_name: Symbol::intern(&ty.canonical()),
+                        ty: Some(Symbol::intern(&ty.canonical())),
                         ..Props::default()
                     },
                     e.span,
@@ -1316,9 +1406,9 @@ impl Builder {
                 let node = self.g.add_node(
                     NodeKind::DeclaredReferenceExpression,
                     Props {
-                        code: name.clone(),
-                        local_name: name.clone(),
-                        ty: Some(name.clone()),
+                        code: *name,
+                        local_name: *name,
+                        ty: Some(*name),
                         ..Props::default()
                     },
                     e.span,
@@ -1338,7 +1428,7 @@ impl Builder {
 
     /// Resolve an identifier reference against the scope stack; unresolved
     /// non-builtin names become inferred field declarations (§4.2).
-    fn ident_ref(&mut self, name: &str, span: Span, write: bool) -> EValue {
+    fn ident_ref(&mut self, name: Symbol, span: Span, write: bool) -> EValue {
         // `now` is an alias of `block.timestamp`; normalize so queries match.
         if name == "now" {
             let node = self.g.add_node(
@@ -1357,25 +1447,19 @@ impl Builder {
         let decl = self.lookup(name);
         let decl = match decl {
             Some(d) => Some(d),
-            None if is_builtin_name(name) => None,
+            None if is_builtin_name(&name) => None,
             None => Some(self.infer_field(name, span)),
         };
-        let ty = decl.and_then(|d| self.g.node(d).props.ty.clone()).or_else(|| {
-            match name {
-                "this" => self
-                    .current_record
-                    .map(|idx| self.records[idx].name.clone()),
-                _ => None,
+        let ty = decl.and_then(|d| self.g.node(d).props.ty).or_else(|| {
+            if name == "this" {
+                self.current_record.map(|idx| self.records[idx].name)
+            } else {
+                None
             }
         });
         let node = self.g.add_node(
             NodeKind::DeclaredReferenceExpression,
-            Props {
-                code: name.into(),
-                local_name: name.into(),
-                ty,
-                ..Props::default()
-            },
+            Props { code: name, local_name: name, ty, ..Props::default() },
             span,
         );
         if let Some(decl) = decl {
@@ -1389,9 +1473,9 @@ impl Builder {
         EValue { node, frag: Frag::single(node), decl }
     }
 
-    fn lookup(&self, name: &str) -> Option<NodeId> {
+    fn lookup(&self, name: Symbol) -> Option<NodeId> {
         for scope in self.scopes.iter().rev() {
-            if let Some(decl) = scope.get(name) {
+            if let Some(decl) = scope.get(&name) {
                 return Some(*decl);
             }
         }
@@ -1399,7 +1483,7 @@ impl Builder {
         let mut record = self.current_record;
         let mut hops = 0;
         while let Some(idx) = record {
-            if let Some(field) = self.records[idx].fields.get(name) {
+            if let Some(field) = self.records[idx].fields.get(&name) {
                 return Some(*field);
             }
             record = self.records[idx]
@@ -1414,7 +1498,7 @@ impl Builder {
         None
     }
 
-    fn infer_field(&mut self, name: &str, span: Span) -> NodeId {
+    fn infer_field(&mut self, name: Symbol, span: Span) -> NodeId {
         let idx = match self.current_record {
             Some(idx) => idx,
             None => self.infer_record(),
@@ -1423,15 +1507,15 @@ impl Builder {
         let field = self.g.add_node(
             NodeKind::FieldDeclaration,
             Props {
-                code: name.into(),
-                local_name: name.into(),
+                code: name,
+                local_name: name,
                 is_inferred: true,
                 ..Props::default()
             },
             span,
         );
         self.g.add_edge(record_node, EdgeKind::Ast(AstRole::Fields), field);
-        self.records[idx].fields.insert(name.into(), field);
+        self.records[idx].fields.insert(name, field);
         field
     }
 
@@ -1441,7 +1525,7 @@ impl Builder {
             // dispatch degrades to an opaque leaf node, not a panic.
             let node = self.g.add_node(
                 NodeKind::MemberExpression,
-                Props { code: e.code(), ..Props::default() },
+                Props { code: e.code_sym(), ..Props::default() },
                 e.span,
             );
             return EValue { node, frag: Frag::single(node), decl: None };
@@ -1450,21 +1534,21 @@ impl Builder {
         // Builtin member chains (`msg.sender`, `block.timestamp`,
         // `msg.data.length`) become single member nodes with the full code,
         // matching Figure 2 and the Appendix B query patterns.
-        let code = e.code();
+        let code = e.code_sym();
         // Collapse only genuine builtin chains: `msg.sender`, `tx.origin`,
         // `block.timestamp`, and the two-level `msg.data.length`. A member
         // access *on* a builtin value (`msg.sender.call`) keeps its base so
         // call sites retain their BASE edge.
-        let base_is_builtin = matches!(&base.kind, ExprKind::Ident(b) if BUILTIN_BASES.contains(&b.as_str()) && self.lookup(b).is_none())
+        let base_is_builtin = matches!(&base.kind, ExprKind::Ident(b) if BUILTIN_BASES.contains(&b.as_str()) && self.lookup(*b).is_none())
             || code == "msg.data.length";
         if base_is_builtin {
             let ty = builtin_member_type(&code);
             let node = self.g.add_node(
                 NodeKind::MemberExpression,
                 Props {
-                    code: code.clone(),
-                    local_name: member.clone(),
-                    ty: ty.map(str::to_string),
+                    code,
+                    local_name: *member,
+                    ty: ty.map(Symbol::intern),
                     ..Props::default()
                 },
                 e.span,
@@ -1473,20 +1557,16 @@ impl Builder {
         }
 
         let base_v = self.expr(base, false);
-        let ty = match (base.code().as_str(), member.as_str()) {
-            (_, "balance") => Some("uint256".to_string()),
-            (_, "length") => Some("uint256".to_string()),
-            ("this", _) => None,
+        // First-match semantics of the old (base, member) table: `balance`
+        // and `length` resolve to uint256 regardless of base; nothing else
+        // infers a type here.
+        let ty = match member.as_str() {
+            "balance" | "length" => Some(Symbol::intern("uint256")),
             _ => None,
         };
         let node = self.g.add_node(
             NodeKind::MemberExpression,
-            Props {
-                code,
-                local_name: member.clone(),
-                ty,
-                ..Props::default()
-            },
+            Props { code, local_name: *member, ty, ..Props::default() },
             e.span,
         );
         self.g.add_edge(node, EdgeKind::Ast(AstRole::Base), base_v.node);
@@ -1507,7 +1587,7 @@ impl Builder {
             // dispatch degrades to an opaque leaf node, not a panic.
             let node = self.g.add_node(
                 NodeKind::CallExpression,
-                Props { code: e.code(), ..Props::default() },
+                Props { code: e.code_sym(), ..Props::default() },
                 e.span,
             );
             return EValue { node, frag: Frag::single(node), decl: None };
@@ -1518,8 +1598,8 @@ impl Builder {
         let mut callee = callee.as_ref();
         while let ExprKind::Call { callee: inner_callee, args: inner_args, .. } = &callee.kind {
             if let ExprKind::Member { base, member } = &inner_callee.kind {
-                if (member == "value" || member == "gas") && inner_args.len() == 1 {
-                    options.push((member.clone(), inner_args[0].clone()));
+                if (*member == "value" || *member == "gas") && inner_args.len() == 1 {
+                    options.push((*member, inner_args[0].clone()));
                     callee = base.as_ref();
                     continue;
                 }
@@ -1529,11 +1609,11 @@ impl Builder {
 
         // Elementary-type cast: `address(x)`, `uint(x)`, `payable(x)`.
         if let ExprKind::ElementaryType(ty) = &callee.kind {
-            let ty = if ty == "payable" { "address payable" } else { ty.as_str() };
+            let ty = if *ty == "payable" { "address payable" } else { ty.as_str() };
             let node = self.g.add_node(
                 NodeKind::CastExpression,
                 Props {
-                    code: e.code(),
+                    code: e.code_sym(),
                     local_name: ty.into(),
                     ty: Some(ty.into()),
                     ..Props::default()
@@ -1556,7 +1636,7 @@ impl Builder {
         // Builtin rollback-on-failure calls.
         if let ExprKind::Ident(name) = &callee.kind {
             match name.as_str() {
-                "require" | "assert" => return self.require_call(e, name, args),
+                "require" | "assert" => return self.require_call(e, name.as_str(), args),
                 "revert" => {
                     let mut frag = Frag::empty();
                     for arg in args {
@@ -1566,7 +1646,7 @@ impl Builder {
                     let node = self.g.add_node(
                         NodeKind::Rollback,
                         Props {
-                            code: e.code(),
+                            code: e.code_sym(),
                             local_name: "revert".into(),
                             ..Props::default()
                         },
@@ -1584,30 +1664,22 @@ impl Builder {
             ExprKind::Ident(name) => {
                 let node = self.g.add_node(
                     NodeKind::DeclaredReferenceExpression,
-                    Props {
-                        code: name.clone(),
-                        local_name: name.clone(),
-                        ..Props::default()
-                    },
+                    Props { code: *name, local_name: *name, ..Props::default() },
                     callee.span,
                 );
-                (node, Frag::single(node), Some(name.clone()))
+                (node, Frag::single(node), Some(*name))
             }
             _ => {
                 let v = self.expr(callee, false);
-                let name = self.g.node(v.node).props.local_name.clone();
+                let name = self.g.node(v.node).props.local_name;
                 (v.node, v.frag, if name.is_empty() { None } else { Some(name) })
             }
         };
 
-        let local_name = callee_name.clone().unwrap_or_default();
+        let local_name = callee_name.unwrap_or_default();
         let node = self.g.add_node(
             NodeKind::CallExpression,
-            Props {
-                code: e.code(),
-                local_name: local_name.clone(),
-                ..Props::default()
-            },
+            Props { code: e.code_sym(), local_name, ..Props::default() },
             e.span,
         );
         self.g.add_edge(node, EdgeKind::Ast(AstRole::Callee), callee_node);
@@ -1634,11 +1706,13 @@ impl Builder {
             let spec = self.g.add_node(
                 NodeKind::SpecifiedExpression,
                 Props {
-                    code: options
-                        .iter()
-                        .map(|(k, v)| format!("{k}: {}", v.code()))
-                        .collect::<Vec<_>>()
-                        .join(", "),
+                    code: Symbol::intern(
+                        &options
+                            .iter()
+                            .map(|(k, v)| format!("{k}: {}", v.code()))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
                     ..Props::default()
                 },
                 e.span,
@@ -1648,8 +1722,8 @@ impl Builder {
                 let kv = self.g.add_node(
                     NodeKind::KeyValueExpression,
                     Props {
-                        code: format!("{key}: {}", value.code()),
-                        local_name: key.clone(),
+                        code: intern_fmt(format_args!("{key}: {}", value.code())),
+                        local_name: *key,
                         ..Props::default()
                     },
                     value.span,
@@ -1657,11 +1731,7 @@ impl Builder {
                 self.g.add_edge(spec, EdgeKind::Ast(AstRole::Child), kv);
                 let key_node = self.g.add_node(
                     NodeKind::DeclaredReferenceExpression,
-                    Props {
-                        code: key.clone(),
-                        local_name: key.clone(),
-                        ..Props::default()
-                    },
+                    Props { code: *key, local_name: *key, ..Props::default() },
                     value.span,
                 );
                 self.g.add_edge(kv, EdgeKind::Ast(AstRole::Key), key_node);
@@ -1678,13 +1748,13 @@ impl Builder {
 
         // selfdestruct terminates execution (no rollback — state persists).
         if matches!(local_name.as_str(), "selfdestruct" | "suicide") {
-            return EValue { node, frag: Frag { entry: frag.entry, exits: vec![] }, decl: None };
+            return EValue { node, frag: Frag { entry: frag.entry, exits: Exits::default() }, decl: None };
         }
 
         // Queue user-function calls for INVOKES resolution.
         if let Some(name) = callee_name {
             let via_this = matches!(&callee.kind, ExprKind::Member { base, .. }
-                if matches!(&base.kind, ExprKind::Ident(b) if b == "this"));
+                if matches!(&base.kind, ExprKind::Ident(b) if *b == "this"));
             let direct = matches!(&callee.kind, ExprKind::Ident(_));
             if (direct || via_this) && !BUILTIN_CALLS.contains(&name.as_str()) {
                 self.pending_calls.push(PendingCall {
@@ -1705,7 +1775,7 @@ impl Builder {
         let node = self.g.add_node(
             NodeKind::CallExpression,
             Props {
-                code: e.code(),
+                code: e.code_sym(),
                 local_name: name.into(),
                 ..Props::default()
             },
@@ -1722,7 +1792,7 @@ impl Builder {
         let rollback = self.g.add_node(
             NodeKind::Rollback,
             Props {
-                code: format!("{name}-failure"),
+                code: intern_fmt(format_args!("{name}-failure")),
                 local_name: name.into(),
                 ..Props::default()
             },
@@ -1739,7 +1809,7 @@ impl Builder {
     fn resolve_calls(&mut self) {
         let pending = std::mem::take(&mut self.pending_calls);
         for p in pending {
-            let target = self.resolve_function(p.record, &p.name);
+            let target = self.resolve_function(p.record, p.name);
             let Some(target) = target else { continue };
             self.g.add_edge(p.call, EdgeKind::Invokes, target);
             if let Some(params) = self.fn_params.get(&target) {
@@ -1756,11 +1826,11 @@ impl Builder {
         }
     }
 
-    fn resolve_function(&self, record: Option<usize>, name: &str) -> Option<NodeId> {
+    fn resolve_function(&self, record: Option<usize>, name: Symbol) -> Option<NodeId> {
         let mut idx = record;
         let mut hops = 0;
         while let Some(i) = idx {
-            if let Some(f) = self.records[i].methods.get(name) {
+            if let Some(f) = self.records[i].methods.get(&name) {
                 return Some(*f);
             }
             idx = self.records[i]
@@ -1772,31 +1842,64 @@ impl Builder {
                 break;
             }
         }
-        self.free_functions.get(name).copied()
+        self.free_functions.get(&name).copied()
     }
 }
 
-fn base_v_local(g: &Graph, node: NodeId) -> String {
-    g.node(node).props.local_name.clone()
+fn base_v_local(g: &Graph, node: NodeId) -> Symbol {
+    g.node(node).props.local_name
 }
 
-fn element_type(collection_ty: Option<&str>) -> Option<String> {
+fn element_type(collection_ty: Option<&str>) -> Option<Symbol> {
     let ty = collection_ty?;
     if let Some(stripped) = ty.strip_suffix("[]") {
-        return Some(stripped.to_string());
+        return Some(Symbol::intern(stripped));
     }
     // mapping(K=>V) → V
     if let Some(rest) = ty.strip_prefix("mapping(") {
         if let Some(pos) = rest.find("=>") {
             let value = &rest[pos + 2..];
-            return Some(value.trim_end_matches(')').to_string());
+            return Some(Symbol::intern(value.trim_end_matches(')')));
         }
     }
     None
 }
 
-fn signature_of(f: &FunctionDef) -> String {
-    let mut sig = String::new();
+/// Interned `T name` (or bare `T`) code of a parameter declaration,
+/// printed into a reusable scratch buffer.
+fn param_code(p: &Param) -> Symbol {
+    thread_local! {
+        static PARAM_BUF: std::cell::RefCell<String> =
+            const { std::cell::RefCell::new(String::new()) };
+    }
+    PARAM_BUF.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        printer::print_type_into(&p.ty, &mut buf);
+        if let Some(n) = p.name {
+            buf.push(' ');
+            buf.push_str(n.as_str());
+        }
+        Symbol::intern(&buf)
+    })
+}
+
+/// Interned canonical signature of `f`, built in a reusable scratch
+/// buffer so declaring a function allocates nothing.
+fn signature_sym(f: &FunctionDef) -> Symbol {
+    thread_local! {
+        static SIG_BUF: std::cell::RefCell<String> =
+            const { std::cell::RefCell::new(String::new()) };
+    }
+    SIG_BUF.with(|cell| {
+        let mut sig = cell.borrow_mut();
+        sig.clear();
+        signature_into(f, &mut sig);
+        Symbol::intern(&sig)
+    })
+}
+
+fn signature_into(f: &FunctionDef, sig: &mut String) {
     match f.kind {
         FunctionKind::Constructor => sig.push_str("constructor"),
         FunctionKind::Receive => sig.push_str("receive"),
@@ -1814,7 +1917,7 @@ fn signature_of(f: &FunctionDef) -> String {
         if i > 0 {
             sig.push_str(", ");
         }
-        sig.push_str(&printer::print_type(&p.ty));
+        printer::print_type_into(&p.ty, sig);
     }
     sig.push(')');
     if let Some(v) = f.visibility {
@@ -1825,7 +1928,6 @@ fn signature_of(f: &FunctionDef) -> String {
         sig.push(' ');
         sig.push_str(m.as_str());
     }
-    sig
 }
 
 fn pragma_is_08(pragma: &str) -> bool {
@@ -2140,7 +2242,7 @@ mod tests {
         let f = c
             .graph
             .nodes_of_kind(NodeKind::FunctionDeclaration)
-            .find(|n| c.graph.node(*n).props.extra.get("fn_kind").map(String::as_str) == Some("fallback"))
+            .find(|n| c.graph.node(*n).props.extra.get("fn_kind").map(|s| s.as_str()) == Some("fallback"))
             .unwrap();
         assert_eq!(c.graph.node(f).props.local_name, "");
     }
@@ -2192,7 +2294,7 @@ mod tests {
             .find(|n| c.graph.node(*n).props.operator_code.as_deref() == Some("+="))
             .unwrap();
         assert_eq!(
-            c.graph.node(op).props.extra.get("unchecked").map(String::as_str),
+            c.graph.node(op).props.extra.get("unchecked").map(|s| s.as_str()),
             Some("true")
         );
     }

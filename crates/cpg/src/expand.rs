@@ -6,9 +6,11 @@
 //! code per application. Modifiers cannot be nested inside each other, and
 //! functions use few modifiers, so the copy blow-up is bounded in practice.
 
+use intern::Symbol;
 use solidity::ast::*;
 use solidity::Span;
-use std::collections::HashMap;
+use std::borrow::Cow;
+use intern::FxHashMap;
 
 /// Modifiers actually resolved and inlined into a function body.
 static EXPANSIONS: telemetry::Counter = telemetry::Counter::new("cpg.modifier_expansions");
@@ -24,19 +26,29 @@ static EXPANSIONS: telemetry::Counter = telemetry::Counter::new("cpg.modifier_ex
 /// Modifier parameters are bound by prepending synthetic variable
 /// declarations `T param = arg;` — this preserves the data flow from call
 /// arguments into the modifier body without needing call semantics.
-pub fn expand_modifiers(
-    function: &FunctionDef,
-    modifiers: &HashMap<String, ModifierDef>,
-) -> Option<Block> {
+///
+/// The common case — no modifier actually applies — borrows the original
+/// body instead of deep-cloning it; only real expansions build an owned
+/// copy.
+///
+/// The map is generic over [`Borrow`]`<ModifierDef>` so callers can hold
+/// either owned definitions or `&ModifierDef` borrows of the source unit
+/// (the builder does the latter — collecting modifiers then costs map
+/// inserts, not deep AST clones).
+pub fn expand_modifiers<'f, M: std::borrow::Borrow<ModifierDef>>(
+    function: &'f FunctionDef,
+    modifiers: &FxHashMap<Symbol, M>,
+) -> Option<Cow<'f, Block>> {
     // Chaos hook: expansion is infallible, so an injected *error* at this
     // point escalates to a panic for the isolation layer to catch.
     if let Some(message) = faultinject::fire("cpg/expand") {
         panic!("faultinject: {message}");
     }
-    let mut body = function.body.clone()?;
+    let mut body = Cow::Borrowed(function.body.as_ref()?);
     // Apply right-to-left so the leftmost modifier ends up outermost.
     for invocation in function.modifiers.iter().rev() {
-        let Some(def) = modifiers.get(&invocation.name) else {
+        let Some(def) = modifiers.get(&invocation.name).map(std::borrow::Borrow::borrow)
+        else {
             continue;
         };
         let Some(mod_body) = &def.body else { continue };
@@ -51,7 +63,7 @@ pub fn expand_modifiers(
                     parts: vec![VarDeclPart {
                         ty: Some(param.ty.clone()),
                         storage: param.storage,
-                        name: name.clone(),
+                        name: *name,
                         span: param.span,
                     }],
                     value: Some(arg.clone()),
@@ -63,7 +75,7 @@ pub fn expand_modifiers(
             prelude.append(&mut wrapped.statements);
             wrapped.statements = prelude;
         }
-        body = wrapped;
+        body = Cow::Owned(wrapped);
     }
     Some(body)
 }
@@ -122,17 +134,20 @@ fn substitute_stmt(stmt: &Statement, inner: &Block) -> Statement {
 /// Collect every modifier definition of a source unit, both free-standing
 /// (snippets) and nested in contracts, keyed by name. Later definitions win,
 /// which is irrelevant in practice since names are unique per study unit.
-pub fn collect_modifiers(unit: &SourceUnit) -> HashMap<String, ModifierDef> {
-    let mut map = HashMap::new();
+///
+/// The map borrows the unit: collecting is a handful of map inserts, not a
+/// deep clone of every modifier body.
+pub fn collect_modifiers(unit: &SourceUnit) -> FxHashMap<Symbol, &ModifierDef> {
+    let mut map = FxHashMap::default();
     for item in &unit.items {
         match item {
             SourceItem::Modifier(m) => {
-                map.insert(m.name.clone(), m.clone());
+                map.insert(m.name, m);
             }
             SourceItem::Contract(c) => {
                 for part in &c.parts {
                     if let ContractPart::Modifier(m) = part {
-                        map.insert(m.name.clone(), m.clone());
+                        map.insert(m.name, m);
                     }
                 }
             }
@@ -154,9 +169,8 @@ mod tests {
     use solidity::parse_snippet;
     use solidity::printer::print_stmt;
 
-    fn setup(src: &str) -> (FunctionDef, HashMap<String, ModifierDef>) {
+    fn setup(src: &str) -> (FunctionDef, SourceUnit) {
         let unit = parse_snippet(src).unwrap();
-        let modifiers = collect_modifiers(&unit);
         let function = unit
             .items
             .iter()
@@ -171,16 +185,17 @@ mod tests {
                 _ => None,
             })
             .expect("function in test source");
-        (function, modifiers)
+        (function, unit)
     }
 
     #[test]
     fn wraps_body_in_modifier() {
-        let (f, m) = setup(
+        let (f, unit) = setup(
             "contract C { \
                modifier onlyOwner() { require(msg.sender == owner); _; } \
                function withdraw() public onlyOwner() { msg.sender.transfer(1); } }",
         );
+        let m = collect_modifiers(&unit);
         let body = expand_modifiers(&f, &m).unwrap();
         // First statement is the require, second is the wrapped inner block.
         assert_eq!(body.statements.len(), 2);
@@ -191,11 +206,12 @@ mod tests {
 
     #[test]
     fn post_condition_modifiers_keep_order() {
-        let (f, m) = setup(
+        let (f, unit) = setup(
             "contract C { \
                modifier checked() { _; require(invariant()); } \
                function f() public checked() { x = 1; } }",
         );
+        let m = collect_modifiers(&unit);
         let body = expand_modifiers(&f, &m).unwrap();
         assert!(matches!(body.statements[0].kind, StatementKind::Block(_)));
         assert!(print_stmt(&body.statements[1]).contains("require"));
@@ -203,12 +219,13 @@ mod tests {
 
     #[test]
     fn multiple_modifiers_leftmost_outermost() {
-        let (f, m) = setup(
+        let (f, unit) = setup(
             "contract C { \
                modifier a() { pre_a(); _; } \
                modifier b() { pre_b(); _; } \
                function f() public a() b() { work(); } }",
         );
+        let m = collect_modifiers(&unit);
         let body = expand_modifiers(&f, &m).unwrap();
         // Outermost is `a`: pre_a(); { pre_b(); { work(); } }
         assert!(print_stmt(&body.statements[0]).contains("pre_a"));
@@ -218,11 +235,12 @@ mod tests {
 
     #[test]
     fn modifier_arguments_are_bound() {
-        let (f, m) = setup(
+        let (f, unit) = setup(
             "contract C { \
                modifier costs(uint price) { require(msg.value >= price); _; } \
                function buy() public costs(100) { sold += 1; } }",
         );
+        let m = collect_modifiers(&unit);
         let body = expand_modifiers(&f, &m).unwrap();
         // Prelude declaration `uint price = 100;` comes first.
         let StatementKind::VariableDecl { parts, value } = &body.statements[0].kind else {
@@ -234,9 +252,10 @@ mod tests {
 
     #[test]
     fn unknown_modifiers_are_skipped() {
-        let (f, m) = setup(
+        let (f, unit) = setup(
             "contract C is Base { function f() public Base(1) { x = 2; } }",
         );
+        let m = collect_modifiers(&unit);
         let body = expand_modifiers(&f, &m).unwrap();
         assert_eq!(body.statements.len(), 1);
     }
@@ -246,16 +265,17 @@ mod tests {
         let unit = parse_snippet("contract C { function f() external; }").unwrap();
         let SourceItem::Contract(c) = &unit.items[0] else { panic!() };
         let ContractPart::Function(f) = &c.parts[0] else { panic!() };
-        assert!(expand_modifiers(f, &HashMap::new()).is_none());
+        assert!(expand_modifiers(f, &FxHashMap::<Symbol, &ModifierDef>::default()).is_none());
     }
 
     #[test]
     fn placeholder_inside_branch_is_substituted() {
-        let (f, m) = setup(
+        let (f, unit) = setup(
             "contract C { \
                modifier gated() { if (open) { _; } else { revert(); } } \
                function f() public gated() { x = 1; } }",
         );
+        let m = collect_modifiers(&unit);
         let body = expand_modifiers(&f, &m).unwrap();
         let StatementKind::If { then, .. } = &body.statements[0].kind else { panic!() };
         let StatementKind::Block(tb) = &then.kind else { panic!() };

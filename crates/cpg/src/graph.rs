@@ -8,9 +8,12 @@
 //! Cypher queries).
 
 use crate::kinds::{AstRole, EdgeKind, NodeKind};
+use intern::{LineIndex, Symbol};
 use serde::{Deserialize, Serialize};
 use solidity::Span;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -25,46 +28,55 @@ impl NodeId {
 
 /// Properties of a graph node. Field names mirror the upstream CPG property
 /// keys used in queries (`code`, `localName`, `operatorCode`, `value`, ...).
+///
+/// Every textual property is an interned [`Symbol`]: copies are free,
+/// equality is an integer compare, and [`Props::get`] can hand out borrowed
+/// `&'static str` views without cloning.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Props {
     /// Canonical source form of the node (`msg.sender`, `a + b`, ...).
-    pub code: String,
+    pub code: Symbol,
     /// Unqualified name: the member name of a member expression, the callee
     /// name of a call, the declared name of a declaration.
-    pub local_name: String,
+    pub local_name: Symbol,
     /// Operator text for binary/unary operators (`+`, `==`, `+=`, ...).
-    pub operator_code: Option<String>,
+    pub operator_code: Option<Symbol>,
     /// Literal value text.
-    pub value: Option<String>,
+    pub value: Option<Symbol>,
     /// Declared or inferred type, canonical text form.
-    pub ty: Option<String>,
+    pub ty: Option<Symbol>,
     /// Parameter position (0-based) for `ParamVariableDeclaration`s.
     pub index: Option<usize>,
     /// Whether the node was synthesized during inference (missing outer
     /// declarations of a snippet, cf. §4.2).
     pub is_inferred: bool,
     /// Record kind: `contract`, `interface`, `library`, `struct`.
-    pub record_kind: Option<String>,
+    pub record_kind: Option<Symbol>,
     /// Declared visibility for functions and fields.
-    pub visibility: Option<String>,
+    pub visibility: Option<Symbol>,
     /// Anything else, e.g. `pragma` on the translation unit.
-    pub extra: BTreeMap<String, String>,
+    pub extra: BTreeMap<Symbol, Symbol>,
 }
 
 impl Props {
     /// Property lookup by upstream key name, for the query engine.
-    pub fn get(&self, key: &str) -> Option<String> {
+    ///
+    /// Returns a borrowed view for every stored text property; only the
+    /// numeric `index` key allocates (it must be formatted).
+    pub fn get(&self, key: &str) -> Option<Cow<'static, str>> {
         match key {
-            "code" => Some(self.code.clone()),
-            "localName" => Some(self.local_name.clone()),
-            "operatorCode" => self.operator_code.clone(),
-            "value" => self.value.clone(),
-            "type" => self.ty.clone(),
-            "index" => self.index.map(|i| i.to_string()),
-            "isInferred" => Some(self.is_inferred.to_string()),
-            "kind" => self.record_kind.clone(),
-            "visibility" => self.visibility.clone(),
-            other => self.extra.get(other).cloned(),
+            "code" => Some(Cow::Borrowed(self.code.as_str())),
+            "localName" => Some(Cow::Borrowed(self.local_name.as_str())),
+            "operatorCode" => self.operator_code.map(|s| Cow::Borrowed(s.as_str())),
+            "value" => self.value.map(|s| Cow::Borrowed(s.as_str())),
+            "type" => self.ty.map(|s| Cow::Borrowed(s.as_str())),
+            "index" => self.index.map(|i| Cow::Owned(i.to_string())),
+            "isInferred" => {
+                Some(Cow::Borrowed(if self.is_inferred { "true" } else { "false" }))
+            }
+            "kind" => self.record_kind.map(|s| Cow::Borrowed(s.as_str())),
+            "visibility" => self.visibility.map(|s| Cow::Borrowed(s.as_str())),
+            other => self.extra.get(other).map(|s| Cow::Borrowed(s.as_str())),
         }
     }
 }
@@ -81,7 +93,7 @@ pub struct Node {
 }
 
 /// A directed, typed edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Edge {
     /// Source node.
     pub from: NodeId,
@@ -91,18 +103,103 @@ pub struct Edge {
     pub to: NodeId,
 }
 
+/// Sentinel for "no edge" in the intrusive adjacency lists.
+const NIL: u32 = u32::MAX;
+
+/// One stored edge plus its links in the per-node adjacency lists.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct EdgeCell {
+    edge: Edge,
+    next_out: u32,
+    next_in: u32,
+}
+
+/// Per-node heads and tails of the outgoing and incoming edge lists.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct AdjHead {
+    first_out: u32,
+    last_out: u32,
+    first_in: u32,
+    last_in: u32,
+}
+
+impl AdjHead {
+    const EMPTY: AdjHead =
+        AdjHead { first_out: NIL, last_out: NIL, first_in: NIL, last_in: NIL };
+}
+
 /// The code property graph.
+///
+/// Edges live in one arena (`cells`), threaded through per-node intrusive
+/// lists — adding a node or an edge performs no allocation beyond the
+/// amortized growth of three flat `Vec`s. The previous representation
+/// (one out-`Vec` and one in-`Vec` per node) spent two heap allocations
+/// on every connected node, which dominated the translation hot path.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Graph {
     nodes: Vec<Node>,
-    out: Vec<Vec<Edge>>,
-    inc: Vec<Vec<Edge>>,
+    cells: Vec<EdgeCell>,
+    adj: Vec<AdjHead>,
+    /// Membership index over `cells` so `add_edge` dedup is O(1) instead
+    /// of a walk of the source node's out-list.
+    dedup: intern::FxHashSet<Edge>,
+    line_index: Option<Arc<LineIndex>>,
+}
+
+/// Iterator over one direction of a node's adjacency list, in insertion
+/// order.
+pub struct EdgeIter<'g> {
+    cells: &'g [EdgeCell],
+    next: u32,
+    forward: bool,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        if self.next == NIL {
+            return None;
+        }
+        let cell = &self.cells[self.next as usize];
+        self.next = if self.forward { cell.next_out } else { cell.next_in };
+        Some(cell.edge)
+    }
 }
 
 impl Graph {
     /// Create an empty graph.
     pub fn new() -> Self {
         Graph::default()
+    }
+
+    /// Pre-size the node and edge storage. Translation knows a reasonable
+    /// ballpark up front; reserving once avoids the incremental rehash and
+    /// regrow churn that otherwise dominates graph construction.
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.nodes.reserve(nodes);
+        self.adj.reserve(nodes);
+        self.cells.reserve(edges);
+        self.dedup.reserve(edges);
+    }
+
+    /// Attach the line index of the translated source, so spans can be
+    /// resolved to 1-based line numbers on demand instead of storing a
+    /// line per token.
+    pub fn set_line_index(&mut self, index: Arc<LineIndex>) {
+        self.line_index = Some(index);
+    }
+
+    /// Resolve a span to its 1-based start line (0 for dummy spans or when
+    /// no line index is attached).
+    pub fn line_of(&self, span: Span) -> u32 {
+        if span.is_dummy() {
+            return 0;
+        }
+        match &self.line_index {
+            Some(index) => index.line_of(span.start),
+            None => 0,
+        }
     }
 
     /// Number of nodes.
@@ -112,26 +209,41 @@ impl Graph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.out.iter().map(|edges| edges.len()).sum()
+        self.cells.len()
     }
 
     /// Add a node and return its id.
     pub fn add_node(&mut self, kind: NodeKind, props: Props, span: Span) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { kind, props, span });
-        self.out.push(Vec::new());
-        self.inc.push(Vec::new());
+        self.adj.push(AdjHead::EMPTY);
         id
     }
 
     /// Add a typed edge. Parallel edges of the same kind are deduplicated.
     pub fn add_edge(&mut self, from: NodeId, kind: EdgeKind, to: NodeId) {
         let edge = Edge { from, kind, to };
-        if self.out[from.index()].contains(&edge) {
+        if !self.dedup.insert(edge) {
             return;
         }
-        self.out[from.index()].push(edge);
-        self.inc[to.index()].push(edge);
+        let idx = self.cells.len() as u32;
+        self.cells.push(EdgeCell { edge, next_out: NIL, next_in: NIL });
+        let from_adj = &mut self.adj[from.index()];
+        if from_adj.last_out == NIL {
+            from_adj.first_out = idx;
+        } else {
+            self.cells[from_adj.last_out as usize].next_out = idx;
+        }
+        let from_adj = &mut self.adj[from.index()];
+        from_adj.last_out = idx;
+        let to_adj = &mut self.adj[to.index()];
+        if to_adj.last_in == NIL {
+            let first = idx;
+            to_adj.first_in = first;
+        } else {
+            self.cells[to_adj.last_in as usize].next_in = idx;
+        }
+        self.adj[to.index()].last_in = idx;
     }
 
     /// Immutable node access.
@@ -154,14 +266,14 @@ impl Graph {
         self.node_ids().filter(move |id| self.node(*id).kind == kind)
     }
 
-    /// Outgoing edges of a node.
-    pub fn out_edges(&self, id: NodeId) -> &[Edge] {
-        &self.out[id.index()]
+    /// Outgoing edges of a node, in insertion order.
+    pub fn out_edges(&self, id: NodeId) -> EdgeIter<'_> {
+        EdgeIter { cells: &self.cells, next: self.adj[id.index()].first_out, forward: true }
     }
 
-    /// Incoming edges of a node.
-    pub fn in_edges(&self, id: NodeId) -> &[Edge] {
-        &self.inc[id.index()]
+    /// Incoming edges of a node, in insertion order.
+    pub fn in_edges(&self, id: NodeId) -> EdgeIter<'_> {
+        EdgeIter { cells: &self.cells, next: self.adj[id.index()].first_in, forward: false }
     }
 
     /// Outgoing neighbors over edges matching `pred`.
@@ -170,10 +282,7 @@ impl Graph {
         id: NodeId,
         pred: impl Fn(EdgeKind) -> bool + 'a,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.out[id.index()]
-            .iter()
-            .filter(move |edge| pred(edge.kind))
-            .map(|edge| edge.to)
+        self.out_edges(id).filter(move |edge| pred(edge.kind)).map(|edge| edge.to)
     }
 
     /// Incoming neighbors over edges matching `pred`.
@@ -182,10 +291,7 @@ impl Graph {
         id: NodeId,
         pred: impl Fn(EdgeKind) -> bool + 'a,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.inc[id.index()]
-            .iter()
-            .filter(move |edge| pred(edge.kind))
-            .map(|edge| edge.from)
+        self.in_edges(id).filter(move |edge| pred(edge.kind)).map(|edge| edge.from)
     }
 
     /// Outgoing neighbors over exactly one edge kind.
@@ -301,7 +407,7 @@ impl Graph {
             if depth >= max_depth {
                 continue;
             }
-            let edges = if forward { &self.out[node.index()] } else { &self.inc[node.index()] };
+            let edges = if forward { self.out_edges(node) } else { self.in_edges(node) };
             for edge in edges {
                 if !pred(edge.kind) {
                     continue;
@@ -335,7 +441,7 @@ impl Graph {
             if depth >= max_depth {
                 continue;
             }
-            for edge in &self.out[node.index()] {
+            for edge in self.out_edges(node) {
                 if !pred(edge.kind) {
                     continue;
                 }
@@ -376,7 +482,7 @@ impl Graph {
         let mut queue = VecDeque::new();
         queue.push_back(from);
         while let Some(node) = queue.pop_front() {
-            for edge in &self.out[node.index()] {
+            for edge in self.out_edges(node) {
                 if !pred(edge.kind) || prev.contains_key(&edge.to) || edge.to == from {
                     continue;
                 }

@@ -64,14 +64,13 @@ impl GraphSource for CpgSource<'_> {
         labels_of(self.graph.node(NodeId(node)).kind)
     }
 
-    fn prop(&self, node: u32, key: &str) -> Option<String> {
+    fn prop(&self, node: u32, key: &str) -> Option<std::borrow::Cow<'_, str>> {
         self.graph.node(NodeId(node)).props.get(key)
     }
 
     fn neighbors_out(&self, node: u32, kind: Option<&str>) -> Vec<u32> {
         self.graph
             .out_edges(NodeId(node))
-            .iter()
             .filter(|e| kind.map(|k| kind_matches(e.kind, k)).unwrap_or(true))
             .map(|e| e.to.0)
             .collect()
@@ -80,7 +79,6 @@ impl GraphSource for CpgSource<'_> {
     fn neighbors_in(&self, node: u32, kind: Option<&str>) -> Vec<u32> {
         self.graph
             .in_edges(NodeId(node))
-            .iter()
             .filter(|e| kind.map(|k| kind_matches(e.kind, k)).unwrap_or(true))
             .map(|e| e.from.0)
             .collect()

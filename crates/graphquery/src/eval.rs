@@ -1,6 +1,7 @@
 //! Query evaluation: backtracking pattern matching over a [`GraphSource`].
 
 use crate::syntax::{CmpOp, Cond, Direction, EdgePat, NodePat, Operand, PathPat, Query, Value};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// Abstraction over a queryable property graph. Implemented for
@@ -13,8 +14,10 @@ pub trait GraphSource {
     /// inheritance in the upstream CPG, e.g. `ConstructorDeclaration` is
     /// also a `FunctionDeclaration`).
     fn labels(&self, node: u32) -> Vec<&'static str>;
-    /// Property lookup by key.
-    fn prop(&self, node: u32, key: &str) -> Option<String>;
+    /// Property lookup by key. Borrowed values avoid a per-probe
+    /// allocation on the hot matching path; implementations that must
+    /// synthesize a value return [`Cow::Owned`].
+    fn prop(&self, node: u32, key: &str) -> Option<Cow<'_, str>>;
     /// Outgoing neighbors over relationships of `kind` (`None` = any).
     fn neighbors_out(&self, node: u32, kind: Option<&str>) -> Vec<u32>;
     /// Incoming neighbors over relationships of `kind` (`None` = any).
@@ -226,7 +229,7 @@ fn node_matches<S: GraphSource>(source: &S, pat: &NodePat, node: u32) -> bool {
     for (key, expected) in &pat.props {
         let actual = source.prop(node, key);
         let matches = match (actual, expected) {
-            (Some(a), Value::Str(s)) => &a == s,
+            (Some(a), Value::Str(s)) => a == s.as_str(),
             (Some(a), Value::Num(n)) => a.parse::<f64>().map(|x| x == *n).unwrap_or(false),
             (Some(a), Value::Bool(b)) => a == b.to_string(),
             (None, Value::Null) => true,
@@ -335,7 +338,7 @@ fn eval_operand<S: GraphSource>(
         Operand::Lit(v) => Some(v.clone()),
         Operand::Prop(var, key) => {
             let node = bindings.get(var)?;
-            source.prop(*node, key).map(Value::Str)
+            source.prop(*node, key).map(|v| Value::Str(v.into_owned()))
         }
         Operand::Var(_) => None,
         Operand::ToUpper(inner) => match eval_operand(source, inner, bindings)? {
@@ -374,11 +377,11 @@ mod tests {
         fn labels(&self, node: u32) -> Vec<&'static str> {
             self.labels[node as usize].clone()
         }
-        fn prop(&self, node: u32, key: &str) -> Option<String> {
+        fn prop(&self, node: u32, key: &str) -> Option<Cow<'_, str>> {
             self.props[node as usize]
                 .iter()
                 .find(|(k, _)| *k == key)
-                .map(|(_, v)| v.to_string())
+                .map(|(_, v)| Cow::Borrowed(*v))
         }
         fn neighbors_out(&self, node: u32, kind: Option<&str>) -> Vec<u32> {
             self.edges
@@ -566,8 +569,8 @@ mod proptests {
         fn labels(&self, node: u32) -> Vec<&'static str> {
             vec![self.labels[node as usize]]
         }
-        fn prop(&self, node: u32, key: &str) -> Option<String> {
-            (key == "id").then(|| node.to_string())
+        fn prop(&self, node: u32, key: &str) -> Option<Cow<'_, str>> {
+            (key == "id").then(|| Cow::Owned(node.to_string()))
         }
         fn neighbors_out(&self, node: u32, kind: Option<&str>) -> Vec<u32> {
             self.edges

@@ -1,0 +1,110 @@
+//! A chunked bump arena for byte and string allocation.
+//!
+//! Allocations are appended to a current chunk; when it runs out, a new,
+//! larger chunk is started. Chunks are never reallocated or freed while
+//! the arena lives, so references into them remain valid for the arena's
+//! lifetime — the property the single `unsafe` block below relies on.
+
+use std::cell::RefCell;
+
+/// Initial chunk capacity in bytes; doubles per chunk up to [`MAX_CHUNK`].
+const FIRST_CHUNK: usize = 4 * 1024;
+/// Upper bound on chunk growth.
+const MAX_CHUNK: usize = 1024 * 1024;
+
+/// A bump arena over byte chunks. Not `Sync`: share per thread, or guard
+/// with a mutex (as the global interner does).
+#[derive(Default)]
+pub struct Bump {
+    /// Filled chunks plus the currently-bumped one (last). Each chunk's
+    /// capacity is fixed at creation: `push` never reallocates, so `&[u8]`
+    /// slices handed out from a chunk stay valid.
+    chunks: RefCell<Vec<Vec<u8>>>,
+    /// Total bytes allocated through this arena.
+    allocated: std::cell::Cell<usize>,
+}
+
+impl Bump {
+    /// A fresh, empty arena.
+    pub fn new() -> Bump {
+        Bump::default()
+    }
+
+    /// Total bytes allocated through this arena.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated.get()
+    }
+
+    /// Copy `bytes` into the arena, returning a slice that lives as long
+    /// as the arena.
+    pub fn alloc_bytes(&self, bytes: &[u8]) -> &[u8] {
+        let mut chunks = self.chunks.borrow_mut();
+        let need = bytes.len();
+        let has_room = chunks
+            .last()
+            .map(|c| c.capacity() - c.len() >= need)
+            .unwrap_or(false);
+        if !has_room {
+            let grown = chunks
+                .last()
+                .map(|c| (c.capacity() * 2).min(MAX_CHUNK))
+                .unwrap_or(FIRST_CHUNK);
+            chunks.push(Vec::with_capacity(grown.max(need)));
+        }
+        let chunk = chunks.last_mut().expect("chunk pushed above");
+        let start = chunk.len();
+        chunk.extend_from_slice(bytes);
+        self.allocated.set(self.allocated.get() + need);
+        // SAFETY: the slice points into `chunk`, whose backing buffer is
+        // never reallocated (capacity is reserved up front and `push`ed
+        // chunks are never written past capacity, shrunk, or dropped
+        // before the arena). Extending the borrow to the arena's lifetime
+        // is therefore sound; `&self` methods never hand out overlapping
+        // ranges because the bump pointer only moves forward.
+        unsafe { std::slice::from_raw_parts(chunk.as_ptr().add(start), need) }
+    }
+
+    /// Copy `s` into the arena, returning a `&str` that lives as long as
+    /// the arena.
+    pub fn alloc_str(&self, s: &str) -> &str {
+        let bytes = self.alloc_bytes(s.as_bytes());
+        // SAFETY: `bytes` is a verbatim copy of a valid UTF-8 `&str`.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_survive_chunk_growth() {
+        let arena = Bump::new();
+        let mut refs = Vec::new();
+        for i in 0..10_000 {
+            refs.push((i, arena.alloc_str(&format!("string-{i}"))));
+        }
+        for (i, s) in refs {
+            assert_eq!(s, format!("string-{i}"));
+        }
+        assert!(arena.allocated_bytes() > 10_000);
+    }
+
+    #[test]
+    fn large_allocation_gets_its_own_chunk() {
+        let arena = Bump::new();
+        let big = "x".repeat(3 * MAX_CHUNK);
+        let a = arena.alloc_str("before");
+        let b = arena.alloc_str(&big);
+        let c = arena.alloc_str("after");
+        assert_eq!(a, "before");
+        assert_eq!(b.len(), big.len());
+        assert_eq!(c, "after");
+    }
+
+    #[test]
+    fn empty_allocation() {
+        let arena = Bump::new();
+        assert_eq!(arena.alloc_str(""), "");
+    }
+}

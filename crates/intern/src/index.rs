@@ -1,0 +1,77 @@
+//! Typed `u32` index newtypes for arena-backed graphs and tables.
+
+/// Define a `u32` index newtype with the conversions and formatting an
+/// arena-backed structure needs:
+///
+/// ```
+/// intern::newtype_index!(
+///     /// A node in some graph.
+///     pub struct DemoId
+/// );
+/// let id = DemoId::from_usize(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "3");
+/// ```
+///
+/// The raw field is public so existing code indexing by `.0` keeps
+/// working.
+#[macro_export]
+macro_rules! newtype_index {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        $vis struct $name(pub u32);
+
+        impl $name {
+            /// Build from a `usize` position (panics if it overflows `u32`).
+            #[inline]
+            $vis fn from_usize(i: usize) -> $name {
+                $name(u32::try_from(i).expect(concat!(stringify!($name), " overflowed u32")))
+            }
+
+            /// The index as a `usize`, for slice indexing.
+            #[inline]
+            $vis fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> $name {
+                $name::from_usize(i)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    newtype_index!(
+        /// Test index.
+        pub struct TestId
+    );
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = TestId::from_usize(1);
+        let b = TestId::from_usize(2);
+        assert!(a < b);
+        assert_eq!(a.index(), 1);
+        assert_eq!(usize::from(b), 2);
+        assert_eq!(TestId::from(7usize), TestId(7));
+        assert_eq!(format!("{a}"), "1");
+        assert_eq!(TestId::default(), TestId(0));
+    }
+}

@@ -288,7 +288,14 @@ fn route(request: &Request, state: &ServiceState) -> (u16, String) {
                 state.breakers.analyze.state_name(),
             ),
         ),
-        ("GET", "/telemetry") => (200, telemetry::snapshot().to_json()),
+        ("GET", "/telemetry") => {
+            // Refresh interner gauges so the snapshot reports the live
+            // symbol table size alongside the counters.
+            let (symbols, bytes) = intern::interner_stats();
+            telemetry::gauge_set("intern.symbols", symbols as u64);
+            telemetry::gauge_set("intern.bytes", bytes as u64);
+            (200, telemetry::snapshot().to_json())
+        }
         ("POST", "/shutdown") => {
             state.shutdown.shutdown();
             (200, "{\"status\":\"shutting_down\"}".to_string())

@@ -6,7 +6,9 @@
 //! placeholder nodes. This mirrors the grammar modifications of §4.1.
 
 use crate::span::Span;
+use intern::{LineIndex, Symbol};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A parsed source unit: a full file, a bare function, or a pile of
 /// statements, depending on what the snippet contained.
@@ -14,6 +16,22 @@ use serde::{Deserialize, Serialize};
 pub struct SourceUnit {
     /// Top-level items in source order.
     pub items: Vec<SourceItem>,
+    /// Newline index of the source this unit was parsed from. Spans carry
+    /// only byte offsets; diagnostics and findings resolve them to 1-based
+    /// line/column through this shared index.
+    pub line_index: Arc<LineIndex>,
+}
+
+impl SourceUnit {
+    /// The 1-based line of a span's start (0 for synthesized dummy spans),
+    /// resolved against the source this unit was parsed from.
+    pub fn line_of(&self, span: Span) -> u32 {
+        if span.is_dummy() {
+            0
+        } else {
+            self.line_index.line_of(span.start)
+        }
+    }
 }
 
 /// Anything that can appear at the top level of a (snippet) source unit.
@@ -22,7 +40,7 @@ pub enum SourceItem {
     /// `pragma solidity ^0.8.0;`
     Pragma(Pragma),
     /// `import "...";` (the path only; symbol aliases are not modelled).
-    Import(String),
+    Import(Symbol),
     /// A contract, interface or library definition.
     Contract(ContractDef),
     /// A free-standing function definition (unnested snippet).
@@ -49,9 +67,9 @@ pub enum SourceItem {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Pragma {
     /// Pragma name, usually `solidity`.
-    pub name: String,
+    pub name: Symbol,
     /// Raw value text, e.g. `^0.8.0`.
-    pub value: String,
+    pub value: Symbol,
     /// Source location.
     pub span: Span,
 }
@@ -87,7 +105,7 @@ pub struct ContractDef {
     /// Contract kind.
     pub kind: ContractKind,
     /// Declared name.
-    pub name: String,
+    pub name: Symbol,
     /// Base contracts from the `is` clause, with optional constructor args.
     pub bases: Vec<InheritanceSpecifier>,
     /// Body members in source order.
@@ -100,7 +118,7 @@ pub struct ContractDef {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InheritanceSpecifier {
     /// Possibly qualified base name (`A.B` is stored joined with `.`).
-    pub name: String,
+    pub name: Symbol,
     /// Constructor arguments, if given inline.
     pub args: Vec<Expr>,
 }
@@ -222,7 +240,7 @@ pub struct FunctionDef {
     pub kind: FunctionKind,
     /// Name; `None` for constructors, fallback/receive and the legacy
     /// unnamed default function `function() {...}`.
-    pub name: Option<String>,
+    pub name: Option<Symbol>,
     /// Declared parameters.
     pub params: Vec<Param>,
     /// Return parameters from the `returns (...)` clause.
@@ -257,7 +275,7 @@ impl FunctionDef {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModifierInvocation {
     /// Modifier (or base contract) name.
-    pub name: String,
+    pub name: Symbol,
     /// Arguments; empty for bare mentions.
     pub args: Vec<Expr>,
     /// Source location.
@@ -268,7 +286,7 @@ pub struct ModifierInvocation {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModifierDef {
     /// Modifier name.
-    pub name: String,
+    pub name: Symbol,
     /// Declared parameters.
     pub params: Vec<Param>,
     /// Body containing `_;` placeholders.
@@ -285,7 +303,7 @@ pub struct Param {
     /// Data location, if given.
     pub storage: Option<Storage>,
     /// Name; anonymous slots have `None`.
-    pub name: Option<String>,
+    pub name: Option<Symbol>,
     /// `indexed` flag (events only).
     pub indexed: bool,
     /// Source location.
@@ -304,7 +322,7 @@ pub struct StateVarDecl {
     /// `immutable` flag.
     pub is_immutable: bool,
     /// Variable name.
-    pub name: String,
+    pub name: Symbol,
     /// Initializer expression, if any.
     pub initializer: Option<Expr>,
     /// Source location.
@@ -315,7 +333,7 @@ pub struct StateVarDecl {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StructDef {
     /// Struct name.
-    pub name: String,
+    pub name: Symbol,
     /// Member fields.
     pub fields: Vec<Param>,
     /// Source location.
@@ -326,9 +344,9 @@ pub struct StructDef {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnumDef {
     /// Enum name.
-    pub name: String,
+    pub name: Symbol,
     /// Variant names.
-    pub variants: Vec<String>,
+    pub variants: Vec<Symbol>,
     /// Source location.
     pub span: Span,
 }
@@ -337,7 +355,7 @@ pub struct EnumDef {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EventDef {
     /// Event name.
-    pub name: String,
+    pub name: Symbol,
     /// Event parameters.
     pub params: Vec<Param>,
     /// `anonymous` flag.
@@ -350,7 +368,7 @@ pub struct EventDef {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorDef {
     /// Error name.
-    pub name: String,
+    pub name: Symbol,
     /// Error parameters.
     pub params: Vec<Param>,
     /// Source location.
@@ -361,7 +379,7 @@ pub struct ErrorDef {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UsingFor {
     /// Library name.
-    pub library: String,
+    pub library: Symbol,
     /// Target type; `None` for `using X for *`.
     pub target: Option<TypeName>,
     /// Source location.
@@ -372,9 +390,9 @@ pub struct UsingFor {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TypeName {
     /// An elementary type (`uint256`, `address`, `address payable`, ...).
-    Elementary(String),
+    Elementary(Symbol),
     /// A user-defined (possibly qualified) type, path joined by `.`.
-    UserDefined(String),
+    UserDefined(Symbol),
     /// `mapping(K => V)`.
     Mapping(Box<TypeName>, Box<TypeName>),
     /// `T[]` or `T[n]` with the optional length expression.
@@ -393,14 +411,20 @@ pub enum TypeName {
 
 impl TypeName {
     /// Canonical display name used for normalization and type matching.
-    pub fn canonical(&self) -> String {
+    /// Borrowed (no allocation) for every shape except mappings and arrays,
+    /// whose composite form is built on demand.
+    pub fn canonical(&self) -> std::borrow::Cow<'static, str> {
         match self {
-            TypeName::Elementary(s) => s.clone(),
-            TypeName::UserDefined(s) => s.clone(),
-            TypeName::Mapping(k, v) => format!("mapping({}=>{})", k.canonical(), v.canonical()),
-            TypeName::Array(inner, _) => format!("{}[]", inner.canonical()),
-            TypeName::Function { .. } => "function".to_string(),
-            TypeName::Unknown => "uint".to_string(),
+            TypeName::Elementary(s) => std::borrow::Cow::Borrowed(s.as_str()),
+            TypeName::UserDefined(s) => std::borrow::Cow::Borrowed(s.as_str()),
+            TypeName::Mapping(k, v) => {
+                std::borrow::Cow::Owned(format!("mapping({}=>{})", k.canonical(), v.canonical()))
+            }
+            TypeName::Array(inner, _) => {
+                std::borrow::Cow::Owned(format!("{}[]", inner.canonical()))
+            }
+            TypeName::Function { .. } => std::borrow::Cow::Borrowed("function"),
+            TypeName::Unknown => std::borrow::Cow::Borrowed("uint"),
         }
     }
 
@@ -447,7 +471,7 @@ pub struct VarDeclPart {
     /// Data location.
     pub storage: Option<Storage>,
     /// Variable name.
-    pub name: String,
+    pub name: Symbol,
     /// Source location.
     pub span: Span,
 }
@@ -715,16 +739,16 @@ pub enum Lit {
     /// Numeric literal with an optional unit suffix (`1 ether`, `30 days`).
     Number {
         /// Digits as written (underscores removed).
-        value: String,
+        value: Symbol,
         /// Denomination or time unit, if present.
-        unit: Option<String>,
+        unit: Option<Symbol>,
     },
     /// String literal.
-    Str(String),
+    Str(Symbol),
     /// `true` / `false`.
     Bool(bool),
     /// `hex"..."` literal.
-    Hex(String),
+    Hex(Symbol),
 }
 
 /// Expression kinds.
@@ -772,19 +796,19 @@ pub enum ExprKind {
         /// Called expression.
         callee: Box<Expr>,
         /// `{value: .., gas: ..}` options in source order.
-        options: Vec<(String, Expr)>,
+        options: Vec<(Symbol, Expr)>,
         /// Positional arguments.
         args: Vec<Expr>,
         /// Argument names for `f({a: 1, b: 2})` named-call syntax, parallel
         /// to `args`; empty for positional calls.
-        arg_names: Vec<String>,
+        arg_names: Vec<Symbol>,
     },
     /// `base.member`
     Member {
         /// Base expression.
         base: Box<Expr>,
         /// Member name.
-        member: String,
+        member: Symbol,
     },
     /// `base[index]`; `index` may be `None` for array type expressions.
     Index {
@@ -794,7 +818,7 @@ pub enum ExprKind {
         index: Option<Box<Expr>>,
     },
     /// A plain identifier reference.
-    Ident(String),
+    Ident(Symbol),
     /// A literal.
     Literal(Lit),
     /// `(a, b)` tuple expression, entries may be empty (`(, b)`).
@@ -803,7 +827,7 @@ pub enum ExprKind {
     New(TypeName),
     /// An elementary type used as an expression, e.g. `address(this)`,
     /// `uint(x)`, `payable(msg.sender)`.
-    ElementaryType(String),
+    ElementaryType(Symbol),
     /// `...` placeholder in expression position.
     Ellipsis,
 }
@@ -816,6 +840,32 @@ impl Expr {
         crate::printer::print_expr(self)
     }
 
+    /// [`Expr::code`] as an interned [`Symbol`]. The expression is printed
+    /// into a thread-local scratch buffer, so repeated calls on the CPG
+    /// build hot path amortize the String allocation away.
+    pub fn code_sym(&self) -> Symbol {
+        // Leaf fast paths: the printed form of these is a symbol the AST
+        // already holds, so skip the print-and-rehash round trip entirely.
+        match &self.kind {
+            ExprKind::Ident(name) | ExprKind::ElementaryType(name) => return *name,
+            ExprKind::Literal(Lit::Number { value, unit: None }) => return *value,
+            ExprKind::Literal(Lit::Bool(b)) => {
+                return if *b { intern::sym::TRUE } else { intern::sym::FALSE }
+            }
+            _ => {}
+        }
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<String> =
+                const { std::cell::RefCell::new(String::new()) };
+        }
+        SCRATCH.with(|s| {
+            let mut buf = s.borrow_mut();
+            buf.clear();
+            crate::printer::print_expr_into(self, &mut buf);
+            Symbol::intern(&buf)
+        })
+    }
+
     /// Whether the expression is exactly the member chain `base.member`
     /// given as dotted text, e.g. `is_member_path("msg.sender")`.
     pub fn is_member_path(&self, path: &str) -> bool {
@@ -824,10 +874,10 @@ impl Expr {
 
     /// The rightmost name of the expression: for `a.b.c` this is `c`, for a
     /// call it is the callee's local name. Mirrors the CPG `localName`.
-    pub fn local_name(&self) -> Option<&str> {
+    pub fn local_name(&self) -> Option<Symbol> {
         match &self.kind {
-            ExprKind::Ident(name) => Some(name),
-            ExprKind::Member { member, .. } => Some(member),
+            ExprKind::Ident(name) => Some(*name),
+            ExprKind::Member { member, .. } => Some(*member),
             ExprKind::Call { callee, .. } => callee.local_name(),
             ExprKind::Index { base, .. } => base.local_name(),
             _ => None,
@@ -858,7 +908,7 @@ mod tests {
             },
             span: Span::DUMMY,
         };
-        assert_eq!(e.local_name(), Some("c"));
+        assert_eq!(e.local_name(), Some(Symbol::intern("c")));
     }
 
     #[test]
@@ -878,7 +928,7 @@ mod tests {
             },
             span: Span::DUMMY,
         };
-        assert_eq!(e.local_name(), Some("delegatecall"));
+        assert_eq!(e.local_name(), Some(Symbol::intern("delegatecall")));
     }
 
     #[test]

@@ -133,7 +133,7 @@ impl std::error::Error for AnalysisError {}
 
 impl From<ParseError> for AnalysisError {
     fn from(e: ParseError) -> Self {
-        AnalysisError::Parse { message: e.message, line: e.span.line, col: e.span.col }
+        AnalysisError::Parse { message: e.message, line: e.line, col: e.col }
     }
 }
 

@@ -1,0 +1,325 @@
+//! The pre-interning lexer, preserved verbatim as a differential-testing
+//! oracle.
+//!
+//! This is the `String`-allocating, line/column-tracking implementation the
+//! interned lexer in the parent module replaced. It is kept (not compiled
+//! out) so property tests can assert that the rebuilt lexer produces the
+//! same token text sequence, the same byte spans, the same newline flags
+//! and — via [`intern::LineIndex`] — the same line/column positions on
+//! arbitrary inputs. It is not part of the supported API.
+
+#![doc(hidden)]
+
+use crate::token::Keyword;
+
+/// A span as the old lexer produced it: byte offsets plus the 1-based
+/// line/column of the start, tracked per byte while lexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefSpan {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start`.
+    pub col: u32,
+}
+
+/// Token kinds with owned `String` payloads, as lexed before interning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefTokenKind {
+    /// Identifier or non-reserved word.
+    Ident(String),
+    /// Reserved keyword.
+    Keyword(Keyword),
+    /// Number literal (underscores stripped).
+    Number(String),
+    /// String literal, quotes stripped, escapes decoded.
+    Str(String),
+    /// Hex string literal, quotes stripped.
+    HexStr(String),
+    /// Punctuation or operator.
+    Punct(&'static str),
+    /// `...` / `…` placeholder.
+    Ellipsis,
+    /// End of input.
+    Eof,
+}
+
+impl RefTokenKind {
+    /// The textual form of the token, as `TokenKind::text` produced it
+    /// before the rebuild.
+    pub fn text(&self) -> String {
+        match self {
+            RefTokenKind::Ident(s) => s.clone(),
+            RefTokenKind::Keyword(k) => k.as_str().to_string(),
+            RefTokenKind::Number(s) => s.clone(),
+            RefTokenKind::Str(s) => format!("\"{s}\""),
+            RefTokenKind::HexStr(s) => format!("hex\"{s}\""),
+            RefTokenKind::Punct(p) => (*p).to_string(),
+            RefTokenKind::Ellipsis => "...".to_string(),
+            RefTokenKind::Eof => String::new(),
+        }
+    }
+}
+
+/// A token as the old lexer produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefToken {
+    /// What was lexed.
+    pub kind: RefTokenKind,
+    /// Where it was lexed from.
+    pub span: RefSpan,
+    /// Whether a newline separates this token from the previous one.
+    pub newline_before: bool,
+}
+
+const PUNCTS: &[&str] = &[
+    ">>>=", "<<=", ">>=", "**=", "...", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=",
+    "*=", "/=", "%=", "|=", "&=", "^=", "=>", "->", "++", "--", "**", "<<", ">>", "(",
+    ")", "{", "}", "[", "]", ";", ",", ".", "?", ":", "=", "+", "-", "*", "/", "%", "!",
+    "<", ">", "&", "|", "^", "~",
+];
+
+/// Tokenize `src` with the pre-interning algorithm. Infallible in practice,
+/// exactly like the old `lex` was.
+pub fn lex(src: &str) -> Vec<RefToken> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    newline_pending: bool,
+    tokens: Vec<RefToken>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            newline_pending: false,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<RefToken> {
+        while self.pos < self.bytes.len() {
+            self.skip_trivia();
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            self.next_token();
+        }
+        let span =
+            RefSpan { start: self.pos, end: self.pos, line: self.line, col: self.col };
+        self.push(RefTokenKind::Eof, span);
+        self.tokens
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek_at(&self, offset: usize) -> u8 {
+        self.bytes.get(self.pos + offset).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.newline_pending = true;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: RefTokenKind, span: RefSpan) {
+        let newline_before = std::mem::take(&mut self.newline_pending);
+        self.tokens.push(RefToken { kind, span, newline_before });
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek_at(1) == b'*' => {
+                    self.bump();
+                    self.bump();
+                    while self.pos < self.bytes.len() {
+                        if self.peek() == b'*' && self.peek_at(1) == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                0xE2 if self.peek_at(1) == 0x80 && self.peek_at(2) == 0xA6 => {
+                    let start = self.pos;
+                    let (line, col) = (self.line, self.col);
+                    self.pos += 3;
+                    self.col += 1;
+                    let span = RefSpan { start, end: self.pos, line, col };
+                    self.push(RefTokenKind::Ellipsis, span);
+                }
+                b if b >= 0x80 => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        let b = self.peek();
+
+        if b.is_ascii_alphabetic() || b == b'_' || b == b'$' {
+            self.lex_word(start, line, col);
+            return;
+        }
+        if b.is_ascii_digit() {
+            self.lex_number(start, line, col);
+            return;
+        }
+        if b == b'"' || b == b'\'' {
+            self.lex_string(start, line, col);
+            return;
+        }
+
+        for punct in PUNCTS {
+            if self.src[self.pos..].starts_with(punct) {
+                for _ in 0..punct.len() {
+                    self.bump();
+                }
+                let span = RefSpan { start, end: self.pos, line, col };
+                if *punct == "..." {
+                    self.push(RefTokenKind::Ellipsis, span);
+                } else {
+                    self.push(RefTokenKind::Punct(punct), span);
+                }
+                return;
+            }
+        }
+
+        self.bump();
+    }
+
+    fn lex_word(&mut self, start: usize, line: u32, col: u32) {
+        while {
+            let b = self.peek();
+            b.is_ascii_alphanumeric() || b == b'_' || b == b'$'
+        } {
+            self.bump();
+        }
+        let word = &self.src[start..self.pos];
+
+        if word == "hex" && (self.peek() == b'"' || self.peek() == b'\'') {
+            let quote = self.bump();
+            let content_start = self.pos;
+            while self.pos < self.bytes.len() && self.peek() != quote && self.peek() != b'\n'
+            {
+                self.bump();
+            }
+            let content = self.src[content_start..self.pos].to_string();
+            if self.peek() == quote {
+                self.bump();
+            }
+            let span = RefSpan { start, end: self.pos, line, col };
+            self.push(RefTokenKind::HexStr(content), span);
+            return;
+        }
+
+        let span = RefSpan { start, end: self.pos, line, col };
+        match Keyword::from_str(word) {
+            Some(kw) => self.push(RefTokenKind::Keyword(kw), span),
+            None => self.push(RefTokenKind::Ident(word.to_string()), span),
+        }
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32, col: u32) {
+        if self.peek() == b'0' && (self.peek_at(1) | 0x20) == b'x' {
+            self.bump();
+            self.bump();
+            while self.peek().is_ascii_hexdigit() || self.peek() == b'_' {
+                self.bump();
+            }
+        } else {
+            while self.peek().is_ascii_digit() || self.peek() == b'_' {
+                self.bump();
+            }
+            if self.peek() == b'.' && self.peek_at(1).is_ascii_digit() {
+                self.bump();
+                while self.peek().is_ascii_digit() || self.peek() == b'_' {
+                    self.bump();
+                }
+            }
+            if (self.peek() | 0x20) == b'e'
+                && (self.peek_at(1).is_ascii_digit()
+                    || (self.peek_at(1) == b'-' && self.peek_at(2).is_ascii_digit()))
+            {
+                self.bump();
+                if self.peek() == b'-' {
+                    self.bump();
+                }
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+        }
+        let span = RefSpan { start, end: self.pos, line, col };
+        let text = self.src[start..self.pos].replace('_', "");
+        self.push(RefTokenKind::Number(text), span);
+    }
+
+    fn lex_string(&mut self, start: usize, line: u32, col: u32) {
+        let quote = self.bump();
+        let mut content = String::new();
+        while self.pos < self.bytes.len() {
+            let b = self.peek();
+            if b == quote {
+                self.bump();
+                break;
+            }
+            if b == b'\n' {
+                break;
+            }
+            if b == b'\\' {
+                self.bump();
+                let escaped = self.bump();
+                content.push(match escaped {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'0' => '\0',
+                    other => other as char,
+                });
+                continue;
+            }
+            content.push(self.bump() as char);
+        }
+        let span = RefSpan { start, end: self.pos, line, col };
+        self.push(RefTokenKind::Str(content), span);
+    }
+}

@@ -13,7 +13,9 @@
 use crate::ast::*;
 use crate::lexer::{lex, LexError};
 use crate::span::Span;
-use crate::token::{is_elementary_type, Keyword, Token, TokenKind};
+use crate::token::{is_elementary_type_sym, Keyword, Token, TokenKind};
+use intern::{LineIndex, Symbol};
+use std::sync::Arc;
 use telemetry::Counter;
 
 /// Tolerant (snippet-grammar) parses started.
@@ -60,11 +62,19 @@ pub struct ParseError {
     pub message: String,
     /// Location of the offending token.
     pub span: Span,
+    /// 1-based line of the offending token (0 when unknown).
+    pub line: u32,
+    /// 1-based byte column of the offending token (0 when unknown).
+    pub col: u32,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}: {}", self.span, self.message)
+        if self.line > 0 {
+            write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "parse error at {}: {}", self.span, self.message)
+        }
     }
 }
 
@@ -72,7 +82,7 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, span: e.span }
+        ParseError { message: e.message, span: e.span, line: 0, col: 0 }
     }
 }
 
@@ -94,7 +104,7 @@ pub fn parse_snippet(src: &str) -> Result<SourceUnit, ParseError> {
 pub fn parse_with(src: &str, opts: ParserOptions) -> Result<SourceUnit, ParseError> {
     let result = (|| {
         if let Some(message) = faultinject::fire("parse") {
-            return Err(ParseError { message, span: Span::DUMMY });
+            return Err(ParseError { message, span: Span::DUMMY, line: 0, col: 0 });
         }
         let tokens = lex(src)?;
         if telemetry::enabled() && opts.placeholders {
@@ -102,7 +112,8 @@ pub fn parse_with(src: &str, opts: ParserOptions) -> Result<SourceUnit, ParseErr
                 tokens.iter().filter(|t| matches!(t.kind, TokenKind::Ellipsis)).count();
             PARSE_PLACEHOLDERS.add(placeholders as u64);
         }
-        Parser { tokens, pos: 0, opts, depth: 0 }.source_unit()
+        let line_index = Arc::new(LineIndex::new(src));
+        Parser { tokens, pos: 0, opts, depth: 0, line_index }.source_unit()
     })();
     if result.is_err() {
         PARSE_ERRORS.incr();
@@ -115,6 +126,7 @@ struct Parser {
     pos: usize,
     opts: ParserOptions,
     depth: usize,
+    line_index: Arc<LineIndex>,
 }
 
 impl Parser {
@@ -137,7 +149,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)];
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -179,17 +191,16 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> PResult<(String, Span)> {
-        match &self.peek().kind {
+    fn expect_ident(&mut self) -> PResult<(Symbol, Span)> {
+        match self.peek().kind {
             TokenKind::Ident(s) => {
-                let s = s.clone();
                 let span = self.bump().span;
                 Ok((s, span))
             }
             // Some keywords double as identifiers in practice (e.g. a
             // variable named `error` pre-0.8); accept soft keywords.
             TokenKind::Keyword(k @ (Keyword::Error | Keyword::Receive | Keyword::Fallback)) => {
-                let s = k.as_str().to_string();
+                let s = Symbol::intern(k.as_str());
                 let span = self.bump().span;
                 Ok((s, span))
             }
@@ -219,7 +230,13 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, span: self.span() }
+        let span = self.span();
+        let (line, col) = if span.is_dummy() {
+            (0, 0)
+        } else {
+            self.line_index.line_col(span.start)
+        };
+        ParseError { message, span, line, col }
     }
 
     // ----- source unit -----------------------------------------------------
@@ -235,11 +252,11 @@ impl Parser {
             }
             items.push(self.source_item()?);
         }
-        Ok(SourceUnit { items })
+        Ok(SourceUnit { items, line_index: Arc::clone(&self.line_index) })
     }
 
     fn source_item(&mut self) -> PResult<SourceItem> {
-        match self.peek().kind.clone() {
+        match self.peek().kind {
             TokenKind::Keyword(Keyword::Pragma) => self.pragma().map(SourceItem::Pragma),
             TokenKind::Keyword(Keyword::Import) => self.import().map(SourceItem::Import),
             TokenKind::Keyword(
@@ -313,19 +330,19 @@ impl Parser {
             value.push_str(&t.kind.text());
         }
         self.eat_punct(";");
-        Ok(Pragma { name, value, span: start.to(end) })
+        Ok(Pragma { name, value: Symbol::intern(&value), span: start.to(end) })
     }
 
-    fn import(&mut self) -> PResult<String> {
+    fn import(&mut self) -> PResult<Symbol> {
         self.bump(); // `import`
-        let mut path = String::new();
+        let mut path = Symbol::default();
         while !self.at_punct(";") && !self.at_eof() {
             if self.opts.newline_semi && self.peek().newline_before {
                 break;
             }
             let t = self.bump();
-            if let TokenKind::Str(s) = &t.kind {
-                path = s.clone();
+            if let TokenKind::Str(s) = t.kind {
+                path = s;
             }
         }
         self.eat_punct(";");
@@ -380,7 +397,7 @@ impl Parser {
     }
 
     fn contract_part(&mut self) -> PResult<ContractPart> {
-        match self.peek().kind.clone() {
+        match self.peek().kind {
             TokenKind::Ellipsis if self.opts.placeholders => {
                 let span = self.bump().span;
                 self.eat_punct(";");
@@ -473,8 +490,8 @@ impl Parser {
         } else {
             self.bump(); // `function`
             kind = FunctionKind::Function;
-            if let TokenKind::Ident(n) = &self.peek().kind {
-                name = Some(n.clone());
+            if let TokenKind::Ident(n) = self.peek().kind {
+                name = Some(n);
                 self.bump();
             }
         }
@@ -491,7 +508,7 @@ impl Parser {
         let mut modifiers = Vec::new();
         let mut returns = Vec::new();
         loop {
-            match self.peek().kind.clone() {
+            match self.peek().kind {
                 TokenKind::Keyword(k) if k.is_visibility() => {
                     visibility = Some(visibility_of(k));
                     self.bump();
@@ -613,8 +630,8 @@ impl Parser {
         }
         let mut name = None;
         let mut end = start;
-        if let TokenKind::Ident(n) = &self.peek().kind {
-            name = Some(n.clone());
+        if let TokenKind::Ident(n) = self.peek().kind {
+            name = Some(n);
             end = self.bump().span;
         }
         Ok(Param { ty, storage, name, indexed, span: start.to(end) })
@@ -645,8 +662,8 @@ impl Parser {
         self.expect_punct("{")?;
         let mut variants = Vec::new();
         while !self.at_punct("}") && !self.at_eof() {
-            if let TokenKind::Ident(v) = &self.peek().kind {
-                variants.push(v.clone());
+            if let TokenKind::Ident(v) = self.peek().kind {
+                variants.push(v);
                 self.bump();
             } else {
                 self.bump();
@@ -691,15 +708,19 @@ impl Parser {
 
     // ----- types -------------------------------------------------------------
 
-    fn qualified_name(&mut self) -> PResult<String> {
-        let (mut name, _) = self.expect_ident()?;
+    fn qualified_name(&mut self) -> PResult<Symbol> {
+        let (first, _) = self.expect_ident()?;
+        if !(self.at_punct(".") && matches!(self.peek_at(1).kind, TokenKind::Ident(_))) {
+            return Ok(first);
+        }
+        let mut name = first.as_str().to_string();
         while self.at_punct(".") && matches!(self.peek_at(1).kind, TokenKind::Ident(_)) {
             self.bump();
             let (part, _) = self.expect_ident()?;
             name.push('.');
             name.push_str(&part);
         }
-        Ok(name)
+        Ok(Symbol::intern(&name))
     }
 
     fn type_name(&mut self) -> PResult<TypeName> {
@@ -719,7 +740,7 @@ impl Parser {
     }
 
     fn base_type(&mut self) -> PResult<TypeName> {
-        match self.peek().kind.clone() {
+        match self.peek().kind {
             TokenKind::Keyword(Keyword::Mapping) => {
                 self.bump();
                 self.expect_punct("(")?;
@@ -796,7 +817,7 @@ impl Parser {
                 Ok(TypeName::Function { params, returns })
             }
             TokenKind::Ident(word) => {
-                if is_elementary_type(&word) {
+                if is_elementary_type_sym(word) {
                     self.bump();
                     Ok(TypeName::Elementary(word))
                 } else {
@@ -832,7 +853,9 @@ impl Parser {
 
     fn block(&mut self) -> PResult<Block> {
         let start = self.expect_punct("{")?;
-        let mut statements = Vec::new();
+        // Typical blocks in the study corpus hold a handful of statements;
+        // `Statement` is large, so skipping the 1/2/4 growth steps matters.
+        let mut statements = Vec::with_capacity(8);
         while !self.at_punct("}") && !self.at_eof() {
             if self.eat_punct(";") {
                 continue;
@@ -852,7 +875,7 @@ impl Parser {
 
     fn statement_inner(&mut self) -> PResult<Statement> {
         let start = self.span();
-        let kind = match self.peek().kind.clone() {
+        let kind = match self.peek().kind {
             TokenKind::Ellipsis if self.opts.placeholders => {
                 self.bump();
                 self.eat_punct(";");
@@ -1329,12 +1352,12 @@ impl Parser {
     fn postfix(&mut self) -> PResult<Expr> {
         let mut expr = self.primary()?;
         loop {
-            match self.peek().kind.clone() {
+            match self.peek().kind {
                 TokenKind::Punct(".") => {
                     self.bump();
                     // `.value(x)` legacy call options chain naturally as
                     // member + call.
-                    let member = match self.peek().kind.clone() {
+                    let member = match self.peek().kind {
                         TokenKind::Ident(m) => {
                             self.bump();
                             m
@@ -1343,11 +1366,11 @@ impl Parser {
                         // collide with keywords.
                         TokenKind::Keyword(k) => {
                             self.bump();
-                            k.as_str().to_string()
+                            Symbol::intern(k.as_str())
                         }
                         TokenKind::Ellipsis if self.opts.placeholders => {
                             self.bump();
-                            "...".to_string()
+                            Symbol::intern("...")
                         }
                         _ => {
                             return Err(self.error(format!(
@@ -1440,18 +1463,18 @@ impl Parser {
             && matches!(self.peek_at(2).kind, TokenKind::Punct(":"))
     }
 
-    fn call_options(&mut self) -> PResult<Vec<(String, Expr)>> {
+    fn call_options(&mut self) -> PResult<Vec<(Symbol, Expr)>> {
         self.expect_punct("{")?;
         let mut options = Vec::new();
         while !self.at_punct("}") && !self.at_eof() {
-            let name = match self.peek().kind.clone() {
+            let name = match self.peek().kind {
                 TokenKind::Ident(n) => {
                     self.bump();
                     n
                 }
                 TokenKind::Keyword(k) => {
                     self.bump();
-                    k.as_str().to_string()
+                    Symbol::intern(k.as_str())
                 }
                 _ => return Err(self.error("expected call option name".into())),
             };
@@ -1470,7 +1493,7 @@ impl Parser {
         Ok(self.call_args_named()?.0)
     }
 
-    fn call_args_named(&mut self) -> PResult<(Vec<Expr>, Vec<String>)> {
+    fn call_args_named(&mut self) -> PResult<(Vec<Expr>, Vec<Symbol>)> {
         self.expect_punct("(")?;
         let mut args = Vec::new();
         let mut names = Vec::new();
@@ -1501,12 +1524,12 @@ impl Parser {
 
     fn primary(&mut self) -> PResult<Expr> {
         let start = self.span();
-        let kind = match self.peek().kind.clone() {
+        let kind = match self.peek().kind {
             TokenKind::Number(n) => {
                 self.bump();
-                let unit = match &self.peek().kind {
+                let unit = match self.peek().kind {
                     TokenKind::Keyword(k) if k.is_denomination() || k.is_time_unit() => {
-                        let u = k.as_str().to_string();
+                        let u = Symbol::intern(k.as_str());
                         self.bump();
                         Some(u)
                     }
@@ -1570,7 +1593,7 @@ impl Parser {
                 ExprKind::Ident("throw".into())
             }
             TokenKind::Ident(word) => {
-                if is_elementary_type(&word) {
+                if is_elementary_type_sym(word) {
                     self.bump();
                     ExprKind::ElementaryType(word)
                 } else {
@@ -1932,7 +1955,7 @@ mod tests {
         let StatementKind::Expression(e) = &s.kind else { panic!() };
         let ExprKind::Call { args, arg_names, .. } = &e.kind else { panic!() };
         assert_eq!(args.len(), 2);
-        assert_eq!(arg_names, &["a".to_string(), "b".to_string()]);
+        assert_eq!(arg_names, &["a", "b"]);
     }
 
     #[test]

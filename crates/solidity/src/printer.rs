@@ -13,56 +13,71 @@ use crate::ast::*;
 
 /// Print a full source unit.
 pub fn print_unit(unit: &SourceUnit) -> String {
-    let mut p = Printer::new();
+    let mut out = String::new();
+    let mut p = Printer::new(&mut out);
     for item in &unit.items {
         p.item(item);
     }
-    p.out
+    out
 }
 
 /// Print a single expression in canonical form (`msg.sender`, `a + b`, ...).
 pub fn print_expr(expr: &Expr) -> String {
-    let mut p = Printer::new();
-    p.expr(expr);
-    p.out
+    let mut out = String::new();
+    print_expr_into(expr, &mut out);
+    out
+}
+
+/// Print an expression into an existing buffer (appended, not cleared).
+///
+/// The CPG builder prints a `code` string for every expression node; going
+/// through one reused scratch buffer instead of a fresh `String` per node
+/// keeps that loop allocation-free.
+pub fn print_expr_into(expr: &Expr, out: &mut String) {
+    Printer::new(out).expr(expr);
 }
 
 /// Print a single statement in canonical form.
 pub fn print_stmt(stmt: &Statement) -> String {
-    let mut p = Printer::new();
-    p.stmt(stmt);
-    p.out
+    let mut out = String::new();
+    Printer::new(&mut out).stmt(stmt);
+    out
 }
 
 /// Print a type name.
 pub fn print_type(ty: &TypeName) -> String {
-    let mut p = Printer::new();
-    p.ty(ty);
-    p.out
+    let mut out = String::new();
+    print_type_into(ty, &mut out);
+    out
+}
+
+/// Print a type name into an existing buffer (appended, not cleared).
+pub fn print_type_into(ty: &TypeName, out: &mut String) {
+    Printer::new(out).ty(ty);
 }
 
 /// Print a function definition, including its header and body.
 pub fn print_function(f: &FunctionDef) -> String {
-    let mut p = Printer::new();
-    p.function(f);
-    p.out
+    let mut out = String::new();
+    Printer::new(&mut out).function(f);
+    out
 }
 
 /// Print a contract definition.
 pub fn print_contract(c: &ContractDef) -> String {
-    let mut p = Printer::new();
-    p.contract(c);
-    p.out
+    let mut out = String::new();
+    Printer::new(&mut out).contract(c);
+    out
 }
 
-struct Printer {
-    out: String,
+struct Printer<'a> {
+    out: &'a mut String,
     indent: usize,
 }
 
-impl Printer {
-    fn new() -> Self {
-        Printer { out: String::new(), indent: 0 }
+impl<'a> Printer<'a> {
+    fn new(out: &'a mut String) -> Self {
+        Printer { out, indent: 0 }
     }
 
     fn push(&mut self, s: &str) {

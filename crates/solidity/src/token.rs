@@ -1,21 +1,27 @@
 //! Token definitions for the Solidity lexer.
 
 use crate::span::Span;
+use intern::Symbol;
+use std::borrow::Cow;
 use std::fmt;
 
 /// The kind of a lexed token.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// All textual payloads are interned [`Symbol`]s, so tokens are 16-byte
+/// `Copy` values: cloning a token stream, bumping the parser cursor and
+/// comparing token texts are all integer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TokenKind {
     /// Identifier or non-reserved word.
-    Ident(String),
+    Ident(Symbol),
     /// Reserved keyword (`contract`, `function`, `require`, ...).
     Keyword(Keyword),
     /// Decimal or hexadecimal number literal, including scientific notation.
-    Number(String),
+    Number(Symbol),
     /// String literal, with quotes stripped.
-    Str(String),
+    Str(Symbol),
     /// Hex string literal `hex"..."`, with quotes stripped.
-    HexStr(String),
+    HexStr(Symbol),
     /// A punctuation or operator token, e.g. `+`, `==`, `=>`.
     Punct(&'static str),
     /// A `...`/`…` placeholder signaling elided code in a snippet.
@@ -26,22 +32,26 @@ pub enum TokenKind {
 
 impl TokenKind {
     /// Return the textual form of the token as it would appear in source.
-    pub fn text(&self) -> String {
+    ///
+    /// Borrowed for every kind except string literals, whose quoted source
+    /// form is reconstructed on demand — `text()` no longer allocates on
+    /// the identifier/number/keyword hot path.
+    pub fn text(&self) -> Cow<'static, str> {
         match self {
-            TokenKind::Ident(s) => s.clone(),
-            TokenKind::Keyword(k) => k.as_str().to_string(),
-            TokenKind::Number(s) => s.clone(),
-            TokenKind::Str(s) => format!("\"{s}\""),
-            TokenKind::HexStr(s) => format!("hex\"{s}\""),
-            TokenKind::Punct(p) => (*p).to_string(),
-            TokenKind::Ellipsis => "...".to_string(),
-            TokenKind::Eof => String::new(),
+            TokenKind::Ident(s) => Cow::Borrowed(s.as_str()),
+            TokenKind::Keyword(k) => Cow::Borrowed(k.as_str()),
+            TokenKind::Number(s) => Cow::Borrowed(s.as_str()),
+            TokenKind::Str(s) => Cow::Owned(format!("\"{s}\"")),
+            TokenKind::HexStr(s) => Cow::Owned(format!("hex\"{s}\"")),
+            TokenKind::Punct(p) => Cow::Borrowed(p),
+            TokenKind::Ellipsis => Cow::Borrowed("..."),
+            TokenKind::Eof => Cow::Borrowed(""),
         }
     }
 }
 
 /// A token with its source span and layout information.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
@@ -211,6 +221,30 @@ impl Keyword {
                 | Keyword::Years
         )
     }
+}
+
+/// Symbol-keyed variant of [`is_elementary_type`]: one integer set probe
+/// against the (closed) set of elementary type names. Only the open-ended
+/// `fixedMxN`/`ufixedMxN` family falls back to text parsing.
+pub fn is_elementary_type_sym(word: intern::Symbol) -> bool {
+    use std::sync::OnceLock;
+    static ELEMENTARY: OnceLock<intern::FxHashSet<intern::Symbol>> = OnceLock::new();
+    let set = ELEMENTARY.get_or_init(|| {
+        let mut set = intern::FxHashSet::default();
+        for base in ["address", "bool", "string", "var", "byte", "bytes", "uint", "int",
+                     "fixed", "ufixed"] {
+            set.insert(intern::Symbol::intern(base));
+        }
+        for bits in (8..=256).step_by(8) {
+            set.insert(intern::Symbol::intern(&format!("uint{bits}")));
+            set.insert(intern::Symbol::intern(&format!("int{bits}")));
+        }
+        for n in 1..=32 {
+            set.insert(intern::Symbol::intern(&format!("bytes{n}")));
+        }
+        set
+    });
+    set.contains(&word) || fixed_point(word.as_str())
 }
 
 /// Check whether a word names an elementary Solidity type (including the
