@@ -41,6 +41,51 @@ wait "$SERVE_PID"
 grep -q "drained and stopped" /tmp/serve_ci.log
 rm -f "$PORT_FILE"
 
+# Observability smoke: restart the daemon with tracing on and an access
+# log, validate the full /metrics Prometheus exposition, send a traced
+# request with a caller-chosen X-Trace-Id, and require the echoed id, the
+# buffered span tree (parse/cpg-build/query spans, plain and Chrome
+# formats) and the access-log line for the request.
+PORT_FILE=$(mktemp)
+ACCESS_LOG=$(mktemp)
+./target/release/serve --port 0 --port-file "$PORT_FILE" --corpus 16 \
+  --access-log "$ACCESS_LOG" >/tmp/serve_obs.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "obs serve never wrote its port"; cat /tmp/serve_obs.log; exit 1; }
+OBS_ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+./target/release/loadgen --observability --no-append --addr "$OBS_ADDR"
+# Independent curl-level check of the same contract: exposition content
+# type, a counter for the traced scan, and the trace id echo. (Bodies are
+# saved to files before grepping: `grep -q` closing the pipe early would
+# otherwise make curl fail with a write error under pipefail.)
+curl -sf "http://$OBS_ADDR/metrics" -o /tmp/obs_metrics.txt
+grep -q '^http_requests_total{' /tmp/obs_metrics.txt \
+  || { echo "metrics missing http_requests_total"; exit 1; }
+curl -sfD /tmp/obs_headers.txt -o /dev/null -X POST \
+  -H "X-Trace-Id: 00000000c1c1c1c1" \
+  --data '{"v":1,"kind":"scan","source":"function g(address a) public { a.send(3); }"}' \
+  "http://$OBS_ADDR/v1/scan" 2>/dev/null || true
+grep -qi "x-trace-id: 00000000c1c1c1c1" /tmp/obs_headers.txt \
+  || { echo "daemon did not echo X-Trace-Id"; cat /tmp/obs_headers.txt; exit 1; }
+curl -sf "http://$OBS_ADDR/debug/trace/00000000c1c1c1c1" -o /tmp/obs_trace.txt
+grep -q '"trace_id":"00000000c1c1c1c1"' /tmp/obs_trace.txt \
+  || { echo "trace not fetchable by id"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "drained and stopped" /tmp/serve_obs.log
+grep -q '"outcome":"ok"' "$ACCESS_LOG" || { echo "access log empty"; cat "$ACCESS_LOG"; exit 1; }
+rm -f "$PORT_FILE" "$ACCESS_LOG"
+
+# Tracing-overhead gate: measure the serve/loadgen burst with tracing off
+# and on against one warm in-process daemon; tracing on must keep at
+# least 95% of the untraced throughput. Measures only (no append), so CI
+# runs do not rewrite the committed trajectory.
+./target/release/loadgen --trace-overhead --no-append --requests 192 --concurrency 8
+
 # Chaos smoke: restart the daemon under an armed fault plan (every
 # in-process injection point at 1-5% rates plus request-level errors),
 # drive it with the retrying chaos loadgen, and require (a) zero requests

@@ -165,6 +165,7 @@ impl Checker {
         static DETECTOR_PANICS: telemetry::Counter =
             telemetry::Counter::new("ccc.detector_panics");
         let _span = telemetry::span("ccc/check");
+        let _stage = telemetry::trace::stage("ccc-check");
         CHECKS.incr();
         let ctx = Ctx::new(cpg, self.config.max_path);
         let queries: &[QueryId] = match &self.config.queries {

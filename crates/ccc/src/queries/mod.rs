@@ -23,7 +23,11 @@ pub fn run_query(ctx: &Ctx, query: QueryId) -> Vec<Finding> {
     } else {
         None
     };
+    let _stage = telemetry::trace::stage(query.name());
     let findings = dispatch_query(ctx, query);
+    if !findings.is_empty() {
+        telemetry::trace::annotate("findings", findings.len());
+    }
     if telemetry::enabled() && !findings.is_empty() {
         telemetry::counter_add(&format!("ccc.findings.{query:?}"), findings.len() as u64);
     }

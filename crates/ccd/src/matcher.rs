@@ -189,6 +189,7 @@ impl CloneDetector {
         static FINGERPRINTS: telemetry::Counter = telemetry::Counter::new("ccd.fingerprints");
         static FAILURES: telemetry::Counter =
             telemetry::Counter::new("ccd.fingerprint_failures");
+        let _stage = telemetry::trace::stage("ccd-fingerprint");
         let fingerprint = (|| {
             let mut unit = solidity::parse_snippet(source)?;
             normalize_unit(&mut unit);
@@ -246,6 +247,7 @@ impl CloneDetector {
         static QUERIES: telemetry::Counter = telemetry::Counter::new("ccd.matcher.queries");
         static MATCHES: telemetry::Counter = telemetry::Counter::new("ccd.matcher.matches");
         QUERIES.incr();
+        let _stage = telemetry::trace::stage("ccd-match");
         // Chaos hook: matching is infallible, so an injected *error* at
         // `ccd/match` escalates to a panic for the isolation layer.
         if let Some(message) = faultinject::fire("ccd/match") {
@@ -253,6 +255,7 @@ impl CloneDetector {
         }
         let candidates = self.index.candidates(&query.indexed_text(), self.params.eta);
         let candidate_set: std::collections::HashSet<DocId> = candidates.into_iter().collect();
+        telemetry::trace::annotate("candidates", candidate_set.len());
         let mut matches: Vec<CloneMatch> = self
             .fingerprints
             .iter()

@@ -86,7 +86,9 @@ impl Cpg {
         static EDGES: telemetry::Counter = telemetry::Counter::new("cpg.edges");
         static INFERRED: telemetry::Counter = telemetry::Counter::new("cpg.inferred_decls");
         let _span = telemetry::span("cpg/build");
+        let _stage = telemetry::trace::stage("cpg-build");
         let cpg = Builder::new(unit, options).build(unit);
+        telemetry::trace::annotate("nodes", cpg.graph.node_count());
         if telemetry::enabled() {
             BUILDS.incr();
             NODES.add(cpg.graph.node_count() as u64);

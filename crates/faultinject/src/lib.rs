@@ -261,15 +261,18 @@ impl FaultPlan {
             match fault {
                 Fired::DelayMs(ms) => {
                     DELAYS.fetch_add(1, Ordering::Relaxed);
+                    telemetry::trace::annotate("fault_delay_ms", ms);
                     std::thread::sleep(Duration::from_millis(ms));
                 }
                 Fired::Panic(message) => {
                     PANICS.fetch_add(1, Ordering::Relaxed);
+                    telemetry::trace::annotate("fault_panic", &message);
                     panic!("{message}");
                 }
                 Fired::Error(message) => {
                     if error.is_none() {
                         ERRORS.fetch_add(1, Ordering::Relaxed);
+                        telemetry::trace::annotate("fault_error", &message);
                         error = Some(message);
                     }
                 }

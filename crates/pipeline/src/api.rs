@@ -133,6 +133,47 @@ fn parse_detector_names<S: AsRef<str>>(names: &[S]) -> Result<Vec<QueryId>, Anal
         .collect()
 }
 
+/// Per-request trace identity carried alongside an [`AnalysisRequest`]
+/// through the facade.
+///
+/// The server's ingress builds one from the `X-Trace-Id` header;
+/// programmatic callers use [`TraceContext::none`] (a fresh id is minted
+/// if tracing is on) or [`TraceContext::with_id`] to correlate with an
+/// outer system. [`AnalysisEngine::analyze_traced`] opens the request's
+/// root span from it; the analysis stages below (parse, CPG build/expand,
+/// query eval, CCC detectors, CCD fingerprint/match) attach their spans
+/// via the thread-local set up by that root, so the context never needs
+/// to thread through their signatures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id to adopt; `None` mints a fresh id when tracing is on.
+    pub trace_id: Option<telemetry::trace::TraceId>,
+}
+
+impl TraceContext {
+    /// No caller-supplied id (mint one if tracing is enabled).
+    pub fn none() -> TraceContext {
+        TraceContext { trace_id: None }
+    }
+
+    /// Adopt an explicit trace id.
+    pub fn with_id(id: telemetry::trace::TraceId) -> TraceContext {
+        TraceContext { trace_id: Some(id) }
+    }
+
+    /// Parse a caller-supplied hex id (e.g. an `X-Trace-Id` header
+    /// value); unparseable input falls back to [`TraceContext::none`].
+    pub fn from_hex(hex: &str) -> TraceContext {
+        TraceContext { trace_id: telemetry::trace::TraceId::from_hex(hex) }
+    }
+
+    /// The id this context resolves to: the adopted id, or a freshly
+    /// minted one.
+    pub fn resolve(self) -> telemetry::trace::TraceId {
+        self.trace_id.unwrap_or_else(telemetry::trace::new_trace_id)
+    }
+}
+
 /// A typed analysis request — the facade's single entry point.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalysisRequest {
@@ -567,10 +608,41 @@ impl AnalysisEngine {
     /// Run one request to completion, applying the configured per-request
     /// timeout (if any) from this call's start.
     pub fn analyze(&self, request: &AnalysisRequest) -> Result<AnalysisResponse, AnalysisError> {
-        let deadline = self
-            .config
+        self.analyze_deadline(request, self.deadline_from_now())
+    }
+
+    /// The deadline a request starting now would run under, per the
+    /// configured per-request timeout (`None` when unlimited). Callers
+    /// that do their own pre-work before [`analyze_deadline`] (e.g. the
+    /// server parsing the request body) use this to start the clock early.
+    ///
+    /// [`analyze_deadline`]: AnalysisEngine::analyze_deadline
+    pub fn deadline_from_now(&self) -> Option<Instant> {
+        self.config
             .timeout_ms
-            .map(|ms| Instant::now() + Duration::from_millis(ms));
+            .map(|ms| Instant::now() + Duration::from_millis(ms))
+    }
+
+    /// Run one request under an explicit [`TraceContext`]: opens the
+    /// request's root trace span (adopting the context's id, or minting
+    /// one) unless this thread already has an active trace — the server
+    /// ingress opens the trace earlier to also cover request parsing, and
+    /// then this call is a no-op wrapper around [`analyze_deadline`].
+    ///
+    /// [`analyze_deadline`]: AnalysisEngine::analyze_deadline
+    pub fn analyze_traced(
+        &self,
+        request: &AnalysisRequest,
+        trace: TraceContext,
+        deadline: Option<Instant>,
+    ) -> Result<AnalysisResponse, AnalysisError> {
+        // Resolve the id only when tracing is on, so the disabled path
+        // neither allocates nor consumes ids from a seeded sequence.
+        let _trace = if telemetry::trace::enabled() {
+            telemetry::trace::start(trace.resolve(), "analyze")
+        } else {
+            telemetry::trace::TraceGuard::inert()
+        };
         self.analyze_deadline(request, deadline)
     }
 
@@ -603,8 +675,10 @@ impl AnalysisEngine {
             PANICS.incr();
             Err(AnalysisError::from_panic(payload, "analysis request"))
         });
-        if result.is_err() {
+        if let Err(e) = &result {
             ERRORS.incr();
+            telemetry::trace::annotate("error_code", e.code());
+            telemetry::trace::mark_error();
         }
         result
     }
@@ -692,9 +766,11 @@ impl AnalysisEngine {
             .get(key)
         {
             HITS.incr();
+            telemetry::trace::annotate("cpg_cache", "hit");
             return Ok(cpg);
         }
         MISSES.incr();
+        telemetry::trace::annotate("cpg_cache", "miss");
         let cpg = Arc::new(Cpg::from_snippet(source)?);
         self.cache
             .lock()

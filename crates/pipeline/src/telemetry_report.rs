@@ -73,8 +73,8 @@ pub fn render(snapshot: &Snapshot) -> String {
                 hist.count.to_string(),
                 hist.sum.to_string(),
                 format!("{mean:.1}"),
-                bucket_bound(&hist.buckets, hist.count.div_ceil(2)),
-                bucket_bound(&hist.buckets, hist.count),
+                bucket_bound(hist.layout, &hist.buckets, hist.count.div_ceil(2)),
+                bucket_bound(hist.layout, &hist.buckets, hist.count),
             ]);
         }
         if !out.is_empty() {
@@ -86,13 +86,16 @@ pub fn render(snapshot: &Snapshot) -> String {
 }
 
 /// Inclusive upper bound of the bucket holding the `rank`-th observation
-/// (1-based); buckets are powers of two (bucket 0 ⇒ value 0).
-fn bucket_bound(buckets: &[u64], rank: u64) -> String {
+/// (1-based), under the histogram's own bucket layout.
+fn bucket_bound(layout: telemetry::BucketLayout, buckets: &[u64], rank: u64) -> String {
     let mut seen = 0u64;
     for (i, n) in buckets.iter().enumerate() {
         seen += n;
         if seen >= rank.max(1) {
-            return if i == 0 { "0".to_string() } else { (1u64 << i).saturating_sub(1).to_string() };
+            return match layout.upper_bound(i) {
+                Some(upper) => upper.to_string(),
+                None => "∞".to_string(),
+            };
         }
     }
     "∞".to_string()
@@ -116,6 +119,7 @@ mod tests {
                 name: "par.tasks_per_worker".into(),
                 count: 2,
                 sum: 10,
+                layout: telemetry::BucketLayout::Pow2,
                 buckets: {
                     let mut b = vec![0u64; 32];
                     b[3] = 2; // two observations in [4, 7]

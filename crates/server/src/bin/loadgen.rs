@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency N]
 //!         [--out PATH] [--no-append] [--smoke] [--chaos]
+//!         [--observability] [--trace-overhead]
 //! ```
 //!
 //! Drives a running daemon (`--addr`) or spins up an in-process one on an
@@ -19,6 +20,20 @@
 //! on transport-level breakage the retry budget cannot absorb or on
 //! responses that do not decode — i.e. exactly the failure modes fault
 //! isolation is supposed to prevent. No trajectory point is appended.
+//!
+//! `--observability` is the tracing/metrics smoke: fires a traced scan
+//! with a caller-chosen `X-Trace-Id`, asserts the id is echoed, fetches
+//! the span tree from `/debug/trace/<id>` (plain and Chrome formats),
+//! checks `/debug/traces/recent`, and validates the full `/metrics`
+//! Prometheus exposition including the per-endpoint RED series. Ids must
+//! also appear on error responses. In-process daemons get tracing
+//! enabled automatically; external ones must run with tracing on.
+//!
+//! `--trace-overhead` is the performance gate: runs the measured burst
+//! twice against an in-process daemon — tracing off, then on — and fails
+//! if tracing costs more than 5% throughput (one re-measure on a miss,
+//! since a single burst is noisy). Appends both points to the trajectory
+//! file tagged `"tracing": "off"/"on"`.
 
 use corpus::honeypots::honeypot_dataset;
 use pipeline::api::{AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse};
@@ -46,6 +61,8 @@ struct Args {
     append: bool,
     smoke: bool,
     chaos: bool,
+    observability: bool,
+    trace_overhead: bool,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +75,8 @@ fn parse_args() -> Args {
         append: true,
         smoke: false,
         chaos: false,
+        observability: false,
+        trace_overhead: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -96,6 +115,14 @@ fn parse_args() -> Args {
                 args.chaos = true;
                 i += 1;
             }
+            "--observability" => {
+                args.observability = true;
+                i += 1;
+            }
+            "--trace-overhead" => {
+                args.trace_overhead = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -111,6 +138,12 @@ fn parse_args() -> Args {
         // the trajectory file.
         args.append = false;
     }
+    if args.trace_overhead && args.addr.is_some() {
+        // The gate toggles the process-global tracing switch, which only
+        // reaches an in-process daemon.
+        eprintln!("--trace-overhead drives its own in-process daemon; drop --addr");
+        std::process::exit(2);
+    }
     args
 }
 
@@ -118,22 +151,27 @@ fn main() {
     let args = parse_args();
     let dataset = honeypot_dataset(HONEYPOT_SEED);
 
+    if args.observability || args.trace_overhead {
+        // Both modes read the process-wide metric registry; the traced
+        // smoke additionally needs span buffering in the in-process
+        // daemon.
+        telemetry::enable();
+    }
+    if args.observability && args.addr.is_none() {
+        telemetry::trace::set_enabled(true);
+        telemetry::trace::init_from_env();
+    }
+    if args.trace_overhead {
+        trace_overhead_gate(&args, &dataset);
+        return;
+    }
+
     // Resolve a target: external daemon or an in-process one.
     let mut in_process: Option<(server::ShutdownHandle, std::thread::JoinHandle<()>)> = None;
     let addr = match &args.addr {
         Some(addr) => addr.clone(),
         None => {
-            let engine = Arc::new(AnalysisEngine::with_corpus(
-                AnalysisConfig::default(),
-                dataset.contracts.iter().take(64).map(|c| (c.id, c.source.as_str())),
-            ));
-            let server = Server::bind("127.0.0.1:0", ServerConfig::default(), engine)
-                .expect("failed to bind in-process server");
-            let addr = server.local_addr().expect("bound address").to_string();
-            let handle = server.shutdown_handle();
-            let join = std::thread::spawn(move || {
-                server.run().expect("in-process server failed");
-            });
+            let (addr, handle, join) = spawn_in_process(&dataset);
             in_process = Some((handle, join));
             addr
         }
@@ -144,9 +182,113 @@ fn main() {
     } else {
         smoke_checks(&addr, &dataset);
     }
+    if args.observability {
+        observability_smoke(&addr);
+        shutdown_in_process(in_process);
+        return;
+    }
 
-    // The measured burst: a deterministic scan/clone-check mix.
-    let bodies: Vec<String> = (0..args.requests)
+    let (bodies, paths) = build_workload(&dataset, args.requests);
+    let outcome =
+        run_burst(&addr, &bodies, &paths, args.concurrency, args.chaos, &retry_policy());
+    let BurstOutcome { lat, elapsed, failed, typed_errors, shed } = &outcome;
+    if args.chaos {
+        println!(
+            "[loadgen] chaos: {} ok, {} typed errors, {} shed, {} failed in {:.2}s",
+            lat.len(),
+            typed_errors,
+            shed,
+            failed,
+            elapsed.as_secs_f64()
+        );
+        if *failed > 0 {
+            eprintln!("[loadgen] FAIL: {failed} requests broke through fault isolation");
+            std::process::exit(1);
+        }
+        if lat.is_empty() {
+            eprintln!("[loadgen] FAIL: no request succeeded under chaos");
+            std::process::exit(1);
+        }
+        shutdown_in_process(in_process);
+        return;
+    }
+    if lat.is_empty() {
+        eprintln!("[loadgen] FAIL: no successful requests ({failed} failures)");
+        std::process::exit(1);
+    }
+    let rps = outcome.rps();
+    println!(
+        "[loadgen] {} ok / {} failed in {:.2}s — {:.1} req/s, p50 {} µs, p95 {} µs, p99 {} µs",
+        lat.len(),
+        failed,
+        elapsed.as_secs_f64(),
+        rps,
+        outcome.pct(0.50),
+        outcome.pct(0.95),
+        outcome.pct(0.99)
+    );
+    if *failed > 0 {
+        eprintln!("[loadgen] FAIL: {failed} requests failed");
+        std::process::exit(1);
+    }
+
+    if args.append {
+        let point = format!(
+            "{{\"bench\": \"serve_loadgen\", \"requests\": {}, \"concurrency\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+            lat.len(),
+            args.concurrency,
+            rps,
+            outcome.pct(0.50),
+            outcome.pct(0.95),
+            outcome.pct(0.99)
+        );
+        match append_point(&args.out, &point) {
+            Ok(()) => println!("[loadgen] appended point to {}", args.out),
+            Err(e) => {
+                eprintln!("[loadgen] FAIL: could not append to {}: {e}", args.out);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    shutdown_in_process(in_process);
+}
+
+/// Bind and run an in-process daemon over the standard 64-contract warm
+/// corpus; returns its address, shutdown handle and join handle.
+fn spawn_in_process(
+    dataset: &corpus::honeypots::HoneypotDataset,
+) -> (String, server::ShutdownHandle, std::thread::JoinHandle<()>) {
+    let engine = Arc::new(AnalysisEngine::with_corpus(
+        AnalysisConfig::default(),
+        dataset.contracts.iter().take(64).map(|c| (c.id, c.source.as_str())),
+    ));
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default(), engine)
+        .expect("failed to bind in-process server");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || {
+        server.run().expect("in-process server failed");
+    });
+    (addr, handle, join)
+}
+
+fn shutdown_in_process(
+    in_process: Option<(server::ShutdownHandle, std::thread::JoinHandle<()>)>,
+) {
+    if let Some((handle, join)) = in_process {
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+}
+
+/// The measured burst's request mix: a deterministic scan/clone-check
+/// alternation over the standard snippets and corpus prefixes.
+fn build_workload(
+    dataset: &corpus::honeypots::HoneypotDataset,
+    requests: usize,
+) -> (Vec<String>, Vec<&'static str>) {
+    let bodies: Vec<String> = (0..requests)
         .map(|i| {
             if i % 2 == 0 {
                 AnalysisRequest::scan(SCAN_SNIPPETS[i / 2 % SCAN_SNIPPETS.len()]).to_json()
@@ -156,24 +298,57 @@ fn main() {
             }
         })
         .collect();
-    let paths: Vec<&str> = (0..args.requests)
+    let paths: Vec<&'static str> = (0..requests)
         .map(|i| if i % 2 == 0 { "/v1/scan" } else { "/v1/clone-check" })
         .collect();
+    (bodies, paths)
+}
 
+fn retry_policy() -> client::RetryPolicy {
+    client::RetryPolicy { max_attempts: 4, base_delay_ms: 5, max_delay_ms: 100, seed: 0xC4A05 }
+}
+
+/// What one burst produced: sorted success latencies (µs) plus failure
+/// tallies.
+struct BurstOutcome {
+    lat: Vec<u64>,
+    elapsed: std::time::Duration,
+    failed: usize,
+    typed_errors: usize,
+    shed: usize,
+}
+
+impl BurstOutcome {
+    fn rps(&self) -> f64 {
+        self.lat.len() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Latency at quantile `q` (nearest-rank on the sorted vector).
+    fn pct(&self, q: f64) -> u64 {
+        let lat = &self.lat;
+        lat[((q * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)]
+    }
+}
+
+/// Fire the whole workload from `concurrency` threads and collect the
+/// outcome. Chaos mode goes through the retrying client and counts typed
+/// error documents as correct.
+fn run_burst(
+    addr: &str,
+    bodies: &[String],
+    paths: &[&str],
+    concurrency: usize,
+    chaos: bool,
+    retry_policy: &client::RetryPolicy,
+) -> BurstOutcome {
     let cursor = AtomicUsize::new(0);
-    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(args.requests));
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(bodies.len()));
     let failures = AtomicUsize::new(0);
     let typed_errors = AtomicUsize::new(0);
     let shed = AtomicUsize::new(0);
-    let retry_policy = client::RetryPolicy {
-        max_attempts: 4,
-        base_delay_ms: 5,
-        max_delay_ms: 100,
-        seed: 0xC4A05,
-    };
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..args.concurrency.max(1) {
+        for _ in 0..concurrency.max(1) {
             scope.spawn(|| {
                 let mut local = Vec::new();
                 loop {
@@ -182,10 +357,10 @@ fn main() {
                         break;
                     }
                     let t0 = Instant::now();
-                    let outcome = if args.chaos {
-                        client::post_with_retry(&addr, paths[i], &bodies[i], &retry_policy)
+                    let outcome = if chaos {
+                        client::post_with_retry(addr, paths[i], &bodies[i], retry_policy)
                     } else {
-                        client::post(&addr, paths[i], &bodies[i])
+                        client::post(addr, paths[i], &bodies[i])
                     };
                     match outcome {
                         Ok((200, body)) if AnalysisResponse::from_json(&body).is_ok() => {
@@ -196,7 +371,7 @@ fn main() {
                             // but it carries no latency signal.
                             shed.fetch_add(1, Ordering::Relaxed);
                         }
-                        Ok((_, body)) if args.chaos && is_typed_error(&body) => {
+                        Ok((_, body)) if chaos && is_typed_error(&body) => {
                             // Under an armed fault plan, an injected fault
                             // surfacing as a typed error document is the
                             // contract we are checking, not a failure.
@@ -212,76 +387,14 @@ fn main() {
         }
     });
     let elapsed = started.elapsed();
-
     let mut lat = latencies.into_inner().expect("latency lock");
     lat.sort_unstable();
-    let failed = failures.load(Ordering::Relaxed);
-    if args.chaos {
-        println!(
-            "[loadgen] chaos: {} ok, {} typed errors, {} shed, {} failed in {:.2}s",
-            lat.len(),
-            typed_errors.load(Ordering::Relaxed),
-            shed.load(Ordering::Relaxed),
-            failed,
-            elapsed.as_secs_f64()
-        );
-        if failed > 0 {
-            eprintln!("[loadgen] FAIL: {failed} requests broke through fault isolation");
-            std::process::exit(1);
-        }
-        if lat.is_empty() {
-            eprintln!("[loadgen] FAIL: no request succeeded under chaos");
-            std::process::exit(1);
-        }
-        if let Some((handle, join)) = in_process {
-            handle.shutdown();
-            join.join().expect("server thread");
-        }
-        return;
-    }
-    if lat.is_empty() {
-        eprintln!("[loadgen] FAIL: no successful requests ({failed} failures)");
-        std::process::exit(1);
-    }
-    let pct = |q: f64| lat[((q * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)];
-    let rps = lat.len() as f64 / elapsed.as_secs_f64();
-    println!(
-        "[loadgen] {} ok / {} failed in {:.2}s — {:.1} req/s, p50 {} µs, p95 {} µs, p99 {} µs",
-        lat.len(),
-        failed,
-        elapsed.as_secs_f64(),
-        rps,
-        pct(0.50),
-        pct(0.95),
-        pct(0.99)
-    );
-    if failed > 0 {
-        eprintln!("[loadgen] FAIL: {failed} requests failed");
-        std::process::exit(1);
-    }
-
-    if args.append {
-        let point = format!(
-            "{{\"bench\": \"serve_loadgen\", \"requests\": {}, \"concurrency\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
-            lat.len(),
-            args.concurrency,
-            rps,
-            pct(0.50),
-            pct(0.95),
-            pct(0.99)
-        );
-        match append_point(&args.out, &point) {
-            Ok(()) => println!("[loadgen] appended point to {}", args.out),
-            Err(e) => {
-                eprintln!("[loadgen] FAIL: could not append to {}: {e}", args.out);
-                std::process::exit(1);
-            }
-        }
-    }
-
-    if let Some((handle, join)) = in_process {
-        handle.shutdown();
-        join.join().expect("server thread");
+    BurstOutcome {
+        lat,
+        elapsed,
+        failed: failures.load(Ordering::Relaxed),
+        typed_errors: typed_errors.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
     }
 }
 
@@ -341,6 +454,200 @@ fn smoke_checks(addr: &str, dataset: &corpus::honeypots::HoneypotDataset) {
         other => panic!("clone-check returned {other:?}"),
     }
     println!("[loadgen] smoke checks passed against {addr}");
+}
+
+/// End-to-end tracing/metrics smoke against a tracing-enabled daemon:
+/// id adoption and echo, span-tree retrieval in both formats, recent
+/// summaries, Prometheus exposition validity, and ids on error paths.
+fn observability_smoke(addr: &str) {
+    use telemetry::json::{parse, Value};
+    const TRACE_HEX: &str = "deadbeefcafef00d";
+
+    // A traced scan with a caller-chosen trace id, echoed exactly. The
+    // snippet is unique to this mode so the CPG cache cannot satisfy it:
+    // the trace must contain real parse and cpg-build spans, not a
+    // cache-hit shortcut.
+    let scan = AnalysisRequest::scan(
+        "contract ObsSmoke { function pay(address to) public { to.send(1); } }",
+    )
+    .to_json();
+    let response = client::request_full(
+        addr,
+        "POST",
+        "/v1/scan",
+        &scan,
+        &[("X-Trace-Id", TRACE_HEX), ("X-Request-Id", "loadgen-observability")],
+    )
+    .expect("traced scan request");
+    assert_eq!(response.status, 200, "traced scan returned {}: {}", response.status, response.body);
+    assert_eq!(
+        response.header("x-trace-id"),
+        Some(TRACE_HEX),
+        "daemon did not echo the adopted trace id"
+    );
+    assert_eq!(response.header("x-request-id"), Some("loadgen-observability"));
+
+    // The span tree is buffered before the response is written, so it is
+    // immediately fetchable — with the pipeline stages at non-zero cost.
+    let (status, body) =
+        client::get(addr, &format!("/debug/trace/{TRACE_HEX}")).expect("trace fetch");
+    assert_eq!(status, 200, "trace fetch returned {status}: {body}");
+    let doc = parse(&body).unwrap_or_else(|e| panic!("trace JSON invalid: {e}\n{body}"));
+    let mut spans: Vec<(String, f64)> = Vec::new();
+    collect_spans(doc.get("root").expect("trace has a root span"), &mut spans);
+    for required in ["parse", "cpg-build"] {
+        let (_, dur_ns) = spans
+            .iter()
+            .find(|(name, _)| name == required)
+            .unwrap_or_else(|| panic!("span {required:?} missing from trace: {body}"));
+        assert!(*dur_ns > 0.0, "span {required:?} has zero duration: {body}");
+    }
+    assert!(
+        spans.iter().any(|(name, dur_ns)| {
+            (name == "ccc-check" || name == "query-eval" || name == "ccd-match") && *dur_ns > 0.0
+        }),
+        "no query/match span with non-zero duration in trace: {body}"
+    );
+
+    // The Chrome export is a traceEvents document Perfetto can load.
+    let (status, chrome) =
+        client::get(addr, &format!("/debug/trace/{TRACE_HEX}?format=chrome")).expect("chrome");
+    assert_eq!(status, 200, "chrome export returned {status}: {chrome}");
+    let doc = parse(&chrome).unwrap_or_else(|e| panic!("chrome JSON invalid: {e}\n{chrome}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("chrome export has a traceEvents array");
+    assert!(!events.is_empty(), "chrome export has no events");
+
+    // The recent-trace summaries include our trace.
+    let (status, recent) = client::get(addr, "/debug/traces/recent").expect("recent traces");
+    assert_eq!(status, 200, "recent traces returned {status}");
+    assert!(recent.contains(TRACE_HEX), "recent summaries miss the trace: {recent}");
+
+    // /metrics renders a valid exposition carrying the RED series.
+    let (status, metrics) = client::get(addr, "/metrics").expect("metrics fetch");
+    assert_eq!(status, 200, "metrics returned {status}");
+    telemetry::prom::validate(&metrics)
+        .unwrap_or_else(|e| panic!("invalid Prometheus exposition: {e}\n{metrics}"));
+    for needle in
+        ["http_requests_total", "http_request_duration_us_bucket", "endpoint=\"/v1/scan\""]
+    {
+        assert!(metrics.contains(needle), "metrics missing {needle}:\n{metrics}");
+    }
+
+    // Error responses carry ids too (satellite: every response does).
+    let response = client::request_full(addr, "GET", "/nope", "", &[]).expect("404 request");
+    assert_eq!(response.status, 404);
+    assert!(response.header("x-trace-id").is_some(), "404 response lacks X-Trace-Id");
+    assert!(response.header("x-request-id").is_some(), "404 response lacks X-Request-Id");
+
+    println!("[loadgen] observability smoke passed against {addr}");
+}
+
+/// Flatten a span-tree node into `(name, dur_ns)` rows.
+fn collect_spans(span: &telemetry::json::Value, out: &mut Vec<(String, f64)>) {
+    use telemetry::json::Value;
+    let name = span.get("name").and_then(Value::as_str).unwrap_or("?").to_string();
+    let dur_ns = span.get("dur_ns").and_then(Value::as_f64).unwrap_or(0.0);
+    out.push((name, dur_ns));
+    if let Some(children) = span.get("children").and_then(Value::as_array) {
+        for child in children {
+            collect_spans(child, out);
+        }
+    }
+}
+
+/// The tracing-overhead gate: measure the burst with tracing off, then
+/// on, against one warm in-process daemon. Tracing must keep at least
+/// 95% of the untraced throughput; a miss gets one re-measure (single
+/// bursts are noisy). Both points land in the trajectory file.
+fn trace_overhead_gate(args: &Args, dataset: &corpus::honeypots::HoneypotDataset) {
+    let (addr, handle, join) = spawn_in_process(dataset);
+    let (bodies, paths) = build_workload(dataset, args.requests);
+    let policy = retry_policy();
+
+    // Warm the daemon (CPG cache, fingerprint paths) before measuring.
+    telemetry::trace::set_enabled(false);
+    let warm = run_burst(&addr, &bodies, &paths, args.concurrency, false, &policy);
+    if warm.lat.is_empty() {
+        eprintln!("[loadgen] FAIL: warmup burst had no successes ({} failed)", warm.failed);
+        std::process::exit(1);
+    }
+
+    let mut measured: Option<(BurstOutcome, BurstOutcome)> = None;
+    for attempt in 1..=2 {
+        let off = measure(&addr, &bodies, &paths, args.concurrency, &policy, false);
+        let on = measure(&addr, &bodies, &paths, args.concurrency, &policy, true);
+        let ratio = on.rps() / off.rps();
+        println!(
+            "[loadgen] trace overhead attempt {attempt}: off {:.1} req/s, on {:.1} req/s ({:+.1}%)",
+            off.rps(),
+            on.rps(),
+            (ratio - 1.0) * 100.0
+        );
+        let pass = ratio >= 0.95;
+        measured = Some((off, on));
+        if pass {
+            break;
+        }
+    }
+    telemetry::trace::set_enabled(false);
+    handle.shutdown();
+    join.join().expect("server thread");
+
+    let (off, on) = measured.expect("at least one measurement attempt");
+    if args.append {
+        for (tracing, outcome) in [("off", &off), ("on", &on)] {
+            let point = format!(
+                "{{\"bench\": \"serve_loadgen\", \"requests\": {}, \"concurrency\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"tracing\": \"{tracing}\"}}",
+                outcome.lat.len(),
+                args.concurrency,
+                outcome.rps(),
+                outcome.pct(0.50),
+                outcome.pct(0.95),
+                outcome.pct(0.99)
+            );
+            match append_point(&args.out, &point) {
+                Ok(()) => println!("[loadgen] appended tracing={tracing} point to {}", args.out),
+                Err(e) => {
+                    eprintln!("[loadgen] FAIL: could not append to {}: {e}", args.out);
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if on.rps() < 0.95 * off.rps() {
+        eprintln!(
+            "[loadgen] FAIL: tracing overhead exceeds 5% ({:.1} → {:.1} req/s)",
+            off.rps(),
+            on.rps()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// One overhead measurement: set the tracing switch, fire the burst, and
+/// insist every request succeeded (failures would fake a throughput win).
+fn measure(
+    addr: &str,
+    bodies: &[String],
+    paths: &[&str],
+    concurrency: usize,
+    policy: &client::RetryPolicy,
+    tracing: bool,
+) -> BurstOutcome {
+    telemetry::trace::set_enabled(tracing);
+    let outcome = run_burst(addr, bodies, paths, concurrency, false, policy);
+    if outcome.failed > 0 || outcome.lat.is_empty() {
+        eprintln!(
+            "[loadgen] FAIL: {} failures / {} ok during overhead measurement (tracing {tracing})",
+            outcome.failed,
+            outcome.lat.len()
+        );
+        std::process::exit(1);
+    }
+    outcome
 }
 
 /// Append one point to the trajectory file, preserving existing bytes: the

@@ -4,6 +4,7 @@
 //! serve [--port N] [--port-file PATH] [--workers N] [--queue-cap N]
 //!       [--timeout-ms N] [--corpus N]
 //!       [--breaker-threshold N] [--breaker-open-ms N]
+//!       [--trace on|off] [--access-log PATH] [--slow-log PATH] [--slow-ms N]
 //! ```
 //!
 //! Binds `127.0.0.1:<port>` (port 0 → ephemeral; the chosen port is
@@ -11,6 +12,13 @@
 //! pick up). The clone corpus is the honeypot dataset of the recorded
 //! run, truncated to `--corpus` contracts (0 → all 379). SIGTERM and
 //! SIGINT trigger a graceful drain.
+//!
+//! Observability: metrics and request tracing are on by default in the
+//! daemon (`--trace off` or `TELEMETRY=0` disables everything; the kill
+//! switch always wins). `--access-log`/`--slow-log` append JSONL request
+//! records; `--slow-ms` sets the slow-request threshold (default 500).
+//! Tracing tunables come from the environment: `TRACE_SLOW_US`,
+//! `TRACE_KEEP_EVERY`, `TRACE_SEED` (see `telemetry::trace`).
 //!
 //! Chaos testing: `FAULT_SPEC`/`FAULT_SEED` in the environment arm the
 //! deterministic fault plan (see the `faultinject` crate); when armed,
@@ -32,6 +40,7 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut timeout_ms: Option<u64> = None;
     let mut corpus_size: usize = 64;
+    let mut trace_on = true;
     let mut i = 1;
     while i < args.len() {
         let value = |i: usize| {
@@ -75,6 +84,29 @@ fn main() {
                     value(i).parse().expect("--breaker-open-ms must be milliseconds");
                 i += 2;
             }
+            "--trace" => {
+                trace_on = match value(i).as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("--trace must be on|off, got {other}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--access-log" => {
+                config.access_log = Some(value(i).into());
+                i += 2;
+            }
+            "--slow-log" => {
+                config.slow_log = Some(value(i).into());
+                i += 2;
+            }
+            "--slow-ms" => {
+                config.slow_ms = value(i).parse().expect("--slow-ms must be milliseconds");
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -85,6 +117,17 @@ fn main() {
     faultinject::init_from_env();
     if faultinject::active() {
         eprintln!("[serve] fault injection armed from FAULT_SPEC");
+    }
+
+    // The daemon defaults telemetry + tracing ON (it is the observable
+    // surface); `--trace off` or the TELEMETRY=0 kill switch turn both
+    // off again. `enable()` respects the kill switch internally.
+    if trace_on {
+        telemetry::enable();
+        telemetry::trace::set_enabled(true);
+        telemetry::trace::init_from_env();
+    } else {
+        telemetry::trace::set_enabled(false);
     }
 
     let mut analysis = AnalysisConfig::default();

@@ -95,6 +95,28 @@ pub fn get_with_retry(
     request_with_retry(addr, "GET", path, "", policy)
 }
 
+/// A fully-parsed response: status, headers (lowercased names, arrival
+/// order) and body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response headers as `(lowercased-name, trimmed-value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// Send one request and return `(status, body)`.
 pub fn request(
     addr: &str,
@@ -102,19 +124,37 @@ pub fn request(
     path: &str,
     body: &str,
 ) -> std::io::Result<(u16, String)> {
+    let response = request_full(addr, method, path, body, &[])?;
+    Ok((response.status, response.body))
+}
+
+/// Send one request with extra headers (e.g. `X-Trace-Id`) and return
+/// the full parsed response including headers — the observability smoke
+/// asserts on the echoed ids.
+pub fn request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
+    parse_full(&raw)
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad HTTP response"))
 }
 
@@ -128,12 +168,17 @@ pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
     request(addr, "GET", path, "")
 }
 
-fn parse_response(raw: &[u8]) -> Option<(u16, String)> {
+fn parse_full(raw: &[u8]) -> Option<Response> {
     let text = std::str::from_utf8(raw).ok()?;
     let (head, body) = text.split_once("\r\n\r\n")?;
-    let status_line = head.lines().next()?;
+    let mut lines = head.lines();
+    let status_line = lines.next()?;
     let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
-    Some((status, body.to_string()))
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Some(Response { status, headers, body: body.to_string() })
 }
 
 #[cfg(test)]
@@ -143,8 +188,20 @@ mod tests {
     #[test]
     fn parses_a_canned_response() {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}";
-        assert_eq!(parse_response(raw), Some((200, "{}".to_string())));
-        assert_eq!(parse_response(b"garbage"), None);
+        let response = parse_full(raw).unwrap();
+        assert_eq!((response.status, response.body.as_str()), (200, "{}"));
+        assert_eq!(parse_full(b"garbage"), None);
+    }
+
+    #[test]
+    fn full_parse_captures_response_headers() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\nX-Trace-Id: deadbeefcafef00d\r\n\r\n{}";
+        let response = parse_full(raw).unwrap();
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("x-trace-id"), Some("deadbeefcafef00d"));
+        assert_eq!(response.header("X-TRACE-ID"), Some("deadbeefcafef00d"));
+        assert_eq!(response.header("absent"), None);
+        assert_eq!(response.body, "{}");
     }
 
     /// A one-shot server answering each accepted connection with the next

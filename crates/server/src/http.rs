@@ -17,14 +17,40 @@ pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024;
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
 /// A parsed request.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Request {
     /// Request method, upper-case as sent (`GET`, `POST`).
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// The raw query string (without the `?`; empty when absent).
+    pub query: String,
+    /// Request headers as `(lowercased-name, trimmed-value)` pairs, in
+    /// arrival order.
+    pub headers: Vec<(String, String)>,
     /// The request body (empty without `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter (`?format=chrome`); values are
+    /// taken verbatim (no percent-decoding — the debug endpoints only
+    /// take simple tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
 }
 
 /// Why a request could not be parsed.
@@ -90,10 +116,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let target = parts
         .next()
         .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let mut content_length: Option<usize> = None;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
             if name.trim().eq_ignore_ascii_case("content-length") {
                 let parsed: usize = value
                     .trim()
@@ -123,7 +154,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         body.extend_from_slice(&buf[..n]);
     }
     body.truncate(content_length);
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, query, headers, body })
 }
 
 fn find_header_end(bytes: &[u8]) -> Option<usize> {
@@ -133,11 +164,34 @@ fn find_header_end(bytes: &[u8]) -> Option<usize> {
 /// Write a complete JSON response and flush. Errors are swallowed — the
 /// peer may already be gone, and there is nobody left to tell.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    respond(stream, status, "application/json", body, &[]);
+}
+
+/// Write a complete response with an explicit content type and extra
+/// headers (e.g. `X-Trace-Id`), then flush. Header values are sanitized
+/// to a single line; errors are swallowed — the peer may already be
+/// gone, and there is nobody left to tell.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra_headers {
+        let value: String = value
+            .chars()
+            .filter(|c| !c.is_control())
+            .take(256)
+            .collect();
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
@@ -199,6 +253,21 @@ mod tests {
         // Even without a terminating newline the reader bails early.
         let unterminated = vec![b'G'; MAX_REQUEST_LINE_BYTES + 1024];
         assert_eq!(read_raw(unterminated), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn headers_and_query_are_captured() {
+        let raw = b"GET /debug/trace/abc?format=chrome&x=1 HTTP/1.1\r\nX-Trace-Id: DEADBEEF\r\nHost: localhost\r\n\r\n".to_vec();
+        let request = read_raw(raw).unwrap();
+        assert_eq!(request.path, "/debug/trace/abc");
+        assert_eq!(request.query, "format=chrome&x=1");
+        assert_eq!(request.query_param("format"), Some("chrome"));
+        assert_eq!(request.query_param("x"), Some("1"));
+        assert_eq!(request.query_param("missing"), None);
+        assert_eq!(request.header("x-trace-id"), Some("DEADBEEF"));
+        assert_eq!(request.header("X-TRACE-ID"), Some("DEADBEEF"));
+        assert_eq!(request.header("host"), Some("localhost"));
+        assert_eq!(request.header("absent"), None);
     }
 
     #[test]

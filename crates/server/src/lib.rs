@@ -16,34 +16,46 @@
 //! * graceful shutdown: SIGTERM/`POST /shutdown` stop the accept loop,
 //!   queued requests drain, workers join.
 //!
-//! Endpoints (all bodies JSON, wire format of [`pipeline::api`]):
+//! Endpoints (JSON bodies use the wire format of [`pipeline::api`]):
 //!
-//! | Method | Path             | Purpose                                |
-//! |--------|------------------|----------------------------------------|
-//! | POST   | `/v1/scan`       | CCC detectors over a snippet           |
-//! | POST   | `/v1/clone-check`| CCD match against the warm corpus      |
-//! | POST   | `/v1/analyze`    | either request kind                    |
-//! | GET    | `/health`        | liveness + corpus size                 |
-//! | GET    | `/telemetry`     | telemetry snapshot (run-report schema) |
-//! | POST   | `/shutdown`      | graceful stop                          |
+//! | Method | Path                   | Purpose                                |
+//! |--------|------------------------|----------------------------------------|
+//! | POST   | `/v1/scan`             | CCC detectors over a snippet           |
+//! | POST   | `/v1/clone-check`      | CCD match against the warm corpus      |
+//! | POST   | `/v1/analyze`          | either request kind                    |
+//! | GET    | `/health`              | liveness + corpus size                 |
+//! | GET    | `/telemetry`           | telemetry snapshot (run-report schema) |
+//! | GET    | `/metrics`             | Prometheus text exposition             |
+//! | GET    | `/debug/traces/recent` | summaries of recent traces             |
+//! | GET    | `/debug/trace/<id>`    | one span tree (`?format=chrome` too)   |
+//! | POST   | `/shutdown`            | graceful stop                          |
+//!
+//! Every response — including 400/413/429/503 error paths — carries
+//! `X-Trace-Id` and `X-Request-Id` headers (adopted from the request
+//! when parseable, minted otherwise), and every request lands in the
+//! structured access log (see [`accesslog`]) keyed by those ids.
 
 #![warn(missing_docs)]
 
+pub mod accesslog;
 pub mod breaker;
 pub mod client;
 pub mod http;
 
+use accesslog::{AccessLog, AccessRecord};
 use breaker::{BreakerConfig, CircuitBreaker};
-use http::{read_request, write_response, HttpError, Request};
-use pipeline::api::{error_to_json, AnalysisRequest, AnalysisResponse};
+use http::{read_request, respond, HttpError, Request};
+use pipeline::api::{error_to_json, AnalysisRequest, AnalysisResponse, TraceContext};
 use pipeline::par::{PoolFull, PoolMonitor, WorkerPool};
 use pipeline::AnalysisEngine;
 use solidity::AnalysisError;
 use std::io;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use telemetry::trace::{self, TraceId};
 
 /// Service configuration (the analysis side lives in
 /// [`pipeline::api::AnalysisConfig`]).
@@ -56,6 +68,13 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Per-endpoint circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// JSONL access-log path (`None` disables access logging).
+    pub access_log: Option<PathBuf>,
+    /// Slow-request log path (requires `access_log`).
+    pub slow_log: Option<PathBuf>,
+    /// Requests at least this slow are flagged `"slow":true` and teed to
+    /// the slow log.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +83,9 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             queue_capacity: 256,
             breaker: BreakerConfig::default(),
+            access_log: None,
+            slow_log: None,
+            slow_ms: 500,
         }
     }
 }
@@ -141,6 +163,8 @@ struct ServiceState {
     /// Health view of the worker pool; `None` only in unit tests that
     /// exercise routing without a pool.
     pool: Option<PoolMonitor>,
+    /// Structured access log; `None` disables logging.
+    access_log: Option<AccessLog>,
 }
 
 /// The analysis daemon: listener + worker pool + warm engine.
@@ -161,6 +185,14 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        let access_log = match &config.access_log {
+            Some(path) => Some(AccessLog::open(
+                path,
+                config.slow_log.as_deref(),
+                config.slow_ms,
+            )?),
+            None => None,
+        };
         let state = Arc::new(ServiceState {
             engine,
             shutdown: ShutdownHandle::default(),
@@ -168,6 +200,7 @@ impl Server {
             queue_capacity: config.queue_capacity,
             breakers: Breakers::new(config.breaker),
             pool: Some(pool.monitor()),
+            access_log,
         });
         Ok(Server { listener, pool, state })
     }
@@ -205,17 +238,43 @@ impl Server {
                         drop(job);
                         SHED.incr();
                         if let Some(mut stream) = reject_handle {
+                            let started = Instant::now();
                             let _ = stream.set_nonblocking(false);
                             // Drain the request before answering: closing
                             // with unread data makes the kernel send RST,
                             // which would destroy the 429 in flight.
                             let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-                            let _ = read_request(&mut stream);
-                            write_response(
+                            let request = read_request(&mut stream);
+                            // Shed requests still get correlatable ids,
+                            // RED metrics and an access-log line — refused
+                            // load must not vanish without a trace.
+                            let ids = match &request {
+                                Ok(request) => RequestIds::from_request(request),
+                                Err(_) => RequestIds::fresh(),
+                            };
+                            let body = "{\"v\":1,\"kind\":\"error\",\"code\":\"overloaded\",\
+                                 \"message\":\"request queue is full\"}";
+                            respond(
                                 &mut stream,
                                 429,
-                                "{\"v\":1,\"kind\":\"error\",\"code\":\"overloaded\",\
-                                 \"message\":\"request queue is full\"}",
+                                "application/json",
+                                body,
+                                &ids.headers(),
+                            );
+                            let (method, path) = match &request {
+                                Ok(r) => (r.method.clone(), r.path.clone()),
+                                Err(_) => ("?".to_string(), "?".to_string()),
+                            };
+                            observe_request(&path, 429, started.elapsed());
+                            log_access(
+                                &self.state,
+                                &ids,
+                                &method,
+                                &path,
+                                429,
+                                started.elapsed(),
+                                "shed",
+                                body.len(),
                             );
                         }
                     }
@@ -232,30 +291,193 @@ impl Server {
     }
 }
 
+/// The ids every response carries: the trace id (adopted from a
+/// parseable `X-Trace-Id` header, minted otherwise) and a request id
+/// (adopted from `X-Request-Id`, minted otherwise). Both are minted
+/// lazily from a cheap process-local stream, so the ids exist — and are
+/// echoed — even when tracing is disabled.
+struct RequestIds {
+    trace: TraceId,
+    trace_hex: String,
+    request_id: String,
+}
+
+impl RequestIds {
+    fn new(trace: TraceId, request_id: String) -> RequestIds {
+        RequestIds { trace, trace_hex: trace.to_hex(), request_id }
+    }
+
+    fn from_request(request: &Request) -> RequestIds {
+        let trace = request
+            .header("x-trace-id")
+            .and_then(TraceId::from_hex)
+            .unwrap_or_else(trace::new_trace_id);
+        let request_id = request
+            .header("x-request-id")
+            .map(sanitize_id)
+            .filter(|id| !id.is_empty())
+            .unwrap_or_else(|| trace::new_trace_id().to_hex());
+        RequestIds::new(trace, request_id)
+    }
+
+    fn fresh() -> RequestIds {
+        RequestIds::new(trace::new_trace_id(), trace::new_trace_id().to_hex())
+    }
+
+    fn trace_hex(&self) -> &str {
+        &self.trace_hex
+    }
+
+    fn headers(&self) -> [(&'static str, &str); 2] {
+        [("X-Trace-Id", &self.trace_hex), ("X-Request-Id", &self.request_id)]
+    }
+}
+
+/// Clamp a caller-supplied request id to something loggable: printable
+/// ASCII, 64 chars max.
+fn sanitize_id(raw: &str) -> String {
+    raw.chars()
+        .filter(|c| c.is_ascii_graphic())
+        .take(64)
+        .collect()
+}
+
+/// Classify a response for the access log's `outcome` field.
+fn outcome_of(status: u16, body: &str) -> &'static str {
+    match status {
+        200..=399 => "ok",
+        429 => "shed",
+        503 if body.contains("\"code\":\"breaker_open\"") => "breaker_open",
+        504 => "timeout",
+        _ => "error",
+    }
+}
+
+/// Bounded endpoint label for RED metrics: known routes keep their path,
+/// the trace-by-id route collapses to one label, everything else is
+/// `other` (an attacker scanning paths must not mint unbounded metric
+/// names).
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/v1/scan" => "/v1/scan",
+        "/v1/clone-check" => "/v1/clone-check",
+        "/v1/analyze" => "/v1/analyze",
+        "/health" => "/health",
+        "/telemetry" => "/telemetry",
+        "/metrics" => "/metrics",
+        "/shutdown" => "/shutdown",
+        "/debug/traces/recent" => "/debug/traces/recent",
+        _ if path.starts_with("/debug/trace/") => "/debug/trace",
+        _ => "other",
+    }
+}
+
+/// Record the RED metrics of one request: a counter per endpoint ×
+/// status class and a log-linear latency histogram per endpoint.
+fn observe_request(path: &str, status: u16, elapsed: Duration) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let endpoint = endpoint_label(path);
+    let class = match status {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    };
+    telemetry::counter_add(
+        &format!("http.requests|endpoint={endpoint}|status={class}"),
+        1,
+    );
+    telemetry::duration_observe_us(
+        &format!("http.request_duration_us|endpoint={endpoint}"),
+        elapsed.as_micros().min(u64::MAX as u128) as u64,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn log_access(
+    state: &ServiceState,
+    ids: &RequestIds,
+    method: &str,
+    path: &str,
+    status: u16,
+    elapsed: Duration,
+    outcome: &'static str,
+    body_bytes: usize,
+) {
+    let Some(log) = &state.access_log else { return };
+    log.record(&AccessRecord {
+        trace_id: ids.trace_hex().to_string(),
+        request_id: ids.request_id.clone(),
+        method: method.to_string(),
+        path: path.to_string(),
+        status,
+        dur_us: elapsed.as_micros().min(u64::MAX as u128) as u64,
+        outcome,
+        body_bytes,
+    });
+}
+
 fn handle_connection(mut stream: TcpStream, state: &ServiceState) {
+    let started = Instant::now();
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     match read_request(&mut stream) {
         Ok(request) => {
+            let ids = RequestIds::from_request(&request);
+            // Open the request's trace (inert when tracing is off). The
+            // stage spans below — parse, cpg-build, query-eval, detector
+            // and matcher spans — attach to it through the thread-local.
+            let trace_guard = trace::start(ids.trace, "request");
+            trace::annotate("method", &request.method);
+            trace::annotate("path", &request.path);
+            trace::annotate("request_id", &ids.request_id);
             // Chaos hook at the service edge, after the request is drained
             // (answering earlier would RST the peer's in-flight write).
             // Injected errors answer with a typed 500; injected *panics*
             // unwind through this function, killing the worker — exactly
             // the failure the pool's respawn sentinel and the client's
             // retry policy exist for.
-            if let Some(message) = faultinject::fire("server/request") {
-                write_response(&mut stream, 500, &error_body("internal", &message));
-                return;
+            let (status, content_type, body) = match faultinject::fire("server/request") {
+                Some(message) => (500, "application/json", error_body("internal", &message)),
+                None => route(&request, state),
+            };
+            trace::annotate("status", status);
+            if status >= 500 {
+                trace::mark_error();
             }
-            let (status, body) = route(&request, state);
-            write_response(&mut stream, status, &body);
+            // Finish and buffer the trace *before* answering, so a client
+            // can immediately GET /debug/trace/<the-echoed-id>.
+            drop(trace_guard);
+            respond(&mut stream, status, content_type, &body, &ids.headers());
+            let elapsed = started.elapsed();
+            observe_request(&request.path, status, elapsed);
+            log_access(
+                state,
+                &ids,
+                &request.method,
+                &request.path,
+                status,
+                elapsed,
+                outcome_of(status, &body),
+                body.len(),
+            );
         }
         Err(HttpError::TooLarge) => {
-            write_response(&mut stream, 413, &error_body("too_large", "request too large"));
+            let ids = RequestIds::fresh();
+            let body = error_body("too_large", "request too large");
+            respond(&mut stream, 413, "application/json", &body, &ids.headers());
+            observe_request("?", 413, started.elapsed());
+            log_access(state, &ids, "?", "?", 413, started.elapsed(), "error", body.len());
         }
         Err(HttpError::Malformed(m)) => {
-            write_response(&mut stream, 400, &error_body("bad_request", &m));
+            let ids = RequestIds::fresh();
+            let body = error_body("bad_request", &m);
+            respond(&mut stream, 400, "application/json", &body, &ids.headers());
+            observe_request("?", 400, started.elapsed());
+            log_access(state, &ids, "?", "?", 400, started.elapsed(), "error", body.len());
         }
         // The peer vanished; nothing to answer.
         Err(HttpError::Io(_)) => {}
@@ -270,10 +492,15 @@ fn error_body(code: &str, message: &str) -> String {
     )
 }
 
-fn route(request: &Request, state: &ServiceState) -> (u16, String) {
+const JSON: &str = "application/json";
+/// Prometheus exposition content type (format 0.0.4).
+const PROM: &str = "text/plain; version=0.0.4";
+
+fn route(request: &Request, state: &ServiceState) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => (
             200,
+            JSON,
             format!(
                 "{{\"status\":\"ok\",\"v\":1,\"corpus\":{},\"workers\":{},\"queue_capacity\":{},\
                  \"pool\":{{\"respawns\":{},\"queued\":{}}},\
@@ -289,16 +516,52 @@ fn route(request: &Request, state: &ServiceState) -> (u16, String) {
             ),
         ),
         ("GET", "/telemetry") => {
-            // Refresh interner gauges so the snapshot reports the live
-            // symbol table size alongside the counters.
-            let (symbols, bytes) = intern::interner_stats();
-            telemetry::gauge_set("intern.symbols", symbols as u64);
-            telemetry::gauge_set("intern.bytes", bytes as u64);
-            (200, telemetry::snapshot().to_json())
+            refresh_gauges(state);
+            (200, JSON, telemetry::snapshot().to_json())
+        }
+        ("GET", "/metrics") => {
+            refresh_gauges(state);
+            (200, PROM, telemetry::prom::render(&telemetry::snapshot()))
+        }
+        ("GET", "/debug/traces/recent") => {
+            let limit = request
+                .query_param("limit")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(32usize)
+                .min(512);
+            (200, JSON, trace::recent_json(limit))
+        }
+        ("GET", path) if path.starts_with("/debug/trace/") => {
+            let id_hex = &path["/debug/trace/".len()..];
+            let Some(id) = TraceId::from_hex(id_hex) else {
+                return (
+                    400,
+                    JSON,
+                    error_body("bad_request", "trace id must be 1-16 hex digits"),
+                );
+            };
+            match trace::find(id) {
+                Some(found) => {
+                    let body = if request.query_param("format") == Some("chrome") {
+                        trace::to_chrome_json(&found)
+                    } else {
+                        trace::to_json(&found)
+                    };
+                    (200, JSON, body)
+                }
+                None => (
+                    404,
+                    JSON,
+                    error_body(
+                        "not_found",
+                        "no buffered trace with that id (evicted, sampled out, or tracing is off)",
+                    ),
+                ),
+            }
         }
         ("POST", "/shutdown") => {
             state.shutdown.shutdown();
-            (200, "{\"status\":\"shutting_down\"}".to_string())
+            (200, JSON, "{\"status\":\"shutting_down\"}".to_string())
         }
         ("POST", "/v1/scan") => {
             analyze(request, state, Some(RequestKind::Scan), &state.breakers.scan)
@@ -307,10 +570,46 @@ fn route(request: &Request, state: &ServiceState) -> (u16, String) {
             analyze(request, state, Some(RequestKind::CloneCheck), &state.breakers.clone_check)
         }
         ("POST", "/v1/analyze") => analyze(request, state, None, &state.breakers.analyze),
-        (_, "/health" | "/telemetry" | "/shutdown" | "/v1/scan" | "/v1/clone-check" | "/v1/analyze") => {
-            (405, error_body("method_not_allowed", "wrong method for endpoint"))
+        (
+            _,
+            "/health" | "/telemetry" | "/metrics" | "/shutdown" | "/v1/scan" | "/v1/clone-check"
+            | "/v1/analyze" | "/debug/traces/recent",
+        ) => (405, JSON, error_body("method_not_allowed", "wrong method for endpoint")),
+        (_, path) if path.starts_with("/debug/trace/") => {
+            (405, JSON, error_body("method_not_allowed", "wrong method for endpoint"))
         }
-        (_, path) => (404, error_body("not_found", &format!("no such endpoint {path}"))),
+        (_, path) => (404, JSON, error_body("not_found", &format!("no such endpoint {path}"))),
+    }
+}
+
+/// Refresh the point-in-time gauges (pool depth, breaker states,
+/// interner size) so a snapshot taken right after reflects live state.
+fn refresh_gauges(state: &ServiceState) {
+    let (symbols, bytes) = intern::interner_stats();
+    telemetry::gauge_set("intern.symbols", symbols as u64);
+    telemetry::gauge_set("intern.bytes", bytes as u64);
+    telemetry::gauge_set("pool.workers", state.workers as u64);
+    telemetry::gauge_set(
+        "pool.queue_depth",
+        state.pool.as_ref().map_or(0, PoolMonitor::queue_len) as u64,
+    );
+    telemetry::gauge_set(
+        "pool.respawns",
+        state.pool.as_ref().map_or(0, PoolMonitor::respawns),
+    );
+    for (endpoint, breaker) in [
+        ("scan", &state.breakers.scan),
+        ("clone_check", &state.breakers.clone_check),
+        ("analyze", &state.breakers.analyze),
+    ] {
+        // 1-based so the closed (normal) state still renders: the
+        // snapshot omits zero-valued gauges.
+        let code = match breaker.state_name() {
+            "closed" => 1,
+            "open" => 2,
+            _ => 3, // half_open
+        };
+        telemetry::gauge_set(&format!("breaker.state|endpoint={endpoint}"), code);
     }
 }
 
@@ -325,16 +624,16 @@ fn analyze(
     state: &ServiceState,
     expected: Option<RequestKind>,
     breaker: &CircuitBreaker,
-) -> (u16, String) {
+) -> (u16, &'static str, String) {
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
         Err(_) => {
-            return (400, error_body("bad_request", "request body is not UTF-8"));
+            return (400, JSON, error_body("bad_request", "request body is not UTF-8"));
         }
     };
     let parsed = match AnalysisRequest::from_json(body) {
         Ok(parsed) => parsed,
-        Err(error) => return (status_of(&error), error_to_json(&error)),
+        Err(error) => return (status_of(&error), JSON, error_to_json(&error)),
     };
     let kind_matches = match (&parsed, &expected) {
         (_, None) => true,
@@ -345,6 +644,7 @@ fn analyze(
     if !kind_matches {
         return (
             400,
+            JSON,
             error_body("bad_request", "request kind does not match endpoint"),
         );
     }
@@ -354,13 +654,20 @@ fn analyze(
     if !breaker.try_acquire() {
         return (
             503,
+            JSON,
             error_body("breaker_open", "circuit breaker is open; retry after cooldown"),
         );
     }
-    match state.engine.analyze(&parsed) {
+    // Carry the ingress trace identity through the facade explicitly.
+    // The ingress already opened this thread's trace, so the engine's
+    // own root-span open is a no-op — but a programmatic caller going
+    // straight through `pipeline::api` gets the same propagation.
+    let trace_ctx = TraceContext { trace_id: trace::current_trace_id() };
+    let deadline = state.engine.deadline_from_now();
+    match state.engine.analyze_traced(&parsed, trace_ctx, deadline) {
         Ok(response) => {
             breaker.record_success();
-            (200, AnalysisResponse::to_json(&response))
+            (200, JSON, AnalysisResponse::to_json(&response))
         }
         Err(error) => {
             // Only *internal* errors (our fault) count against the
@@ -370,7 +677,7 @@ fn analyze(
             } else {
                 breaker.record_success();
             }
-            (status_of(&error), error_to_json(&error))
+            (status_of(&error), JSON, error_to_json(&error))
         }
     }
 }
@@ -399,25 +706,35 @@ mod tests {
             queue_capacity: 1,
             breakers: Breakers::new(BreakerConfig::default()),
             pool: None,
+            access_log: None,
         })
     }
 
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), ..Request::default() }
+    }
+
     fn post(path: &str, body: &str) -> Request {
-        Request { method: "POST".into(), path: path.into(), body: body.as_bytes().to_vec() }
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+            ..Request::default()
+        }
     }
 
     #[test]
     fn routes_health_and_404() {
         let state = state();
-        let (status, body) =
-            route(&Request { method: "GET".into(), path: "/health".into(), body: vec![] }, &state);
+        let (status, _, body) = route(&get("/health"), &state);
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"ok\""));
-        let (status, _) =
-            route(&Request { method: "GET".into(), path: "/nope".into(), body: vec![] }, &state);
+        let (status, _, _) = route(&get("/nope"), &state);
         assert_eq!(status, 404);
-        let (status, _) =
-            route(&Request { method: "DELETE".into(), path: "/health".into(), body: vec![] }, &state);
+        let (status, _, _) = route(
+            &Request { method: "DELETE".into(), path: "/health".into(), ..Request::default() },
+            &state,
+        );
         assert_eq!(status, 405);
     }
 
@@ -425,14 +742,14 @@ mod tests {
     fn scan_endpoint_rejects_clone_check_kind() {
         let state = state();
         let body = AnalysisRequest::clone_check("contract C {}").to_json();
-        let (status, _) = route(&post("/v1/scan", &body), &state);
+        let (status, _, _) = route(&post("/v1/scan", &body), &state);
         assert_eq!(status, 400);
     }
 
     #[test]
     fn malformed_body_is_a_400() {
         let state = state();
-        let (status, body) = route(&post("/v1/scan", "{not json"), &state);
+        let (status, _, body) = route(&post("/v1/scan", "{not json"), &state);
         assert_eq!(status, 400);
         assert!(body.contains("\"code\":\"invalid_request\""), "{body}");
     }
@@ -442,7 +759,7 @@ mod tests {
         let state = state();
         let body =
             AnalysisRequest::scan("function f(address to) public { to.send(1); }").to_json();
-        let (status, response) = route(&post("/v1/scan", &body), &state);
+        let (status, _, response) = route(&post("/v1/scan", &body), &state);
         assert_eq!(status, 200);
         let decoded = AnalysisResponse::from_json(&response).unwrap();
         match decoded {
@@ -455,8 +772,62 @@ mod tests {
     fn empty_clone_check_is_invalid() {
         let state = state();
         let body = AnalysisRequest::clone_check("").to_json();
-        let (status, response) = route(&post("/v1/clone-check", &body), &state);
+        let (status, _, response) = route(&post("/v1/clone-check", &body), &state);
         assert_eq!(status, 400);
         assert!(response.contains("\"code\":\"invalid_request\""), "{response}");
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_valid_exposition() {
+        let state = state();
+        telemetry::enable();
+        telemetry::counter_add("test.metrics_endpoint", 1);
+        let (status, content_type, body) = route(&get("/metrics"), &state);
+        assert_eq!(status, 200);
+        assert!(content_type.starts_with("text/plain"));
+        telemetry::prom::validate(&body).unwrap_or_else(|e| panic!("{e}\n{body}"));
+    }
+
+    #[test]
+    fn debug_trace_handles_bad_and_missing_ids() {
+        let state = state();
+        let (status, _, body) = route(&get("/debug/trace/zzz"), &state);
+        assert_eq!(status, 400, "{body}");
+        let (status, _, body) = route(&get("/debug/trace/00000000000000ff"), &state);
+        assert_eq!(status, 404, "{body}");
+    }
+
+    #[test]
+    fn request_ids_adopt_and_sanitize_headers() {
+        let mut request = get("/health");
+        request.headers.push(("x-trace-id".into(), "DEADBEEFCAFEF00D".into()));
+        request.headers.push(("x-request-id".into(), "abc\u{7}def".into()));
+        let ids = RequestIds::from_request(&request);
+        assert_eq!(ids.trace_hex(), "deadbeefcafef00d");
+        assert_eq!(ids.request_id, "abcdef");
+        // A malformed trace id is replaced, not adopted.
+        let mut request = get("/health");
+        request.headers.push(("x-trace-id".into(), "not-hex".into()));
+        let ids = RequestIds::from_request(&request);
+        assert_ne!(ids.trace_hex(), "not-hex");
+        assert_eq!(ids.trace_hex().len(), 16);
+    }
+
+    #[test]
+    fn endpoint_labels_are_bounded() {
+        assert_eq!(endpoint_label("/v1/scan"), "/v1/scan");
+        assert_eq!(endpoint_label("/debug/trace/deadbeef"), "/debug/trace");
+        assert_eq!(endpoint_label("/anything/else"), "other");
+    }
+
+    #[test]
+    fn outcomes_classify_statuses() {
+        assert_eq!(outcome_of(200, "{}"), "ok");
+        assert_eq!(outcome_of(302, "{}"), "ok");
+        assert_eq!(outcome_of(429, "{}"), "shed");
+        assert_eq!(outcome_of(503, "{\"code\":\"breaker_open\"}"), "breaker_open");
+        assert_eq!(outcome_of(503, "{\"code\":\"overloaded\"}"), "error");
+        assert_eq!(outcome_of(504, "{}"), "timeout");
+        assert_eq!(outcome_of(400, "{}"), "error");
     }
 }

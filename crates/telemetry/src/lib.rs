@@ -43,27 +43,65 @@
 
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod report;
 pub mod span;
+pub mod trace;
 
-pub use metrics::{counter_add, gauge_set, histogram_observe, Counter, Gauge, Histogram};
+pub use metrics::{
+    counter_add, duration_observe_us, gauge_set, histogram_observe, BucketLayout, Counter, Gauge,
+    Histogram,
+};
 pub use report::{reset, snapshot, HistogramStat, Snapshot, SpanStat};
 pub use span::{span, SpanGuard};
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static FORCED_OFF: OnceLock<bool> = OnceLock::new();
+
+/// Cached `TELEMETRY=0` kill-switch decision: 0 = environment not read
+/// yet, 1 = forced off, 2 = not forced. Cached (rather than re-read per
+/// [`enable`]) so the decision is one atomic load after first use, and a
+/// plain atomic (rather than a `OnceLock`) so [`reload_env`] can make the
+/// override path testable.
+static FORCED_OFF: AtomicU8 = AtomicU8::new(0);
+
+fn read_env_forced_off() -> u8 {
+    let off = std::env::var("TELEMETRY")
+        .map(|v| matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false"))
+        .unwrap_or(false);
+    if off {
+        1
+    } else {
+        2
+    }
+}
 
 /// Whether the `TELEMETRY` environment variable forces telemetry off
-/// (`0`, `off`, `false`, case-insensitive). Read once per process.
+/// (`0`, `off`, `false`, case-insensitive). Read once, then cached until
+/// [`reload_env`].
 fn env_forced_off() -> bool {
-    *FORCED_OFF.get_or_init(|| {
-        std::env::var("TELEMETRY")
-            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false"))
-            .unwrap_or(false)
-    })
+    match FORCED_OFF.load(Ordering::Acquire) {
+        0 => {
+            let decided = read_env_forced_off();
+            FORCED_OFF.store(decided, Ordering::Release);
+            decided == 1
+        }
+        decided => decided == 1,
+    }
+}
+
+/// Drop the cached kill-switch decision and re-read `TELEMETRY` from the
+/// environment. Test hook: production processes read the environment
+/// once; tests use this to exercise the `TELEMETRY=0` override without
+/// spawning a subprocess. Force-disables immediately if the kill switch
+/// is now active.
+pub fn reload_env() {
+    FORCED_OFF.store(read_env_forced_off(), Ordering::Release);
+    if env_forced_off() {
+        disable();
+        trace::set_enabled(false);
+    }
 }
 
 /// Turn telemetry on, unless `TELEMETRY=0` forces it off.
@@ -142,5 +180,22 @@ mod tests {
         assert!(enabled());
         disable();
         assert!(!enabled());
+    }
+
+    #[test]
+    fn kill_switch_wins_over_enable_and_is_resettable() {
+        let _guard = test_lock::hold();
+        disable();
+        std::env::set_var("TELEMETRY", "0");
+        reload_env();
+        enable();
+        assert!(!enabled(), "TELEMETRY=0 must win over enable()");
+        init_from_env();
+        assert!(!enabled(), "TELEMETRY=0 must win over init_from_env()");
+        std::env::remove_var("TELEMETRY");
+        reload_env();
+        enable();
+        assert!(enabled(), "cleared kill switch re-arms enable()");
+        disable();
     }
 }

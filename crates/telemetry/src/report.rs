@@ -18,7 +18,7 @@
 //! so two runs over the same corpus produce structurally identical
 //! documents modulo timing values.
 
-use crate::metrics::{registry, HistogramCore, HISTOGRAM_BUCKETS};
+use crate::metrics::{registry, BucketLayout, HistogramCore};
 use crate::span::spans;
 use std::sync::atomic::Ordering;
 
@@ -53,7 +53,9 @@ pub struct HistogramStat {
     pub count: u64,
     /// Sum of observations.
     pub sum: u64,
-    /// Power-of-two buckets (see [`crate::metrics::bucket_of`]).
+    /// Bucket mapping (see [`BucketLayout`]).
+    pub layout: BucketLayout,
+    /// `layout.bucket_count()` buckets.
     pub buckets: Vec<u64>,
 }
 
@@ -138,10 +140,11 @@ impl Snapshot {
             }
             let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
             out.push_str(&format!(
-                "\n    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                "\n    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"layout\": \"{}\", \"buckets\": [{}]}}",
                 escape(&h.name),
                 h.count,
                 h.sum,
+                h.layout.name(),
                 buckets.join(", ")
             ));
         }
@@ -205,14 +208,12 @@ fn lock_map<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 fn freeze_histogram(name: &str, h: &HistogramCore) -> HistogramStat {
-    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
-    for (slot, bucket) in buckets.iter_mut().zip(&h.buckets) {
-        *slot = bucket.load(Ordering::Relaxed);
-    }
+    let buckets: Vec<u64> = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
     HistogramStat {
         name: name.to_string(),
         count: h.count.load(Ordering::Relaxed),
         sum: h.sum.load(Ordering::Relaxed),
+        layout: h.layout,
         buckets,
     }
 }
@@ -233,7 +234,7 @@ pub fn reset() {
     for h in lock_map(&reg.histograms).values() {
         h.count.store(0, Ordering::Relaxed);
         h.sum.store(0, Ordering::Relaxed);
-        for bucket in &h.buckets {
+        for bucket in h.buckets.iter() {
             bucket.store(0, Ordering::Relaxed);
         }
     }
