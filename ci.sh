@@ -74,6 +74,13 @@ grep -qi "x-trace-id: 00000000c1c1c1c1" /tmp/obs_headers.txt \
 curl -sf "http://$OBS_ADDR/debug/trace/00000000c1c1c1c1" -o /tmp/obs_trace.txt
 grep -q '"trace_id":"00000000c1c1c1c1"' /tmp/obs_trace.txt \
   || { echo "trace not fetchable by id"; exit 1; }
+# Keep-alive over the new transport: two requests in one curl invocation
+# must reuse the connection (the daemon no longer closes after each
+# response) and both succeed.
+curl -sfv "http://$OBS_ADDR/health" "http://$OBS_ADDR/health" \
+  -o /dev/null -o /dev/null 2>/tmp/obs_keepalive.txt
+grep -qi "re-using existing connection" /tmp/obs_keepalive.txt \
+  || { echo "daemon did not keep the connection alive"; cat /tmp/obs_keepalive.txt; exit 1; }
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q "drained and stopped" /tmp/serve_obs.log
@@ -85,6 +92,12 @@ rm -f "$PORT_FILE" "$ACCESS_LOG"
 # least 95% of the untraced throughput. Measures only (no append), so CI
 # runs do not rewrite the committed trajectory.
 ./target/release/loadgen --trace-overhead --no-append --requests 192 --concurrency 8
+
+# Serve-throughput gate: a warm keep-alive burst against an in-process
+# daemon must stay within 20% of the last keep-alive serve_loadgen point
+# in BENCH_trajectory.json (one internal re-measure on a miss — single
+# bursts are noisy). Measures only, never appends.
+./target/release/loadgen --serve-gate --requests 2048 --concurrency 8
 
 # Chaos smoke: restart the daemon under an armed fault plan (every
 # in-process injection point at 1-5% rates plus request-level errors),

@@ -34,6 +34,12 @@ pub const API_VERSION: u32 = 1;
 /// Default capacity of the engine's content-addressed CPG cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
+/// Default capacity of the engine's whole-response cache.
+pub const DEFAULT_RESPONSE_CACHE_CAPACITY: usize = 2048;
+
+/// Maximum items accepted in one batch request.
+pub const MAX_BATCH_ITEMS: usize = 256;
+
 /// Builder-style configuration of an [`AnalysisEngine`].
 #[derive(Debug, Clone)]
 pub struct AnalysisConfig {
@@ -42,6 +48,7 @@ pub struct AnalysisConfig {
     max_path: usize,
     timeout_ms: Option<u64>,
     cache_capacity: usize,
+    response_cache_capacity: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -52,6 +59,7 @@ impl Default for AnalysisConfig {
             max_path: usize::MAX,
             timeout_ms: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            response_cache_capacity: DEFAULT_RESPONSE_CACHE_CAPACITY,
         }
     }
 }
@@ -95,6 +103,16 @@ impl AnalysisConfig {
     /// Capacity of the content-addressed CPG cache (0 disables caching).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Capacity of the whole-response cache keyed by request content
+    /// (0 disables it). Successful responses are memoized so a repeated
+    /// request skips the entire pipeline; errors are never cached, and
+    /// the cache is bypassed while fault injection is armed so chaos
+    /// runs always exercise the real stages.
+    pub fn with_response_cache_capacity(mut self, capacity: usize) -> Self {
+        self.response_cache_capacity = capacity;
         self
     }
 
@@ -237,7 +255,13 @@ impl AnalysisRequest {
     pub fn from_json(text: &str) -> Result<AnalysisRequest, AnalysisError> {
         let value = telemetry::json::parse(text)
             .map_err(|e| AnalysisError::invalid(format!("malformed JSON request: {e}")))?;
-        check_version(&value)?;
+        Self::from_value(&value)
+    }
+
+    /// Decode one request from an already-parsed JSON value (shared by
+    /// [`AnalysisRequest::from_json`] and [`batch_from_json`]).
+    fn from_value(value: &Value) -> Result<AnalysisRequest, AnalysisError> {
+        check_version(value)?;
         let kind = value
             .get("kind")
             .and_then(Value::as_str)
@@ -273,6 +297,29 @@ impl AnalysisRequest {
             other => Err(AnalysisError::invalid(format!("unknown request kind {other:?}"))),
         }
     }
+}
+
+/// Decode a batch request: a JSON array of at most [`MAX_BATCH_ITEMS`]
+/// versioned request documents. The outer `Err` covers batch-level
+/// faults (not JSON, not an array, too many items); each element decodes
+/// independently, so one malformed item yields an `Err` in its slot
+/// without failing its siblings — the transport answers it with the same
+/// typed error document a single request would have received.
+pub fn batch_from_json(
+    text: &str,
+) -> Result<Vec<Result<AnalysisRequest, AnalysisError>>, AnalysisError> {
+    let value = telemetry::json::parse(text)
+        .map_err(|e| AnalysisError::invalid(format!("malformed JSON request: {e}")))?;
+    let items = value
+        .as_array()
+        .ok_or_else(|| AnalysisError::invalid("batch request must be a JSON array"))?;
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(AnalysisError::invalid(format!(
+            "batch of {} items exceeds the limit of {MAX_BATCH_ITEMS}",
+            items.len()
+        )));
+    }
+    Ok(items.iter().map(AnalysisRequest::from_value).collect())
 }
 
 /// One vulnerability finding, as reported through the facade.
@@ -498,30 +545,35 @@ fn content_hash(source: &str) -> u64 {
     hash
 }
 
-/// A small LRU cache of built CPGs keyed by source content hash. Shared
-/// (behind the engine's `Mutex`) between all workers of the service, so
-/// repeated scans of the same snippet skip parsing and graph construction.
-struct CpgCache {
+/// A small LRU cache keyed by content hash, shared (behind the engine's
+/// `Mutex`) between all workers of the service. Instantiated twice: once
+/// over built CPGs (repeated scans of the same snippet skip parsing and
+/// graph construction) and once over whole successful responses
+/// (repeated identical requests skip the pipeline entirely).
+struct LruCache<V> {
     capacity: usize,
     stamp: u64,
-    entries: HashMap<u64, (u64, Arc<Cpg>)>,
+    entries: HashMap<u64, (u64, V)>,
 }
 
-impl CpgCache {
-    fn new(capacity: usize) -> CpgCache {
-        CpgCache { capacity, stamp: 0, entries: HashMap::new() }
+/// The content-addressed CPG cache.
+type CpgCache = LruCache<Arc<Cpg>>;
+
+impl<V: Clone> LruCache<V> {
+    fn new(capacity: usize) -> LruCache<V> {
+        LruCache { capacity, stamp: 0, entries: HashMap::new() }
     }
 
-    fn get(&mut self, key: u64) -> Option<Arc<Cpg>> {
+    fn get(&mut self, key: u64) -> Option<V> {
         self.stamp += 1;
         let stamp = self.stamp;
-        self.entries.get_mut(&key).map(|(s, cpg)| {
+        self.entries.get_mut(&key).map(|(s, value)| {
             *s = stamp;
-            Arc::clone(cpg)
+            value.clone()
         })
     }
 
-    fn insert(&mut self, key: u64, cpg: Arc<Cpg>) {
+    fn insert(&mut self, key: u64, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -532,7 +584,7 @@ impl CpgCache {
             }
         }
         self.stamp += 1;
-        self.entries.insert(key, (self.stamp, cpg));
+        self.entries.insert(key, (self.stamp, value));
     }
 }
 
@@ -545,6 +597,7 @@ pub struct AnalysisEngine {
     checker: Checker,
     detector: CloneDetector,
     cache: Mutex<CpgCache>,
+    responses: Mutex<LruCache<AnalysisResponse>>,
 }
 
 impl AnalysisEngine {
@@ -581,7 +634,8 @@ impl AnalysisEngine {
     fn assemble(config: AnalysisConfig, detector: CloneDetector) -> AnalysisEngine {
         let checker = config.checker();
         let cache = Mutex::new(CpgCache::new(config.cache_capacity));
-        AnalysisEngine { config, checker, detector, cache }
+        let responses = Mutex::new(LruCache::new(config.response_cache_capacity));
+        AnalysisEngine { config, checker, detector, cache, responses }
     }
 
     /// The engine's configuration.
@@ -691,7 +745,14 @@ impl AnalysisEngine {
     ) -> Result<AnalysisResponse, AnalysisError> {
         static SCANS: telemetry::Counter = telemetry::Counter::new("api.scans");
         SCANS.incr();
+        // The deadline check stays ahead of the response cache so a
+        // zero-budget request times out identically whether or not the
+        // answer is memoized.
         self.check_deadline(deadline, "parse")?;
+        let key = self.response_key_for("scan", detectors, source);
+        if let Some(hit) = key.and_then(|k| self.cached_response(k)) {
+            return Ok(hit);
+        }
         let cpg = self.cpg_for(source)?;
         self.check_deadline(deadline, "check")?;
         let outcome = match detectors {
@@ -712,9 +773,11 @@ impl AnalysisEngine {
                 query.name()
             )));
         }
-        Ok(AnalysisResponse::Findings(
+        let response = AnalysisResponse::Findings(
             outcome.findings.into_iter().map(Finding::from).collect(),
-        ))
+        );
+        self.store_response(key, &response);
+        Ok(response)
     }
 
     fn clone_check(
@@ -728,6 +791,10 @@ impl AnalysisEngine {
             return Err(AnalysisError::invalid("clone-check source is empty"));
         }
         self.check_deadline(deadline, "fingerprint")?;
+        let key = self.response_key_for("clone_check", None, source);
+        if let Some(hit) = key.and_then(|k| self.cached_response(k)) {
+            return Ok(hit);
+        }
         let fingerprint = CloneDetector::try_fingerprint_source(source)?;
         self.check_deadline(deadline, "match")?;
         let hits = self
@@ -736,7 +803,70 @@ impl AnalysisEngine {
             .into_iter()
             .map(|m| CloneHit { doc: m.doc, score: m.score })
             .collect();
-        Ok(AnalysisResponse::Clones(hits))
+        let response = AnalysisResponse::Clones(hits);
+        self.store_response(key, &response);
+        Ok(response)
+    }
+
+    /// Cache key of a successful response for this exact request, or
+    /// `None` when response caching must not be used: capacity 0, or a
+    /// fault plan is armed — chaos runs depend on every request reaching
+    /// the real pipeline stages where injection points live.
+    fn response_key_for(
+        &self,
+        kind: &str,
+        detectors: Option<&[QueryId]>,
+        source: &str,
+    ) -> Option<u64> {
+        if self.config.response_cache_capacity == 0 || faultinject::active() {
+            return None;
+        }
+        // FNV-1a over kind, the effective detector subset and the
+        // source, with NUL separators so field boundaries cannot alias.
+        let mut hash = 0xcbf29ce484222325u64;
+        let mut eat = |bytes: &[u8]| {
+            for byte in bytes {
+                hash ^= *byte as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(kind.as_bytes());
+        eat(&[0]);
+        if let Some(detectors) = detectors {
+            for d in detectors {
+                eat(d.name().as_bytes());
+                eat(&[0]);
+            }
+        }
+        eat(&[0]);
+        eat(source.as_bytes());
+        Some(hash)
+    }
+
+    fn cached_response(&self, key: u64) -> Option<AnalysisResponse> {
+        static HITS: telemetry::Counter = telemetry::Counter::new("api.response_cache_hits");
+        let hit = self
+            .responses
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(key);
+        if hit.is_some() {
+            HITS.incr();
+            telemetry::trace::annotate("response_cache", "hit");
+        }
+        hit
+    }
+
+    /// Memoize a successful response (errors are never cached — they
+    /// must re-run and re-fail so retries observe live state).
+    fn store_response(&self, key: Option<u64>, response: &AnalysisResponse) {
+        static MISSES: telemetry::Counter = telemetry::Counter::new("api.response_cache_misses");
+        let Some(key) = key else { return };
+        MISSES.incr();
+        self.responses
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(key, response.clone());
     }
 
     fn check_deadline(
@@ -884,5 +1014,75 @@ mod tests {
     fn escape_json_handles_specials() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn batch_decodes_items_independently() {
+        let scan = AnalysisRequest::scan("contract C {}").to_json();
+        let body = format!("[{scan},{{\"v\":1,\"kind\":\"nope\",\"source\":\"x\"}}]");
+        let items = batch_from_json(&body).unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], Ok(AnalysisRequest::Scan { .. })));
+        assert_eq!(items[1].as_ref().unwrap_err().code(), "invalid_request");
+    }
+
+    #[test]
+    fn batch_rejects_non_arrays_and_oversize() {
+        assert_eq!(batch_from_json("{\"v\":1}").unwrap_err().code(), "invalid_request");
+        assert_eq!(batch_from_json("not json").unwrap_err().code(), "invalid_request");
+        let item = AnalysisRequest::scan("contract C {}").to_json();
+        let huge = format!(
+            "[{}]",
+            std::iter::repeat_n(item.as_str(), MAX_BATCH_ITEMS + 1)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert_eq!(batch_from_json(&huge).unwrap_err().code(), "invalid_request");
+        assert_eq!(batch_from_json("[]").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn response_cache_returns_identical_bytes() {
+        let engine = AnalysisEngine::new(AnalysisConfig::default());
+        let request = AnalysisRequest::scan(VULNERABLE);
+        let first = engine.analyze(&request).unwrap().to_json();
+        assert_eq!(engine.responses.lock().unwrap().entries.len(), 1);
+        let second = engine.analyze(&request).unwrap().to_json();
+        assert_eq!(first, second, "memoized response must be byte-identical");
+        // Still one entry: the repeat was a hit, not a second insert.
+        assert_eq!(engine.responses.lock().unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn response_cache_keys_detector_subsets_apart() {
+        let engine = AnalysisEngine::new(AnalysisConfig::default());
+        let all = AnalysisRequest::Scan { source: VULNERABLE.into(), detectors: None };
+        let subset = AnalysisRequest::Scan {
+            source: VULNERABLE.into(),
+            detectors: Some(vec![QueryId::AcTxOrigin]),
+        };
+        engine.analyze(&all).unwrap();
+        match engine.analyze(&subset).unwrap() {
+            AnalysisResponse::Findings(findings) => {
+                assert!(findings.is_empty(), "TxOrigin must not fire on a send() snippet");
+            }
+            other => panic!("expected findings, got {other:?}"),
+        }
+        assert_eq!(engine.responses.lock().unwrap().entries.len(), 2);
+    }
+
+    #[test]
+    fn response_cache_is_bypassed_while_faults_are_armed() {
+        let engine = AnalysisEngine::new(AnalysisConfig::default());
+        faultinject::install(Some(faultinject::FaultPlan::parse("parse:err:0.0", 1).unwrap()));
+        engine.analyze(&AnalysisRequest::scan(VULNERABLE)).unwrap();
+        assert_eq!(
+            engine.responses.lock().unwrap().entries.len(),
+            0,
+            "armed fault plans must disable response memoization"
+        );
+        faultinject::install(None);
+        engine.analyze(&AnalysisRequest::scan(VULNERABLE)).unwrap();
+        assert_eq!(engine.responses.lock().unwrap().entries.len(), 1);
     }
 }

@@ -2,16 +2,33 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency N]
+//!         [--no-keepalive] [--pipeline-depth N] [--batch N]
 //!         [--out PATH] [--no-append] [--smoke] [--chaos]
-//!         [--observability] [--trace-overhead]
+//!         [--observability] [--trace-overhead] [--serve-gate]
 //! ```
 //!
 //! Drives a running daemon (`--addr`) or spins up an in-process one on an
 //! ephemeral port, fires a mixed scan/clone-check workload from
 //! `--concurrency` threads, and appends one throughput/latency point
-//! (`rps`, `p50/p95/p99` µs) to the benchmark trajectory file. `--smoke`
-//! is the CI mode: a small burst plus response well-formedness checks,
-//! designed to finish in seconds.
+//! (`rps`, `p50/p95/p99` µs, plus the `keepalive`/`pipeline_depth`/
+//! `batch` profile) to the benchmark trajectory file. `--smoke` is the CI
+//! mode: a small burst plus response well-formedness checks, designed to
+//! finish in seconds.
+//!
+//! Connection profile: requests reuse one keep-alive connection per
+//! worker thread by default; `--no-keepalive` restores the old
+//! connect-per-request behavior. `--pipeline-depth N` writes windows of
+//! N requests before reading the responses back (HTTP/1.1 pipelining);
+//! the per-request clock starts at write time, so queueing inside the
+//! window is charged to the request, not hidden. `--batch N` folds N
+//! workload items into one `POST /v1/batch` request and counts each item
+//! toward throughput.
+//!
+//! `--serve-gate` is the transport-regression gate: it measures a warm
+//! keep-alive burst against an in-process daemon and fails if throughput
+//! regressed more than 20% below the last keep-alive `serve_loadgen`
+//! point in the trajectory file (one re-measure on a miss). Nothing is
+//! appended.
 //!
 //! `--chaos` is the fault-tolerance mode: the daemon is expected to be
 //! running under an armed `FAULT_SPEC`, so requests go through the
@@ -53,16 +70,30 @@ const SCAN_SNIPPETS: &[&str] = &[
     "if (block.timestamp > deadline) { winner = msg.sender; }",
 ];
 
+/// Connection profile for the measured burst.
+#[derive(Clone, Copy)]
+struct Profile {
+    /// Reuse one connection per worker thread (default on).
+    keepalive: bool,
+    /// Requests written per pipelined window (1 = request/response
+    /// lockstep).
+    pipeline_depth: usize,
+    /// Workload items folded into one `/v1/batch` request (0 = off).
+    batch: usize,
+}
+
 struct Args {
     addr: Option<String>,
     requests: usize,
     concurrency: usize,
+    profile: Profile,
     out: String,
     append: bool,
     smoke: bool,
     chaos: bool,
     observability: bool,
     trace_overhead: bool,
+    serve_gate: bool,
 }
 
 fn parse_args() -> Args {
@@ -71,12 +102,14 @@ fn parse_args() -> Args {
         addr: None,
         requests: 256,
         concurrency: 16,
+        profile: Profile { keepalive: true, pipeline_depth: 1, batch: 0 },
         out: "BENCH_trajectory.json".to_string(),
         append: true,
         smoke: false,
         chaos: false,
         observability: false,
         trace_overhead: false,
+        serve_gate: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -102,6 +135,23 @@ fn parse_args() -> Args {
             "--out" => {
                 args.out = value(i).clone();
                 i += 2;
+            }
+            "--no-keepalive" => {
+                args.profile.keepalive = false;
+                i += 1;
+            }
+            "--pipeline-depth" => {
+                args.profile.pipeline_depth =
+                    value(i).parse().expect("--pipeline-depth must be a count");
+                i += 2;
+            }
+            "--batch" => {
+                args.profile.batch = value(i).parse().expect("--batch must be a count");
+                i += 2;
+            }
+            "--serve-gate" => {
+                args.serve_gate = true;
+                i += 1;
             }
             "--no-append" => {
                 args.append = false;
@@ -144,6 +194,22 @@ fn parse_args() -> Args {
         eprintln!("--trace-overhead drives its own in-process daemon; drop --addr");
         std::process::exit(2);
     }
+    if args.serve_gate {
+        if args.addr.is_some() {
+            eprintln!("--serve-gate drives its own in-process daemon; drop --addr");
+            std::process::exit(2);
+        }
+        // The gate compares against the recorded baseline; it never
+        // writes a point of its own.
+        args.append = false;
+    }
+    if args.profile.pipeline_depth == 0 {
+        args.profile.pipeline_depth = 1;
+    }
+    if args.profile.batch > 0 && !args.profile.keepalive {
+        eprintln!("--batch requires keep-alive connections; drop --no-keepalive");
+        std::process::exit(2);
+    }
     args
 }
 
@@ -163,6 +229,10 @@ fn main() {
     }
     if args.trace_overhead {
         trace_overhead_gate(&args, &dataset);
+        return;
+    }
+    if args.serve_gate {
+        serve_gate(&args, &dataset);
         return;
     }
 
@@ -189,8 +259,15 @@ fn main() {
     }
 
     let (bodies, paths) = build_workload(&dataset, args.requests);
-    let outcome =
-        run_burst(&addr, &bodies, &paths, args.concurrency, args.chaos, &retry_policy());
+    let outcome = run_burst(
+        &addr,
+        &bodies,
+        &paths,
+        args.concurrency,
+        args.chaos,
+        &retry_policy(),
+        args.profile,
+    );
     let BurstOutcome { lat, elapsed, failed, typed_errors, shed } = &outcome;
     if args.chaos {
         println!(
@@ -234,9 +311,10 @@ fn main() {
 
     if args.append {
         let point = format!(
-            "{{\"bench\": \"serve_loadgen\", \"requests\": {}, \"concurrency\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+            "{{\"bench\": \"serve_loadgen\", \"requests\": {}, \"concurrency\": {}, {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
             lat.len(),
             args.concurrency,
+            profile_fields(args.profile),
             rps,
             outcome.pct(0.50),
             outcome.pct(0.95),
@@ -330,8 +408,39 @@ impl BurstOutcome {
     }
 }
 
+/// Per-thread burst bookkeeping, merged into the shared counters when
+/// the thread finishes.
+#[derive(Default)]
+struct Tally {
+    lat: Vec<u64>,
+    failed: usize,
+    typed_errors: usize,
+    shed: usize,
+}
+
+impl Tally {
+    /// Classify one response against a per-request clock captured at
+    /// write time.
+    fn classify(&mut self, status: u16, body: &str, t0: Instant, chaos: bool) {
+        match status {
+            200 if AnalysisResponse::from_json(body).is_ok() => {
+                self.lat.push(t0.elapsed().as_micros() as u64);
+            }
+            // Shed load is correct behavior, not a failure, but it
+            // carries no latency signal.
+            429 => self.shed += 1,
+            // Under an armed fault plan, an injected fault surfacing as
+            // a typed error document is the contract we are checking.
+            _ if chaos && is_typed_error(body) => self.typed_errors += 1,
+            _ => self.failed += 1,
+        }
+    }
+}
+
 /// Fire the whole workload from `concurrency` threads and collect the
-/// outcome. Chaos mode goes through the retrying client and counts typed
+/// outcome. The profile picks the transport: keep-alive pipelined
+/// windows (default), batch requests, or the old connect-per-request
+/// path. Chaos mode goes through the retrying client and counts typed
 /// error documents as correct.
 fn run_burst(
     addr: &str,
@@ -340,6 +449,7 @@ fn run_burst(
     concurrency: usize,
     chaos: bool,
     retry_policy: &client::RetryPolicy,
+    profile: Profile,
 ) -> BurstOutcome {
     let cursor = AtomicUsize::new(0);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(bodies.len()));
@@ -350,39 +460,25 @@ fn run_burst(
     std::thread::scope(|scope| {
         for _ in 0..concurrency.max(1) {
             scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= bodies.len() {
-                        break;
-                    }
-                    let t0 = Instant::now();
-                    let outcome = if chaos {
-                        client::post_with_retry(addr, paths[i], &bodies[i], retry_policy)
-                    } else {
-                        client::post(addr, paths[i], &bodies[i])
-                    };
-                    match outcome {
-                        Ok((200, body)) if AnalysisResponse::from_json(&body).is_ok() => {
-                            local.push(t0.elapsed().as_micros() as u64);
-                        }
-                        Ok((429, _)) => {
-                            // Shed load is correct behavior, not a failure,
-                            // but it carries no latency signal.
-                            shed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Ok((_, body)) if chaos && is_typed_error(&body) => {
-                            // Under an armed fault plan, an injected fault
-                            // surfacing as a typed error document is the
-                            // contract we are checking, not a failure.
-                            typed_errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                        _ => {
-                            failures.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
+                let mut tally = Tally::default();
+                if profile.batch > 0 && !chaos {
+                    batch_worker(addr, bodies, &cursor, profile.batch, &mut tally);
+                } else if profile.keepalive && !chaos {
+                    pipelined_worker(
+                        addr,
+                        bodies,
+                        paths,
+                        &cursor,
+                        profile.pipeline_depth,
+                        &mut tally,
+                    );
+                } else {
+                    sequential_worker(addr, bodies, paths, &cursor, chaos, retry_policy, &mut tally);
                 }
-                latencies.lock().expect("latency lock").extend(local);
+                latencies.lock().expect("latency lock").extend(tally.lat);
+                failures.fetch_add(tally.failed, Ordering::Relaxed);
+                typed_errors.fetch_add(tally.typed_errors, Ordering::Relaxed);
+                shed.fetch_add(tally.shed, Ordering::Relaxed);
             });
         }
     });
@@ -395,6 +491,131 @@ fn run_burst(
         failed: failures.load(Ordering::Relaxed),
         typed_errors: typed_errors.load(Ordering::Relaxed),
         shed: shed.load(Ordering::Relaxed),
+    }
+}
+
+/// The `--no-keepalive` / chaos path: one connection (or retry budget)
+/// per request, exactly the pre-reactor behavior.
+fn sequential_worker(
+    addr: &str,
+    bodies: &[String],
+    paths: &[&str],
+    cursor: &AtomicUsize,
+    chaos: bool,
+    retry_policy: &client::RetryPolicy,
+    tally: &mut Tally,
+) {
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= bodies.len() {
+            break;
+        }
+        let t0 = Instant::now();
+        let outcome = if chaos {
+            client::post_with_retry(addr, paths[i], &bodies[i], retry_policy)
+        } else {
+            client::post(addr, paths[i], &bodies[i])
+        };
+        match outcome {
+            Ok((status, body)) => tally.classify(status, &body, t0, chaos),
+            Err(_) => tally.failed += 1,
+        }
+    }
+}
+
+/// The keep-alive path: claim a window of up to `depth` requests, write
+/// them all (clock per request starts at its write), then read the
+/// responses back in order. Depth 1 degrades to plain keep-alive
+/// request/response lockstep.
+fn pipelined_worker(
+    addr: &str,
+    bodies: &[String],
+    paths: &[&str],
+    cursor: &AtomicUsize,
+    depth: usize,
+    tally: &mut Tally,
+) {
+    let mut conn = client::Connection::new(addr);
+    loop {
+        let start = cursor.fetch_add(depth, Ordering::Relaxed);
+        if start >= bodies.len() {
+            break;
+        }
+        let end = (start + depth).min(bodies.len());
+        if conn.connect().is_err() {
+            tally.failed += end - start;
+            continue;
+        }
+        let mut t0s: Vec<Instant> = Vec::with_capacity(end - start);
+        for i in start..end {
+            let t0 = Instant::now();
+            if conn.send("POST", paths[i], &bodies[i], &[]).is_err() {
+                break;
+            }
+            t0s.push(t0);
+        }
+        tally.failed += (end - start) - t0s.len();
+        let mut received = 0;
+        for t0 in &t0s {
+            match conn.recv() {
+                Ok(response) => {
+                    tally.classify(response.status, &response.body, *t0, false);
+                    received += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        tally.failed += t0s.len() - received;
+    }
+}
+
+/// The `--batch N` path: fold N workload items into one `/v1/batch`
+/// request over a keep-alive connection; each item counts toward
+/// throughput with the batch's latency.
+fn batch_worker(
+    addr: &str,
+    bodies: &[String],
+    cursor: &AtomicUsize,
+    batch: usize,
+    tally: &mut Tally,
+) {
+    use telemetry::json::Value;
+    let mut conn = client::Connection::new(addr);
+    loop {
+        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+        if start >= bodies.len() {
+            break;
+        }
+        let end = (start + batch).min(bodies.len());
+        let items = end - start;
+        let body = format!("[{}]", bodies[start..end].join(","));
+        if conn.connect().is_err() {
+            tally.failed += items;
+            continue;
+        }
+        let t0 = Instant::now();
+        let outcome = conn.send("POST", "/v1/batch", &body, &[]).and_then(|()| conn.recv());
+        match outcome {
+            Ok(response) if response.status == 200 => {
+                let results = telemetry::json::parse(&response.body)
+                    .ok()
+                    .and_then(|doc| doc.get("results").and_then(Value::as_array).map(<[Value]>::to_vec));
+                match results {
+                    Some(results) if results.len() == items => {
+                        for element in &results {
+                            if element.get("kind").and_then(Value::as_str) == Some("error") {
+                                tally.failed += 1;
+                            } else {
+                                tally.lat.push(t0.elapsed().as_micros() as u64);
+                            }
+                        }
+                    }
+                    _ => tally.failed += items,
+                }
+            }
+            Ok(response) if response.status == 429 => tally.shed += items,
+            _ => tally.failed += items,
+        }
     }
 }
 
@@ -569,7 +790,7 @@ fn trace_overhead_gate(args: &Args, dataset: &corpus::honeypots::HoneypotDataset
 
     // Warm the daemon (CPG cache, fingerprint paths) before measuring.
     telemetry::trace::set_enabled(false);
-    let warm = run_burst(&addr, &bodies, &paths, args.concurrency, false, &policy);
+    let warm = run_burst(&addr, &bodies, &paths, args.concurrency, false, &policy, args.profile);
     if warm.lat.is_empty() {
         eprintln!("[loadgen] FAIL: warmup burst had no successes ({} failed)", warm.failed);
         std::process::exit(1);
@@ -577,8 +798,8 @@ fn trace_overhead_gate(args: &Args, dataset: &corpus::honeypots::HoneypotDataset
 
     let mut measured: Option<(BurstOutcome, BurstOutcome)> = None;
     for attempt in 1..=2 {
-        let off = measure(&addr, &bodies, &paths, args.concurrency, &policy, false);
-        let on = measure(&addr, &bodies, &paths, args.concurrency, &policy, true);
+        let off = measure(&addr, &bodies, &paths, args.concurrency, &policy, false, args.profile);
+        let on = measure(&addr, &bodies, &paths, args.concurrency, &policy, true, args.profile);
         let ratio = on.rps() / off.rps();
         println!(
             "[loadgen] trace overhead attempt {attempt}: off {:.1} req/s, on {:.1} req/s ({:+.1}%)",
@@ -600,9 +821,10 @@ fn trace_overhead_gate(args: &Args, dataset: &corpus::honeypots::HoneypotDataset
     if args.append {
         for (tracing, outcome) in [("off", &off), ("on", &on)] {
             let point = format!(
-                "{{\"bench\": \"serve_loadgen\", \"requests\": {}, \"concurrency\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"tracing\": \"{tracing}\"}}",
+                "{{\"bench\": \"serve_loadgen\", \"requests\": {}, \"concurrency\": {}, {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"tracing\": \"{tracing}\"}}",
                 outcome.lat.len(),
                 args.concurrency,
+                profile_fields(args.profile),
                 outcome.rps(),
                 outcome.pct(0.50),
                 outcome.pct(0.95),
@@ -636,9 +858,10 @@ fn measure(
     concurrency: usize,
     policy: &client::RetryPolicy,
     tracing: bool,
+    profile: Profile,
 ) -> BurstOutcome {
     telemetry::trace::set_enabled(tracing);
-    let outcome = run_burst(addr, bodies, paths, concurrency, false, policy);
+    let outcome = run_burst(addr, bodies, paths, concurrency, false, policy, profile);
     if outcome.failed > 0 || outcome.lat.is_empty() {
         eprintln!(
             "[loadgen] FAIL: {} failures / {} ok during overhead measurement (tracing {tracing})",
@@ -648,6 +871,98 @@ fn measure(
         std::process::exit(1);
     }
     outcome
+}
+
+/// The transport-regression gate (`--serve-gate`): a warm keep-alive
+/// burst against a fresh in-process daemon must stay within 20% of the
+/// last keep-alive `serve_loadgen` point in the trajectory file. A miss
+/// gets one re-measure against a fresh daemon — single bursts are noisy.
+/// With no recorded baseline the gate only checks the burst succeeds.
+fn serve_gate(args: &Args, dataset: &corpus::honeypots::HoneypotDataset) {
+    let baseline = baseline_rps(&args.out, args.profile);
+    match baseline {
+        Some(rps) => println!("[loadgen] serve gate baseline: {rps:.1} req/s from {}", args.out),
+        None => {
+            println!(
+                "[loadgen] serve gate: no keep-alive baseline in {}; checking liveness only",
+                args.out
+            );
+        }
+    }
+    let (bodies, paths) = build_workload(dataset, args.requests);
+    let policy = retry_policy();
+    let mut last = 0.0_f64;
+    for attempt in 1..=2 {
+        let (addr, handle, join) = spawn_in_process(dataset);
+        // Warm the daemon (CPG + response caches) so the measured burst
+        // sees the same steady state the baseline did.
+        let warm = run_burst(&addr, &bodies, &paths, args.concurrency, false, &policy, args.profile);
+        if warm.lat.is_empty() {
+            eprintln!("[loadgen] FAIL: serve gate warmup had no successes ({} failed)", warm.failed);
+            std::process::exit(1);
+        }
+        let outcome =
+            run_burst(&addr, &bodies, &paths, args.concurrency, false, &policy, args.profile);
+        handle.shutdown();
+        join.join().expect("server thread");
+        if outcome.failed > 0 || outcome.lat.is_empty() {
+            eprintln!(
+                "[loadgen] FAIL: serve gate burst had {} failures / {} ok",
+                outcome.failed,
+                outcome.lat.len()
+            );
+            std::process::exit(1);
+        }
+        last = outcome.rps();
+        println!(
+            "[loadgen] serve gate attempt {attempt}: {last:.1} req/s, p99 {} µs",
+            outcome.pct(0.99)
+        );
+        if baseline.is_none_or(|rps| last >= 0.8 * rps) {
+            println!("[loadgen] serve gate passed");
+            return;
+        }
+    }
+    eprintln!(
+        "[loadgen] FAIL: {last:.1} req/s regressed more than 20% below the {:.1} req/s baseline",
+        baseline.unwrap_or(0.0)
+    );
+    std::process::exit(1);
+}
+
+/// The most recent keep-alive, non-tracing-tagged `serve_loadgen` point
+/// in the trajectory file whose pipeline/batch profile matches the
+/// gate's, so the comparison is like for like.
+fn baseline_rps(path: &str, profile: Profile) -> Option<f64> {
+    use telemetry::json::Value;
+    let content = std::fs::read_to_string(path).ok()?;
+    let doc = telemetry::json::parse(&content).ok()?;
+    let points = doc.get("points").and_then(Value::as_array)?;
+    points.iter().rev().find_map(|point| {
+        let is_serve =
+            point.get("bench").and_then(Value::as_str) == Some("serve_loadgen");
+        let keepalive = matches!(point.get("keepalive"), Some(Value::Bool(true)));
+        let depth = point.get("pipeline_depth").and_then(Value::as_f64).unwrap_or(1.0);
+        let batch = point.get("batch").and_then(Value::as_f64).unwrap_or(0.0);
+        if is_serve
+            && keepalive
+            && depth == profile.pipeline_depth as f64
+            && batch == profile.batch as f64
+            && point.get("tracing").is_none()
+        {
+            point.get("rps").and_then(Value::as_f64)
+        } else {
+            None
+        }
+    })
+}
+
+/// The profile fields every `serve_loadgen` point carries.
+fn profile_fields(profile: Profile) -> String {
+    format!(
+        "\"keepalive\": {}, \"pipeline_depth\": {}, \"batch\": {}",
+        profile.keepalive, profile.pipeline_depth, profile.batch
+    )
 }
 
 /// Append one point to the trajectory file, preserving existing bytes: the

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! serve [--port N] [--port-file PATH] [--workers N] [--queue-cap N]
+//!       [--shards N] [--read-timeout-ms N] [--max-pipeline N]
 //!       [--timeout-ms N] [--corpus N]
 //!       [--breaker-threshold N] [--breaker-open-ms N]
 //!       [--trace on|off] [--access-log PATH] [--slow-log PATH] [--slow-ms N]
@@ -64,6 +65,19 @@ fn main() {
             }
             "--queue-cap" => {
                 config.queue_capacity = value(i).parse().expect("--queue-cap must be a count");
+                i += 2;
+            }
+            "--shards" => {
+                config.shards = value(i).parse().expect("--shards must be a count");
+                i += 2;
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms =
+                    value(i).parse().expect("--read-timeout-ms must be milliseconds");
+                i += 2;
+            }
+            "--max-pipeline" => {
+                config.max_pipeline = value(i).parse().expect("--max-pipeline must be a count");
                 i += 2;
             }
             "--timeout-ms" => {

@@ -1,7 +1,11 @@
 //! A tiny blocking HTTP client for driving the daemon — used by the
-//! `loadgen` bin, the integration tests and the CI smoke step. Relies on
-//! the server's `Connection: close` discipline: read to EOF, split head
-//! from body.
+//! `loadgen` bin, the integration tests and the CI smoke step.
+//!
+//! [`Connection`] is the keep-alive path: one TCP connection serves
+//! sequential requests (or a pipelined window via [`Connection::send`] /
+//! [`Connection::recv`]), with responses framed by `Content-Length`. The
+//! free functions ([`post`], [`get`], [`request_full`]) keep the old
+//! connect-per-request `Connection: close` behavior as an escape hatch.
 //!
 //! [`RetryPolicy`] adds bounded retries with exponential backoff and
 //! seeded jitter for transient failures: connection errors (a worker
@@ -62,15 +66,19 @@ pub fn request_with_retry(
     static RETRIES: telemetry::Counter = telemetry::Counter::new("client.retries");
     let mut rng = faultinject::SeededRng::new(policy.seed);
     let attempts = policy.max_attempts.max(1);
+    let mut conn = Connection::new(addr);
     let mut last: Option<std::io::Result<(u16, String)>> = None;
     for attempt in 0..attempts {
         if attempt > 0 {
             RETRIES.incr();
             std::thread::sleep(policy.backoff(attempt, &mut rng));
         }
-        match request(addr, method, path, body) {
-            Ok((status, body)) if !retryable_status(status) => return Ok((status, body)),
-            outcome => last = Some(outcome),
+        match conn.request_full(method, path, body, &[]) {
+            Ok(response) if !retryable_status(response.status) => {
+                return Ok((response.status, response.body));
+            }
+            Ok(response) => last = Some(Ok((response.status, response.body))),
+            Err(err) => last = Some(Err(err)),
         }
     }
     last.expect("at least one attempt was made")
@@ -115,6 +123,203 @@ impl Response {
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+}
+
+/// A keep-alive HTTP/1.1 connection. Connects lazily, reuses the socket
+/// across sequential requests, and reconnects once (transparently) when
+/// a reused socket turns out to be dead — the server may have closed an
+/// idle connection between requests.
+///
+/// [`Connection::send`] and [`Connection::recv`] are split out so
+/// callers can pipeline: write a window of requests, then read the
+/// responses back in order.
+pub struct Connection {
+    addr: String,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Connection {
+    /// Create a connection to `addr`; no socket is opened until the
+    /// first request.
+    pub fn new(addr: &str) -> Self {
+        Connection { addr: addr.to_string(), stream: None, buf: Vec::new(), pos: 0 }
+    }
+
+    /// Whether a socket is currently open (and presumed alive).
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Open the socket now if it is not already open. Lets callers that
+    /// time individual requests exclude the connect cost (the load
+    /// generator captures its per-request clock at write time).
+    pub fn connect(&mut self) -> std::io::Result<()> {
+        self.ensure_connected().map(|_| ())
+    }
+
+    /// Drop the socket and any buffered bytes; the next request
+    /// reconnects.
+    pub fn reset(&mut self) {
+        self.stream = None;
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+            let _ = stream.set_nodelay(true);
+            self.buf.clear();
+            self.pos = 0;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("stream was just ensured"))
+    }
+
+    /// Write one request on the connection without reading the response
+    /// (the pipelining half; pair each call with a later [`recv`]).
+    ///
+    /// [`recv`]: Connection::recv
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<()> {
+        let addr = self.addr.clone();
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        let stream = self.ensure_connected()?;
+        let outcome = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .and_then(|()| stream.flush());
+        if outcome.is_err() {
+            self.reset();
+        }
+        outcome
+    }
+
+    /// Read one `Content-Length`-framed response off the connection.
+    /// A `Connection: close` response is honored by dropping the socket
+    /// afterwards, so the next request transparently reconnects.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        match self.read_framed() {
+            Ok(response) => {
+                if response.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close")) {
+                    self.reset();
+                } else if self.pos == self.buf.len() {
+                    // Fully consumed: recycle the buffer allocation.
+                    self.buf.clear();
+                    self.pos = 0;
+                }
+                Ok(response)
+            }
+            Err(err) => {
+                self.reset();
+                Err(err)
+            }
+        }
+    }
+
+    fn read_framed(&mut self) -> std::io::Result<Response> {
+        let head_end = loop {
+            if let Some(at) = find_subsequence(&self.buf[self.pos..], b"\r\n\r\n") {
+                break self.pos + at + 4;
+            }
+            self.fill()?;
+        };
+        let head = std::str::from_utf8(&self.buf[self.pos..head_end]).map_err(invalid_response)?;
+        let mut lines = head.lines();
+        let status_line = lines.next().ok_or_else(|| invalid_response("missing status line"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| invalid_response("bad status line"))?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|line| line.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        while self.buf.len() < head_end + length {
+            self.fill()?;
+        }
+        let body = String::from_utf8_lossy(&self.buf[head_end..head_end + length]).into_owned();
+        self.pos = head_end + length;
+        Ok(Response { status, headers, body })
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotConnected, "not connected"))?;
+        let mut chunk = [0u8; 16 * 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// Send one request and read its response, reconnecting once if a
+    /// *reused* socket fails (it may have been closed by the server
+    /// between requests; a fresh-connect failure is propagated as-is).
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<Response> {
+        let reused = self.is_connected();
+        let first = self.send(method, path, body, extra_headers).and_then(|()| self.recv());
+        match first {
+            Ok(response) => Ok(response),
+            Err(_) if reused => self.send(method, path, body, extra_headers).and_then(|()| self.recv()),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// `POST` a JSON body on the connection; returns `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let response = self.request_full("POST", path, body, &[])?;
+        Ok((response.status, response.body))
+    }
+
+    /// `GET` a path on the connection; returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        let response = self.request_full("GET", path, "", &[])?;
+        Ok((response.status, response.body))
+    }
+}
+
+fn invalid_response(detail: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad HTTP response: {detail}"))
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|window| window == needle)
 }
 
 /// Send one request and return `(status, body)`.
@@ -264,6 +469,88 @@ mod tests {
         };
         let policy = RetryPolicy { max_attempts: 2, ..fast_policy() };
         assert!(get_with_retry(&addr, "/health", &policy).is_err());
+    }
+
+    /// A server answering `total` keep-alive responses on however many
+    /// connections clients open; returns how many connections were
+    /// accepted.
+    fn keepalive_server(total: usize) -> (String, std::thread::JoinHandle<usize>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let mut conns = 0;
+            let mut remaining = total;
+            while remaining > 0 {
+                let Ok((mut stream, _)) = listener.accept() else { break };
+                conns += 1;
+                let mut pending = Vec::new();
+                while remaining > 0 {
+                    let mut chunk = [0u8; 4096];
+                    let Ok(n) = stream.read(&mut chunk) else { break };
+                    if n == 0 {
+                        break;
+                    }
+                    pending.extend_from_slice(&chunk[..n]);
+                    // Answer one response per complete request head.
+                    while remaining > 0 {
+                        let Some(at) = pending.windows(4).position(|w| w == b"\r\n\r\n") else {
+                            break;
+                        };
+                        pending.drain(..at + 4);
+                        let body = format!("{{\"n\":{}}}", total - remaining);
+                        let response = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{body}",
+                            body.len()
+                        );
+                        stream.write_all(response.as_bytes()).unwrap();
+                        remaining -= 1;
+                    }
+                }
+            }
+            conns
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn connection_reuses_one_socket_for_sequential_requests() {
+        let (addr, conns) = keepalive_server(3);
+        let mut conn = Connection::new(&addr);
+        for n in 0..3 {
+            let (status, body) = conn.get("/health").unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, format!("{{\"n\":{n}}}"));
+        }
+        drop(conn);
+        assert_eq!(conns.join().unwrap(), 1, "all three requests shared one connection");
+    }
+
+    #[test]
+    fn connection_pipelines_a_window_of_requests() {
+        let (addr, conns) = keepalive_server(4);
+        let mut conn = Connection::new(&addr);
+        for _ in 0..4 {
+            conn.send("GET", "/health", "", &[]).unwrap();
+        }
+        for n in 0..4 {
+            let response = conn.recv().unwrap();
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, format!("{{\"n\":{n}}}"), "responses arrive in order");
+        }
+        drop(conn);
+        assert_eq!(conns.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn connection_reconnects_when_the_server_closes() {
+        // Each canned response carries `Connection: close`, so the
+        // client must transparently reconnect between requests.
+        let (addr, served) = canned_server(vec![200, 200]);
+        let mut conn = Connection::new(&addr);
+        assert_eq!(conn.get("/health").unwrap().0, 200);
+        assert!(!conn.is_connected(), "close response drops the socket");
+        assert_eq!(conn.get("/health").unwrap().0, 200);
+        assert_eq!(served.join().unwrap(), 2);
     }
 
     #[test]

@@ -9,12 +9,19 @@
 //! * one [`AnalysisEngine`] behind an `Arc` — immutable warm state
 //!   (checker, fingerprint corpus + N-gram index, content-addressed CPG
 //!   cache) shared by every worker,
-//! * a bounded [`WorkerPool`] (`pipeline::par`) draining accepted
-//!   connections — overload is shed at the edge with HTTP 429 instead of
+//! * a sharded epoll reactor (Linux; see [`reactor`]) — one acceptor
+//!   thread hands connections round-robin to N shard threads, each
+//!   running an event loop with non-blocking reads, an incremental
+//!   zero-copy HTTP/1.1 parser, keep-alive and pipelining with a
+//!   bounded in-flight depth, and responses written in request order.
+//!   Non-Linux targets fall back to the original blocking
+//!   accept-then-dispatch loop,
+//! * bounded per-shard [`WorkerPool`]s (`pipeline::par`) running the
+//!   analysis — overload is shed at the edge with HTTP 429 instead of
 //!   queueing without bound,
 //! * cooperative per-request timeouts inside the engine (HTTP 504),
 //! * graceful shutdown: SIGTERM/`POST /shutdown` stop the accept loop,
-//!   queued requests drain, workers join.
+//!   in-flight requests drain, shards and workers join.
 //!
 //! Endpoints (JSON bodies use the wire format of [`pipeline::api`]):
 //!
@@ -23,6 +30,7 @@
 //! | POST   | `/v1/scan`             | CCC detectors over a snippet           |
 //! | POST   | `/v1/clone-check`      | CCD match against the warm corpus      |
 //! | POST   | `/v1/analyze`          | either request kind                    |
+//! | POST   | `/v1/batch`            | array of requests, per-item results    |
 //! | GET    | `/health`              | liveness + corpus size                 |
 //! | GET    | `/telemetry`           | telemetry snapshot (run-report schema) |
 //! | GET    | `/metrics`             | Prometheus text exposition             |
@@ -30,7 +38,7 @@
 //! | GET    | `/debug/trace/<id>`    | one span tree (`?format=chrome` too)   |
 //! | POST   | `/shutdown`            | graceful stop                          |
 //!
-//! Every response — including 400/413/429/503 error paths — carries
+//! Every response — including 400/408/413/429/503 error paths — carries
 //! `X-Trace-Id` and `X-Request-Id` headers (adopted from the request
 //! when parseable, minted otherwise), and every request lands in the
 //! structured access log (see [`accesslog`]) keyed by those ids.
@@ -41,6 +49,8 @@ pub mod accesslog;
 pub mod breaker;
 pub mod client;
 pub mod http;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 
 use accesslog::{AccessLog, AccessRecord};
 use breaker::{BreakerConfig, CircuitBreaker};
@@ -61,11 +71,20 @@ use telemetry::trace::{self, TraceId};
 /// [`pipeline::api::AnalysisConfig`]).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads serving requests.
+    /// Worker threads serving requests (split across reactor shards).
     pub workers: usize,
-    /// Maximum pending (accepted but unserved) connections before the
-    /// service sheds load with 429.
+    /// Maximum pending (accepted but unserved) requests before the
+    /// service sheds load with 429 (split across reactor shards).
     pub queue_capacity: usize,
+    /// Reactor shard threads; `0` picks `min(available cores, 4)`,
+    /// clamped so a shard never exists without a worker or queue slot.
+    pub shards: usize,
+    /// How long a partial request may trickle in before the connection
+    /// is answered 408 and closed (slowloris bound), in milliseconds.
+    pub read_timeout_ms: u64,
+    /// Maximum pipelined requests in flight per connection; reads pause
+    /// (TCP backpressure) while a connection is at the cap.
+    pub max_pipeline: usize,
     /// Per-endpoint circuit-breaker tuning.
     pub breaker: BreakerConfig,
     /// JSONL access-log path (`None` disables access logging).
@@ -82,6 +101,9 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             queue_capacity: 256,
+            shards: 0,
+            read_timeout_ms: 10_000,
+            max_pipeline: 32,
             breaker: BreakerConfig::default(),
             access_log: None,
             slow_log: None,
@@ -136,11 +158,12 @@ pub fn install_signal_handlers() {
 #[cfg(not(unix))]
 pub fn install_signal_handlers() {}
 
-/// Per-endpoint circuit breakers for the three analysis endpoints.
+/// Per-endpoint circuit breakers for the four analysis endpoints.
 struct Breakers {
     scan: CircuitBreaker,
     clone_check: CircuitBreaker,
     analyze: CircuitBreaker,
+    batch: CircuitBreaker,
 }
 
 impl Breakers {
@@ -149,6 +172,7 @@ impl Breakers {
             scan: CircuitBreaker::new(config),
             clone_check: CircuitBreaker::new(config),
             analyze: CircuitBreaker::new(config),
+            batch: CircuitBreaker::new(config),
         }
     }
 }
@@ -159,19 +183,52 @@ struct ServiceState {
     shutdown: ShutdownHandle,
     workers: usize,
     queue_capacity: usize,
+    shards: usize,
     breakers: Breakers,
-    /// Health view of the worker pool; `None` only in unit tests that
-    /// exercise routing without a pool.
-    pool: Option<PoolMonitor>,
+    /// Health views of the per-shard worker pools; empty only in unit
+    /// tests that exercise routing without a pool.
+    pools: Vec<PoolMonitor>,
     /// Structured access log; `None` disables logging.
     access_log: Option<AccessLog>,
 }
 
-/// The analysis daemon: listener + worker pool + warm engine.
+impl ServiceState {
+    fn pool_respawns(&self) -> u64 {
+        self.pools.iter().map(PoolMonitor::respawns).sum()
+    }
+
+    fn pool_queued(&self) -> usize {
+        self.pools.iter().map(PoolMonitor::queue_len).sum()
+    }
+}
+
+static ACCEPTED: telemetry::Counter = telemetry::Counter::new("server.accepted");
+static SHED: telemetry::Counter = telemetry::Counter::new("server.shed");
+
+const OVERLOADED_BODY: &str = "{\"v\":1,\"kind\":\"error\",\"code\":\"overloaded\",\
+     \"message\":\"request queue is full\"}";
+
+/// The analysis daemon: listener + reactor shards + per-shard worker
+/// pools + warm engine.
 pub struct Server {
     listener: TcpListener,
-    pool: WorkerPool,
+    pools: Vec<Arc<WorkerPool>>,
     state: Arc<ServiceState>,
+    read_timeout: Duration,
+    max_pipeline: usize,
+}
+
+/// Shard count actually used: the configured value (or
+/// `min(cores, 4)` when 0), clamped so every shard has at least one
+/// worker and one queue slot — a `workers: 1, queue_capacity: 1` config
+/// keeps its strict single-lane shedding semantics.
+fn effective_shards(config: &ServerConfig) -> usize {
+    let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let requested = if config.shards > 0 { config.shards } else { auto };
+    requested
+        .min(config.workers.max(1))
+        .min(config.queue_capacity.max(1))
+        .max(1)
 }
 
 impl Server {
@@ -184,7 +241,12 @@ impl Server {
         engine: Arc<AnalysisEngine>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        let shard_count = effective_shards(&config);
+        let per_workers = (config.workers / shard_count).max(1);
+        let per_capacity = (config.queue_capacity / shard_count).max(1);
+        let pools: Vec<Arc<WorkerPool>> = (0..shard_count)
+            .map(|_| Arc::new(WorkerPool::new(per_workers, per_capacity)))
+            .collect();
         let access_log = match &config.access_log {
             Some(path) => Some(AccessLog::open(
                 path,
@@ -198,11 +260,18 @@ impl Server {
             shutdown: ShutdownHandle::default(),
             workers: config.workers,
             queue_capacity: config.queue_capacity,
+            shards: shard_count,
             breakers: Breakers::new(config.breaker),
-            pool: Some(pool.monitor()),
+            pools: pools.iter().map(|p| p.monitor()).collect(),
             access_log,
         });
-        Ok(Server { listener, pool, state })
+        Ok(Server {
+            listener,
+            pools,
+            state,
+            read_timeout: Duration::from_millis(config.read_timeout_ms.max(1)),
+            max_pipeline: config.max_pipeline.max(1),
+        })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -216,12 +285,98 @@ impl Server {
         self.state.shutdown.clone()
     }
 
-    /// Serve until shutdown is requested, then drain queued requests and
-    /// join the workers.
+    /// Serve until shutdown is requested, then drain in-flight requests
+    /// and join shards and workers.
     pub fn run(self) -> io::Result<()> {
-        static ACCEPTED: telemetry::Counter = telemetry::Counter::new("server.accepted");
-        static SHED: telemetry::Counter = telemetry::Counter::new("server.shed");
+        #[cfg(target_os = "linux")]
+        {
+            self.run_reactor()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.run_blocking()
+        }
+    }
+
+    /// The sharded event-loop transport: shard threads own connections,
+    /// one acceptor distributes them round-robin through the shard
+    /// inboxes.
+    #[cfg(target_os = "linux")]
+    fn run_reactor(self) -> io::Result<()> {
+        use reactor::{Shard, ShardConfig, ShardInbox};
+        let shard_cfg =
+            ShardConfig { read_timeout: self.read_timeout, max_pipeline: self.max_pipeline };
+        let mut inboxes = Vec::with_capacity(self.pools.len());
+        let mut threads = Vec::with_capacity(self.pools.len());
+        for (id, pool) in self.pools.iter().enumerate() {
+            let inbox = ShardInbox::new()?;
+            let handler = Arc::new(ShardService {
+                state: Arc::clone(&self.state),
+                pool: Arc::clone(pool),
+                inbox: Arc::clone(&inbox),
+                read_timeout: self.read_timeout,
+            });
+            let shard = Shard::new(id, Arc::clone(&inbox), handler, shard_cfg)?;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("shard-{id}"))
+                    .spawn(move || shard.run())?,
+            );
+            inboxes.push(inbox);
+        }
         self.listener.set_nonblocking(true)?;
+        let mut next = 0usize;
+        let mut accept_error = None;
+        while !self.state.shutdown.is_shutdown() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    ACCEPTED.incr();
+                    inboxes[next % inboxes.len()].hand_off(stream);
+                    next += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => {
+                    accept_error = Some(e);
+                    self.state.shutdown.shutdown();
+                    break;
+                }
+            }
+        }
+        // Graceful drain: wake every shard so it notices the flag,
+        // serves what is in flight, closes its connections, and exits.
+        for inbox in &inboxes {
+            inbox.notify();
+        }
+        for thread in threads {
+            match thread.join() {
+                Ok(result) => result?,
+                Err(_) => {
+                    return Err(io::Error::other("reactor shard panicked"));
+                }
+            }
+        }
+        // All connections are gone, so every dispatched job has
+        // completed; join the workers.
+        for pool in self.pools {
+            if let Some(pool) = Arc::into_inner(pool) {
+                pool.shutdown();
+            }
+        }
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The original blocking accept-then-dispatch transport, kept as
+    /// the fallback for non-Linux targets (one request per connection,
+    /// `Connection: close`).
+    #[cfg_attr(target_os = "linux", allow(dead_code))]
+    fn run_blocking(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let pool = &self.pools[0];
         while !self.state.shutdown.is_shutdown() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -231,9 +386,8 @@ impl Server {
                     // refused and dropped.
                     let reject_handle = stream.try_clone().ok();
                     let state = Arc::clone(&self.state);
-                    let submitted = self
-                        .pool
-                        .try_submit(move || handle_connection(stream, &state));
+                    let submitted =
+                        pool.try_submit(move || handle_connection(stream, &state));
                     if let Err(PoolFull(job)) = submitted {
                         drop(job);
                         SHED.incr();
@@ -252,13 +406,11 @@ impl Server {
                                 Ok(request) => RequestIds::from_request(request),
                                 Err(_) => RequestIds::fresh(),
                             };
-                            let body = "{\"v\":1,\"kind\":\"error\",\"code\":\"overloaded\",\
-                                 \"message\":\"request queue is full\"}";
                             respond(
                                 &mut stream,
                                 429,
                                 "application/json",
-                                body,
+                                OVERLOADED_BODY,
                                 &ids.headers(),
                             );
                             let (method, path) = match &request {
@@ -274,7 +426,7 @@ impl Server {
                                 429,
                                 started.elapsed(),
                                 "shed",
-                                body.len(),
+                                OVERLOADED_BODY.len(),
                             );
                         }
                     }
@@ -286,9 +438,167 @@ impl Server {
             }
         }
         // Graceful drain: queued connections are still served.
-        self.pool.shutdown();
+        for pool in self.pools {
+            if let Some(pool) = Arc::into_inner(pool) {
+                pool.shutdown();
+            }
+        }
         Ok(())
     }
+}
+
+/// The per-shard service half of the reactor: routes parsed requests to
+/// this shard's worker pool, sheds with 429 when the pool is full, and
+/// renders the protocol-level error classes.
+#[cfg(target_os = "linux")]
+struct ShardService {
+    state: Arc<ServiceState>,
+    pool: Arc<WorkerPool>,
+    inbox: Arc<reactor::ShardInbox>,
+    read_timeout: Duration,
+}
+
+#[cfg(target_os = "linux")]
+impl reactor::ShardHandler for ShardService {
+    fn handle(
+        &self,
+        view: &http::ReqView<'_>,
+        token: u64,
+        seq: u64,
+        keep_alive: bool,
+    ) -> reactor::Dispatch {
+        let started = Instant::now();
+        let ids = RequestIds::from_view(view);
+        let request = view.to_request_lean();
+        let state = Arc::clone(&self.state);
+        let inbox = Arc::clone(&self.inbox);
+        let submitted = self.pool.try_submit(move || {
+            // First statement: arm the completion guard so a panic
+            // anywhere below still reports (and fails) the connection.
+            let guard = reactor::CompletionGuard::new(inbox, token, seq);
+            let bytes = run_request(&state, &request, &ids, keep_alive, started);
+            guard.send(bytes);
+        });
+        match submitted {
+            Ok(()) => reactor::Dispatch::Submitted,
+            Err(PoolFull(job)) => {
+                // The job never ran, so its guard was never armed —
+                // dropping it sends nothing; the shed response below
+                // fills the reserved slot instead. The request is
+                // already fully parsed (drained), so the 429 cannot be
+                // destroyed by an RST.
+                drop(job);
+                SHED.incr();
+                let ids = RequestIds::from_view(view);
+                let bytes = http::render_response(
+                    429,
+                    JSON,
+                    OVERLOADED_BODY,
+                    &ids.headers(),
+                    keep_alive,
+                );
+                observe_request(view.path, 429, started.elapsed());
+                log_access(
+                    &self.state,
+                    &ids,
+                    view.method,
+                    view.path,
+                    429,
+                    started.elapsed(),
+                    "shed",
+                    OVERLOADED_BODY.len(),
+                );
+                reactor::Dispatch::Inline(bytes)
+            }
+        }
+    }
+
+    fn protocol_error(&self, err: &HttpError) -> Vec<u8> {
+        let ids = RequestIds::fresh();
+        let (status, body) = match err {
+            HttpError::TooLarge => (413, error_body("too_large", "request too large")),
+            HttpError::Malformed(m) => (400, error_body("bad_request", m)),
+            HttpError::Io(m) => (400, error_body("bad_request", m)),
+        };
+        observe_request("?", status, Duration::ZERO);
+        log_access(&self.state, &ids, "?", "?", status, Duration::ZERO, "error", body.len());
+        http::render_response(status, JSON, &body, &ids.headers(), false)
+    }
+
+    fn read_timeout_response(&self) -> Vec<u8> {
+        let ids = RequestIds::fresh();
+        let body =
+            error_body("timeout", "request did not arrive within the read deadline");
+        observe_request("?", 408, self.read_timeout);
+        log_access(&self.state, &ids, "?", "?", 408, self.read_timeout, "timeout", body.len());
+        http::render_response(408, JSON, &body, &ids.headers(), false)
+    }
+
+    fn draining(&self) -> bool {
+        self.state.shutdown.is_shutdown()
+    }
+
+    fn on_tick(&self, shard_id: usize, conns: usize, inflight: usize) {
+        if !telemetry::enabled() {
+            return;
+        }
+        telemetry::gauge_set(&format!("server.shard_conns|shard={shard_id}"), conns as u64);
+        telemetry::gauge_set(
+            &format!("server.shard_inflight|shard={shard_id}"),
+            inflight as u64,
+        );
+    }
+}
+
+/// Run one request end to end on a worker thread: trace, chaos hook,
+/// route, render, metrics, access log. Returns the rendered response
+/// bytes for the shard to write in pipeline order.
+#[cfg(target_os = "linux")]
+fn run_request(
+    state: &ServiceState,
+    request: &Request,
+    ids: &RequestIds,
+    keep_alive: bool,
+    started: Instant,
+) -> Vec<u8> {
+    // Open the request's trace (inert when tracing is off). The stage
+    // spans below — parse, cpg-build, query-eval, detector and matcher
+    // spans — attach to it through the thread-local.
+    let trace_guard = trace::start(ids.trace, "request");
+    trace::annotate("method", &request.method);
+    trace::annotate("path", &request.path);
+    trace::annotate("request_id", &ids.request_id);
+    // Chaos hook at the service edge, after the request is fully parsed
+    // (answering earlier would RST the peer's in-flight write). Injected
+    // errors answer with a typed 500; injected *panics* unwind through
+    // this function, killing the worker — the completion guard fails the
+    // connection and the pool's respawn sentinel replaces the worker,
+    // exactly the failure the client's retry policy exists for.
+    let (status, content_type, body) = match faultinject::fire("server/request") {
+        Some(message) => (500, JSON, error_body("internal", &message)),
+        None => route(request, state),
+    };
+    trace::annotate("status", status);
+    if status >= 500 {
+        trace::mark_error();
+    }
+    // Finish and buffer the trace *before* the response ships, so a
+    // client can immediately GET /debug/trace/<the-echoed-id>.
+    drop(trace_guard);
+    let bytes = http::render_response(status, content_type, &body, &ids.headers(), keep_alive);
+    let elapsed = started.elapsed();
+    observe_request(&request.path, status, elapsed);
+    log_access(
+        state,
+        ids,
+        &request.method,
+        &request.path,
+        status,
+        elapsed,
+        outcome_of(status, &body),
+        body.len(),
+    );
+    bytes
 }
 
 /// The ids every response carries: the trace id (adopted from a
@@ -314,6 +624,22 @@ impl RequestIds {
             .unwrap_or_else(trace::new_trace_id);
         let request_id = request
             .header("x-request-id")
+            .map(sanitize_id)
+            .filter(|id| !id.is_empty())
+            .unwrap_or_else(|| trace::new_trace_id().to_hex());
+        RequestIds::new(trace, request_id)
+    }
+
+    /// Same adoption logic as [`RequestIds::from_request`], but reading
+    /// the zero-copy view (no header materialization on the hot path).
+    #[cfg(target_os = "linux")]
+    fn from_view(view: &http::ReqView<'_>) -> RequestIds {
+        let trace = view
+            .header("X-Trace-Id")
+            .and_then(TraceId::from_hex)
+            .unwrap_or_else(trace::new_trace_id);
+        let request_id = view
+            .header("X-Request-Id")
             .map(sanitize_id)
             .filter(|id| !id.is_empty())
             .unwrap_or_else(|| trace::new_trace_id().to_hex());
@@ -346,6 +672,7 @@ fn sanitize_id(raw: &str) -> String {
 fn outcome_of(status: u16, body: &str) -> &'static str {
     match status {
         200..=399 => "ok",
+        408 => "timeout",
         429 => "shed",
         503 if body.contains("\"code\":\"breaker_open\"") => "breaker_open",
         504 => "timeout",
@@ -362,6 +689,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/scan" => "/v1/scan",
         "/v1/clone-check" => "/v1/clone-check",
         "/v1/analyze" => "/v1/analyze",
+        "/v1/batch" => "/v1/batch",
         "/health" => "/health",
         "/telemetry" => "/telemetry",
         "/metrics" => "/metrics",
@@ -419,6 +747,7 @@ fn log_access(
     });
 }
 
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 fn handle_connection(mut stream: TcpStream, state: &ServiceState) {
     let started = Instant::now();
     let _ = stream.set_nonblocking(false);
@@ -427,19 +756,10 @@ fn handle_connection(mut stream: TcpStream, state: &ServiceState) {
     match read_request(&mut stream) {
         Ok(request) => {
             let ids = RequestIds::from_request(&request);
-            // Open the request's trace (inert when tracing is off). The
-            // stage spans below — parse, cpg-build, query-eval, detector
-            // and matcher spans — attach to it through the thread-local.
             let trace_guard = trace::start(ids.trace, "request");
             trace::annotate("method", &request.method);
             trace::annotate("path", &request.path);
             trace::annotate("request_id", &ids.request_id);
-            // Chaos hook at the service edge, after the request is drained
-            // (answering earlier would RST the peer's in-flight write).
-            // Injected errors answer with a typed 500; injected *panics*
-            // unwind through this function, killing the worker — exactly
-            // the failure the pool's respawn sentinel and the client's
-            // retry policy exist for.
             let (status, content_type, body) = match faultinject::fire("server/request") {
                 Some(message) => (500, "application/json", error_body("internal", &message)),
                 None => route(&request, state),
@@ -448,8 +768,6 @@ fn handle_connection(mut stream: TcpStream, state: &ServiceState) {
             if status >= 500 {
                 trace::mark_error();
             }
-            // Finish and buffer the trace *before* answering, so a client
-            // can immediately GET /debug/trace/<the-echoed-id>.
             drop(trace_guard);
             respond(&mut stream, status, content_type, &body, &ids.headers());
             let elapsed = started.elapsed();
@@ -503,16 +821,19 @@ fn route(request: &Request, state: &ServiceState) -> (u16, &'static str, String)
             JSON,
             format!(
                 "{{\"status\":\"ok\",\"v\":1,\"corpus\":{},\"workers\":{},\"queue_capacity\":{},\
-                 \"pool\":{{\"respawns\":{},\"queued\":{}}},\
-                 \"breakers\":{{\"scan\":\"{}\",\"clone_check\":\"{}\",\"analyze\":\"{}\"}}}}",
+                 \"shards\":{},\"pool\":{{\"respawns\":{},\"queued\":{}}},\
+                 \"breakers\":{{\"scan\":\"{}\",\"clone_check\":\"{}\",\"analyze\":\"{}\",\
+                 \"batch\":\"{}\"}}}}",
                 state.engine.corpus_len(),
                 state.workers,
                 state.queue_capacity,
-                state.pool.as_ref().map_or(0, PoolMonitor::respawns),
-                state.pool.as_ref().map_or(0, PoolMonitor::queue_len),
+                state.shards,
+                state.pool_respawns(),
+                state.pool_queued(),
                 state.breakers.scan.state_name(),
                 state.breakers.clone_check.state_name(),
                 state.breakers.analyze.state_name(),
+                state.breakers.batch.state_name(),
             ),
         ),
         ("GET", "/telemetry") => {
@@ -570,10 +891,11 @@ fn route(request: &Request, state: &ServiceState) -> (u16, &'static str, String)
             analyze(request, state, Some(RequestKind::CloneCheck), &state.breakers.clone_check)
         }
         ("POST", "/v1/analyze") => analyze(request, state, None, &state.breakers.analyze),
+        ("POST", "/v1/batch") => batch(request, state),
         (
             _,
             "/health" | "/telemetry" | "/metrics" | "/shutdown" | "/v1/scan" | "/v1/clone-check"
-            | "/v1/analyze" | "/debug/traces/recent",
+            | "/v1/analyze" | "/v1/batch" | "/debug/traces/recent",
         ) => (405, JSON, error_body("method_not_allowed", "wrong method for endpoint")),
         (_, path) if path.starts_with("/debug/trace/") => {
             (405, JSON, error_body("method_not_allowed", "wrong method for endpoint"))
@@ -589,18 +911,14 @@ fn refresh_gauges(state: &ServiceState) {
     telemetry::gauge_set("intern.symbols", symbols as u64);
     telemetry::gauge_set("intern.bytes", bytes as u64);
     telemetry::gauge_set("pool.workers", state.workers as u64);
-    telemetry::gauge_set(
-        "pool.queue_depth",
-        state.pool.as_ref().map_or(0, PoolMonitor::queue_len) as u64,
-    );
-    telemetry::gauge_set(
-        "pool.respawns",
-        state.pool.as_ref().map_or(0, PoolMonitor::respawns),
-    );
+    telemetry::gauge_set("pool.queue_depth", state.pool_queued() as u64);
+    telemetry::gauge_set("pool.respawns", state.pool_respawns());
+    telemetry::gauge_set("server.shards", state.shards as u64);
     for (endpoint, breaker) in [
         ("scan", &state.breakers.scan),
         ("clone_check", &state.breakers.clone_check),
         ("analyze", &state.breakers.analyze),
+        ("batch", &state.breakers.batch),
     ] {
         // 1-based so the closed (normal) state still renders: the
         // snapshot omits zero-valued gauges.
@@ -682,6 +1000,64 @@ fn analyze(
     }
 }
 
+/// `POST /v1/batch`: a JSON array of analysis requests, answered with
+/// one result per item in order. Item N's result is byte-identical to
+/// what `/v1/analyze` would have returned for the same request (success
+/// or typed error), so errors are isolated per item — one hostile
+/// snippet fails its slot, not the batch. The batch breaker is acquired
+/// once and charged if *any* item fails internally.
+fn batch(request: &Request, state: &ServiceState) -> (u16, &'static str, String) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            return (400, JSON, error_body("bad_request", "request body is not UTF-8"));
+        }
+    };
+    let items = match pipeline::api::batch_from_json(body) {
+        Ok(items) => items,
+        Err(error) => return (status_of(&error), JSON, error_to_json(&error)),
+    };
+    if !state.breakers.batch.try_acquire() {
+        return (
+            503,
+            JSON,
+            error_body("breaker_open", "circuit breaker is open; retry after cooldown"),
+        );
+    }
+    let mut any_internal = false;
+    // Pre-size generously: findings responses run a few hundred bytes.
+    let mut out = String::with_capacity(64 + items.len() * 128);
+    out.push_str("{\"v\":1,\"kind\":\"batch\",\"results\":[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let result = item.as_ref().map_err(Clone::clone).and_then(|request| {
+            let trace_ctx = TraceContext { trace_id: trace::current_trace_id() };
+            // Each item gets its own full deadline — a slow item times
+            // out alone instead of starving its successors.
+            let deadline = state.engine.deadline_from_now();
+            state.engine.analyze_traced(request, trace_ctx, deadline)
+        });
+        match result {
+            Ok(response) => out.push_str(&AnalysisResponse::to_json(&response)),
+            Err(error) => {
+                if error.code() == "internal" {
+                    any_internal = true;
+                }
+                out.push_str(&error_to_json(&error));
+            }
+        }
+    }
+    out.push_str("]}");
+    if any_internal {
+        state.breakers.batch.record_failure();
+    } else {
+        state.breakers.batch.record_success();
+    }
+    (200, JSON, out)
+}
+
 /// HTTP status of an analysis error: timeouts are the gateway's fault
 /// (504), internal errors are ours (500), everything else is the
 /// request's (400).
@@ -704,8 +1080,9 @@ mod tests {
             shutdown: ShutdownHandle::default(),
             workers: 1,
             queue_capacity: 1,
+            shards: 1,
             breakers: Breakers::new(BreakerConfig::default()),
-            pool: None,
+            pools: Vec::new(),
             access_log: None,
         })
     }
@@ -729,6 +1106,8 @@ mod tests {
         let (status, _, body) = route(&get("/health"), &state);
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"shards\":1"), "{body}");
+        assert!(body.contains("\"batch\":\"closed\""), "{body}");
         let (status, _, _) = route(&get("/nope"), &state);
         assert_eq!(status, 404);
         let (status, _, _) = route(
@@ -778,6 +1157,49 @@ mod tests {
     }
 
     #[test]
+    fn batch_returns_per_item_results_in_order() {
+        let state = state();
+        let scan = AnalysisRequest::scan("function f(address to) public { to.send(1); }");
+        let clone = AnalysisRequest::clone_check("contract C { function f() public {} }");
+        let body = format!("[{},{}]", scan.to_json(), clone.to_json());
+        let (status, _, response) = route(&post("/v1/batch", &body), &state);
+        assert_eq!(status, 200, "{response}");
+        assert!(response.starts_with("{\"v\":1,\"kind\":\"batch\",\"results\":["), "{response}");
+        // Item results match what /v1/analyze yields for the same docs.
+        let (_, _, single) = route(&post("/v1/analyze", &scan.to_json()), &state);
+        assert!(response.contains(&single), "batch item diverged from single response");
+    }
+
+    #[test]
+    fn batch_isolates_per_item_errors() {
+        let state = state();
+        let good = AnalysisRequest::scan("function f(address to) public { to.send(1); }");
+        let body = format!("[{},{{\"v\":1,\"kind\":\"nope\"}}]", good.to_json());
+        let (status, _, response) = route(&post("/v1/batch", &body), &state);
+        assert_eq!(status, 200, "one bad item must not fail the batch: {response}");
+        assert!(response.contains("\"kind\":\"findings\""), "{response}");
+        assert!(response.contains("\"kind\":\"error\""), "{response}");
+        // The breaker saw the request-caused error as a success.
+        assert_eq!(state.breakers.batch.state_name(), "closed");
+    }
+
+    #[test]
+    fn batch_rejects_non_array_and_oversized_bodies() {
+        let state = state();
+        let (status, _, body) = route(&post("/v1/batch", "{\"v\":1}"), &state);
+        assert_eq!(status, 400, "{body}");
+        let huge: String = {
+            let item = AnalysisRequest::scan("contract C {}").to_json();
+            let items: Vec<&str> =
+                (0..pipeline::api::MAX_BATCH_ITEMS + 1).map(|_| item.as_str()).collect();
+            format!("[{}]", items.join(","))
+        };
+        let (status, _, body) = route(&post("/v1/batch", &huge), &state);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("invalid_request"), "{body}");
+    }
+
+    #[test]
     fn metrics_endpoint_renders_valid_exposition() {
         let state = state();
         telemetry::enable();
@@ -816,6 +1238,7 @@ mod tests {
     #[test]
     fn endpoint_labels_are_bounded() {
         assert_eq!(endpoint_label("/v1/scan"), "/v1/scan");
+        assert_eq!(endpoint_label("/v1/batch"), "/v1/batch");
         assert_eq!(endpoint_label("/debug/trace/deadbeef"), "/debug/trace");
         assert_eq!(endpoint_label("/anything/else"), "other");
     }
@@ -824,10 +1247,24 @@ mod tests {
     fn outcomes_classify_statuses() {
         assert_eq!(outcome_of(200, "{}"), "ok");
         assert_eq!(outcome_of(302, "{}"), "ok");
+        assert_eq!(outcome_of(408, "{}"), "timeout");
         assert_eq!(outcome_of(429, "{}"), "shed");
         assert_eq!(outcome_of(503, "{\"code\":\"breaker_open\"}"), "breaker_open");
         assert_eq!(outcome_of(503, "{\"code\":\"overloaded\"}"), "error");
         assert_eq!(outcome_of(504, "{}"), "timeout");
         assert_eq!(outcome_of(400, "{}"), "error");
+    }
+
+    #[test]
+    fn effective_shards_respects_worker_and_queue_floors() {
+        let mut config = ServerConfig { workers: 1, queue_capacity: 1, ..Default::default() };
+        assert_eq!(effective_shards(&config), 1, "single-lane config keeps one shard");
+        config.workers = 8;
+        config.queue_capacity = 256;
+        config.shards = 3;
+        assert_eq!(effective_shards(&config), 3);
+        config.shards = 100;
+        config.queue_capacity = 2;
+        assert_eq!(effective_shards(&config), 2, "clamped to queue slots");
     }
 }

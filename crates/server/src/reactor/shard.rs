@@ -1,0 +1,586 @@
+//! A reactor shard: one thread, one epoll instance, exclusive ownership
+//! of a set of connections. The acceptor hands fresh streams to a shard
+//! through its [`ShardInbox`]; worker threads deliver finished
+//! responses the same way. Both producers wake the shard's `epoll_wait`
+//! via an eventfd, so the loop never polls blind.
+//!
+//! Ordering guarantee: each parsed request reserves a response slot in
+//! arrival order; workers may finish out of order but
+//! [`Conn::collect_ready`] only releases the contiguous completed
+//! prefix, so pipelined responses are written back in request order.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use super::conn::Conn;
+use super::sys::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::http::{self, HttpError, Parsed, ReqView};
+
+/// Epoll token reserved for the shard's wake eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Bytes per read call; level-triggered epoll re-arms if more is
+/// pending, so a bounded chunk keeps one chatty peer from starving the
+/// rest of the shard.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// How a handler disposed of one parsed request.
+pub enum Dispatch {
+    /// The response was produced synchronously (shed 429s and other
+    /// fast-fail paths); the shard fills the slot immediately.
+    Inline(Vec<u8>),
+    /// The request was submitted to a worker pool; a [`Completion`]
+    /// carrying the same `(token, seq)` will arrive on the inbox.
+    Submitted,
+}
+
+/// A finished response travelling from a worker back to its shard.
+pub struct Completion {
+    /// Connection token the response belongs to.
+    pub token: u64,
+    /// Response-slot sequence number on that connection.
+    pub seq: u64,
+    /// The rendered response bytes, or `None` if the worker died before
+    /// producing one (a panic that escaped the request job) — the shard
+    /// closes the connection so the client sees a hard error rather
+    /// than a hang.
+    pub payload: Option<Vec<u8>>,
+}
+
+/// The service half a shard drives: routing, metrics, logging, worker
+/// dispatch. Implemented in `lib.rs`; the reactor stays transport-only.
+pub trait ShardHandler: Send + Sync + 'static {
+    /// Dispose of one parsed request. `keep_alive` is the negotiated
+    /// persistence after drain gating — inline responses must be
+    /// rendered with a matching `Connection` header.
+    fn handle(&self, view: &ReqView<'_>, token: u64, seq: u64, keep_alive: bool) -> Dispatch;
+
+    /// Render the terminal response for a protocol error (400/413).
+    /// The connection closes after it flushes.
+    fn protocol_error(&self, err: &HttpError) -> Vec<u8>;
+
+    /// Render the 408 sent when a partial request outlives the read
+    /// deadline (slowloris). The connection closes after it flushes.
+    fn read_timeout_response(&self) -> Vec<u8>;
+
+    /// Whether the server is draining: new requests are answered with
+    /// `Connection: close` and idle connections are shut.
+    fn draining(&self) -> bool;
+
+    /// Periodic per-shard stats callback (connection and in-flight
+    /// request counts) for gauge export.
+    fn on_tick(&self, _shard_id: usize, _conns: usize, _inflight: usize) {}
+}
+
+/// The two producer queues plus the wakeup fd for one shard.
+pub struct ShardInbox {
+    handoffs: Mutex<Vec<TcpStream>>,
+    completions: Mutex<Vec<Completion>>,
+    wake: WakeFd,
+}
+
+/// Recover the guarded value even if a holder panicked; the queues stay
+/// structurally valid across a poison.
+fn relock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl ShardInbox {
+    /// Create an inbox with a fresh eventfd.
+    pub fn new() -> io::Result<Arc<Self>> {
+        Ok(Arc::new(ShardInbox {
+            handoffs: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            wake: WakeFd::new()?,
+        }))
+    }
+
+    /// Hand a freshly accepted connection to this shard (acceptor side).
+    pub fn hand_off(&self, stream: TcpStream) {
+        relock(&self.handoffs).push(stream);
+        self.wake.wake();
+    }
+
+    /// Deliver a finished response (worker side).
+    pub fn complete(&self, completion: Completion) {
+        relock(&self.completions).push(completion);
+        self.wake.wake();
+    }
+
+    fn take_handoffs(&self) -> Vec<TcpStream> {
+        std::mem::take(&mut *relock(&self.handoffs))
+    }
+
+    fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *relock(&self.completions))
+    }
+
+    fn is_empty(&self) -> bool {
+        relock(&self.handoffs).is_empty() && relock(&self.completions).is_empty()
+    }
+
+    /// Wake the shard without enqueueing anything — used to make it
+    /// re-check external state (e.g. the drain flag) promptly.
+    pub fn notify(&self) {
+        self.wake.wake();
+    }
+}
+
+/// Sends exactly one [`Completion`] for a dispatched request: the happy
+/// path calls [`CompletionGuard::send`]; if the request job panics and
+/// unwinds instead, `Drop` reports a `None` payload so the shard closes
+/// the connection rather than leaving a slot forever unfilled.
+///
+/// Construct the guard as the *first* statement of the worker job — a
+/// queued job that is rejected or discarded before running then sends
+/// nothing, which is correct because the submitter handled the request
+/// inline (e.g. the 429 shed path).
+pub struct CompletionGuard {
+    inbox: Arc<ShardInbox>,
+    token: u64,
+    seq: u64,
+    sent: bool,
+}
+
+impl CompletionGuard {
+    /// Arm a guard for `(token, seq)` on `inbox`.
+    pub fn new(inbox: Arc<ShardInbox>, token: u64, seq: u64) -> Self {
+        CompletionGuard { inbox, token, seq, sent: false }
+    }
+
+    /// Deliver the response and defuse the guard.
+    pub fn send(mut self, response: Vec<u8>) {
+        self.sent = true;
+        self.inbox
+            .complete(Completion { token: self.token, seq: self.seq, payload: Some(response) });
+    }
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.inbox
+                .complete(Completion { token: self.token, seq: self.seq, payload: None });
+        }
+    }
+}
+
+/// Shard tuning knobs.
+#[derive(Clone, Copy)]
+pub struct ShardConfig {
+    /// How long a partial request may sit in the read buffer before the
+    /// shard answers 408 and closes (slowloris bound).
+    pub read_timeout: Duration,
+    /// Maximum pipelined requests in flight per connection; reads pause
+    /// (TCP backpressure) while a connection is at the cap.
+    pub max_pipeline: usize,
+}
+
+/// One reactor shard. Run its event loop on a dedicated thread via
+/// [`Shard::run`].
+pub struct Shard<H: ShardHandler> {
+    id: usize,
+    epoll: Epoll,
+    inbox: Arc<ShardInbox>,
+    handler: Arc<H>,
+    cfg: ShardConfig,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl<H: ShardHandler> Shard<H> {
+    /// Build a shard and register its inbox wakeup with epoll.
+    pub fn new(
+        id: usize,
+        inbox: Arc<ShardInbox>,
+        handler: Arc<H>,
+        cfg: ShardConfig,
+    ) -> io::Result<Self> {
+        let epoll = Epoll::new()?;
+        epoll.add(inbox.wake.raw(), EPOLLIN, WAKE_TOKEN)?;
+        Ok(Shard { id, epoll, inbox, handler, cfg, conns: HashMap::new(), next_token: 0 })
+    }
+
+    /// The event loop. Returns when the handler reports draining and
+    /// every owned connection has finished and closed.
+    pub fn run(mut self) -> io::Result<()> {
+        let mut events = vec![EpollEvent { events: 0, token: 0 }; 256];
+        loop {
+            let timeout = self.poll_timeout();
+            let ready: Vec<(u64, u32)> = self
+                .epoll
+                .wait(&mut events, timeout)?
+                .iter()
+                .map(|e| {
+                    // Copy packed fields by value (no references into
+                    // the packed struct).
+                    let token = e.token;
+                    let mask = e.events;
+                    (token, mask)
+                })
+                .collect();
+            // Drain the wake counter BEFORE taking queue items: a
+            // producer that enqueues after the drain leaves a fresh
+            // wake behind, so nothing is ever lost (a stale extra wake
+            // merely causes one empty loop turn).
+            self.inbox.wake.drain();
+            for stream in self.inbox.take_handoffs() {
+                self.register(stream);
+            }
+            for completion in self.inbox.take_completions() {
+                self.apply_completion(completion);
+            }
+            for (token, mask) in ready {
+                if token != WAKE_TOKEN {
+                    self.handle_event(token, mask);
+                }
+            }
+            self.sweep_deadlines();
+            if self.handler.draining() {
+                self.close_idle();
+                if self.conns.is_empty() && self.inbox.is_empty() {
+                    break;
+                }
+            }
+            let inflight: usize = self
+                .conns
+                .values()
+                .map(|c| c.slots.iter().filter(|s| s.response.is_none()).count())
+                .sum();
+            self.handler.on_tick(self.id, self.conns.len(), inflight);
+        }
+        Ok(())
+    }
+
+    /// Wait bound: the nearest read deadline, capped so drain and
+    /// deadline sweeps stay responsive even with no events.
+    fn poll_timeout(&self) -> i32 {
+        let now = Instant::now();
+        let nearest = self
+            .conns
+            .values()
+            .filter_map(|c| c.read_deadline)
+            .map(|d| d.saturating_duration_since(now).as_millis() as i32)
+            .min();
+        nearest.map_or(250, |ms| ms.clamp(0, 250))
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        let mut conn = Conn::new(stream, token);
+        conn.interest = EPOLLIN | EPOLLRDHUP;
+        if self.epoll.add(conn.stream.as_raw_fd(), conn.interest, token).is_err() {
+            return; // dropping the stream closes it
+        }
+        self.conns.insert(token, conn);
+    }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        let Some(conn) = self.conns.get_mut(&completion.token) else {
+            return; // connection died while the worker ran
+        };
+        match completion.payload {
+            Some(response) => {
+                conn.fill_slot(completion.seq, response);
+                self.pump(completion.token);
+            }
+            None => {
+                // The worker panicked mid-request: the response order
+                // can never be completed, so fail the whole connection
+                // loudly (dropping the stream closes the socket).
+                self.conns.remove(&completion.token);
+            }
+        }
+    }
+
+    fn handle_event(&mut self, token: u64, mask: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            self.conns.remove(&token);
+            return;
+        }
+        if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // Peer finished sending; serve what is buffered
+                        // and in flight, then close.
+                        conn.closing = true;
+                        conn.read_deadline = None;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        if n < chunk.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.conns.remove(&token);
+                        return;
+                    }
+                }
+            }
+        }
+        self.pump(token);
+    }
+
+    /// Make all possible progress on one connection: parse buffered
+    /// requests up to the pipeline cap, release ordered responses,
+    /// flush, and resynchronize epoll interest. Removes the connection
+    /// when it reaches its end state.
+    fn pump(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let now = Instant::now();
+        progress(self.handler.as_ref(), &self.cfg, conn, now);
+        conn.collect_ready();
+        let alive = flush_conn(conn);
+        if !alive || (conn.closing && conn.idle() && conn.unparsed().is_empty()) {
+            self.conns.remove(&token);
+            return;
+        }
+        let _ = sync_interest(&self.epoll, &self.cfg, conn);
+    }
+
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.read_deadline.is_some_and(|d| d <= now))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            let response = self.handler.read_timeout_response();
+            let Some(conn) = self.conns.get_mut(&token) else { continue };
+            conn.read_deadline = None;
+            conn.closing = true;
+            let seq = conn.push_slot(true);
+            conn.fill_slot(seq, response);
+            self.pump(token);
+        }
+    }
+
+    fn close_idle(&mut self) {
+        self.conns.retain(|_, conn| !(conn.idle() && conn.unparsed().is_empty()));
+    }
+}
+
+/// Parse-and-dispatch loop over one connection's buffered bytes.
+fn progress<H: ShardHandler>(handler: &H, cfg: &ShardConfig, conn: &mut Conn, now: Instant) {
+    while !conn.closing && conn.slots.len() < cfg.max_pipeline {
+        // Move the buffer out so the borrowed view and mutations of
+        // `conn` coexist; moved back before every exit from the loop.
+        let buf = std::mem::take(&mut conn.read_buf);
+        match http::parse_request_bytes(&buf[conn.read_pos..]) {
+            Ok(Parsed::Partial) => {
+                conn.read_buf = buf;
+                if conn.unparsed().is_empty() {
+                    conn.read_deadline = None;
+                } else if conn.read_deadline.is_none() {
+                    // Arm the slowloris clock: a partial request now
+                    // has `read_timeout` to finish arriving.
+                    conn.read_deadline = Some(now + cfg.read_timeout);
+                }
+                return;
+            }
+            Ok(Parsed::Complete { view, consumed }) => {
+                let keep = view.keep_alive && !handler.draining();
+                let seq = conn.push_slot(!keep);
+                match handler.handle(&view, conn.token, seq, keep) {
+                    Dispatch::Inline(bytes) => {
+                        conn.fill_slot(seq, bytes);
+                    }
+                    Dispatch::Submitted => {}
+                }
+                conn.read_buf = buf;
+                conn.consume(consumed);
+                conn.read_deadline = None;
+                if !keep {
+                    conn.closing = true;
+                }
+            }
+            Err(err) => {
+                let bytes = handler.protocol_error(&err);
+                conn.read_buf = buf;
+                let seq = conn.push_slot(true);
+                conn.fill_slot(seq, bytes);
+                conn.closing = true;
+                conn.read_deadline = None;
+                return;
+            }
+        }
+    }
+}
+
+/// Write as much of the backlog as the socket accepts. Returns false
+/// when the connection should be dropped.
+fn flush_conn(conn: &mut Conn) -> bool {
+    while !conn.pending_write().is_empty() {
+        let window = conn.write_pos..conn.write_buf.len();
+        match conn.stream.write(&conn.write_buf[window]) {
+            Ok(0) => return false,
+            Ok(n) => conn.advance_write(n),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    !(conn.flushed() && conn.close_when_flushed)
+}
+
+/// Re-register the interest mask the connection currently needs: reads
+/// pause at the pipeline cap (or once closing), writes arm only while a
+/// backlog is pending.
+fn sync_interest(epoll: &Epoll, cfg: &ShardConfig, conn: &mut Conn) -> io::Result<()> {
+    let mut desired = 0u32;
+    if !conn.closing && conn.slots.len() < cfg.max_pipeline {
+        desired |= EPOLLIN | EPOLLRDHUP;
+    }
+    if !conn.flushed() {
+        desired |= EPOLLOUT;
+    }
+    if desired != conn.interest {
+        epoll.modify(conn.stream.as_raw_fd(), desired, conn.token)?;
+        conn.interest = desired;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo handler: responds inline with the request path; no pool.
+    struct Echo {
+        draining: std::sync::atomic::AtomicBool,
+    }
+
+    impl ShardHandler for Echo {
+        fn handle(&self, view: &ReqView<'_>, _t: u64, _s: u64, keep_alive: bool) -> Dispatch {
+            Dispatch::Inline(http::render_response(
+                200,
+                "text/plain",
+                view.path,
+                &[],
+                keep_alive,
+            ))
+        }
+        fn protocol_error(&self, err: &HttpError) -> Vec<u8> {
+            let status = if matches!(err, HttpError::TooLarge) { 413 } else { 400 };
+            http::render_response(status, "text/plain", "bad", &[], false)
+        }
+        fn read_timeout_response(&self) -> Vec<u8> {
+            http::render_response(408, "text/plain", "slow", &[], false)
+        }
+        fn draining(&self) -> bool {
+            self.draining.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    fn start_echo(
+        cfg: ShardConfig,
+    ) -> (Arc<ShardInbox>, Arc<Echo>, std::thread::JoinHandle<()>, std::net::SocketAddr) {
+        let inbox = ShardInbox::new().unwrap();
+        let handler = Arc::new(Echo { draining: std::sync::atomic::AtomicBool::new(false) });
+        let shard = Shard::new(0, Arc::clone(&inbox), Arc::clone(&handler), cfg).unwrap();
+        let thread = std::thread::spawn(move || shard.run().unwrap());
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor_inbox = Arc::clone(&inbox);
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                acceptor_inbox.hand_off(stream);
+            }
+        });
+        (inbox, handler, thread, addr)
+    }
+
+    fn default_cfg() -> ShardConfig {
+        ShardConfig { read_timeout: Duration::from_secs(5), max_pipeline: 32 }
+    }
+
+    fn read_until_close(stream: &mut TcpStream) -> String {
+        let mut out = Vec::new();
+        let _ = stream.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    fn stop(handler: &Arc<Echo>, inbox: &Arc<ShardInbox>, thread: std::thread::JoinHandle<()>) {
+        handler.draining.store(true, std::sync::atomic::Ordering::SeqCst);
+        inbox.wake.wake();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn serves_pipelined_requests_in_order() {
+        let (inbox, handler, thread, addr) = start_echo(default_cfg());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let burst =
+            "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+        stream.write_all(burst.as_bytes()).unwrap();
+        let text = read_until_close(&mut stream);
+        let a = text.find("\r\n\r\n/a").expect("/a echoed");
+        let b = text.find("\r\n\r\n/b").expect("/b echoed");
+        let c = text.find("\r\n\r\n/c").expect("/c echoed");
+        assert!(a < b && b < c, "responses out of order: {text}");
+        stop(&handler, &inbox, thread);
+    }
+
+    #[test]
+    fn keep_alive_survives_sequential_requests() {
+        let (inbox, handler, thread, addr) = start_echo(default_cfg());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 4096];
+        for path in ["/one", "/two", "/three"] {
+            stream
+                .write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+                .unwrap();
+            let n = stream.read(&mut buf).unwrap();
+            let text = String::from_utf8_lossy(&buf[..n]);
+            assert!(text.contains("Connection: keep-alive"), "{text}");
+            assert!(text.ends_with(path), "{text}");
+        }
+        stop(&handler, &inbox, thread);
+    }
+
+    #[test]
+    fn slow_header_trickle_gets_408_and_close() {
+        let mut cfg = default_cfg();
+        cfg.read_timeout = Duration::from_millis(120);
+        let (inbox, handler, thread, addr) = start_echo(cfg);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\nX-Slow:").unwrap();
+        let text = read_until_close(&mut stream);
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        stop(&handler, &inbox, thread);
+    }
+
+    #[test]
+    fn drain_closes_idle_connections_and_stops() {
+        let (inbox, handler, thread, addr) = start_echo(default_cfg());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 1024];
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = stream.read(&mut buf).unwrap();
+        // Idle keep-alive connection is open; drain must close it and
+        // let run() return.
+        stop(&handler, &inbox, thread);
+        assert_eq!(stream.read(&mut buf).unwrap(), 0, "server closed the idle conn");
+    }
+}

@@ -155,12 +155,22 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character (1–4 bytes).
-                let rest = std::str::from_utf8(&bytes[*pos..])
+                // Consume the longest run of ordinary bytes in one step
+                // and validate it once — per-character validation of the
+                // remaining input is quadratic on large documents.
+                // Multi-byte UTF-8 sequences never contain `"` or `\`
+                // (continuation bytes are >= 0x80), so stopping on those
+                // ASCII bytes cannot split a character.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos])
                     .map_err(|_| "invalid UTF-8 in string")?;
-                let c = rest.chars().next().expect("non-empty rest");
-                out.push(c);
-                *pos += c.len_utf8();
+                out.push_str(chunk);
             }
         }
     }
