@@ -127,6 +127,74 @@ wait "$SERVE_PID"
 grep -q "drained and stopped" /tmp/serve_chaos.log
 rm -f "$PORT_FILE"
 
+# Warm-start smoke: a cold boot with --snapshot-dir must commit
+# generation 1; a restart must warm-load it (no rebuild) and serve the
+# same corpus through /v1/index/status.
+SNAP_DIR=$(mktemp -d)
+PORT_FILE=$(mktemp)
+./target/release/serve --port 0 --port-file "$PORT_FILE" --corpus 16 \
+  --snapshot-dir "$SNAP_DIR" >/tmp/serve_snap_cold.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "cold snapshot serve never wrote its port"; cat /tmp/serve_snap_cold.log; exit 1; }
+grep -q "committed as snapshot generation 1" /tmp/serve_snap_cold.log \
+  || { echo "cold boot did not commit a snapshot"; cat /tmp/serve_snap_cold.log; exit 1; }
+curl -sf "http://127.0.0.1:$(cat "$PORT_FILE")/v1/index/status" -o /tmp/snap_status.txt
+grep -q '"generation":1' /tmp/snap_status.txt \
+  || { echo "unexpected index status after cold boot"; cat /tmp/snap_status.txt; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+
+# Crash-during-compaction: restart warm under a fault plan that holds
+# the snapshot commit in its most adversarial window (gen-2 data file
+# written, CURRENT pointer not yet flipped), kill -9 the daemon inside
+# that window, and require the next start to load generation 1 as if the
+# torn commit never happened.
+: > "$PORT_FILE"
+FAULT_SPEC="index:delay:1500ms" FAULT_SEED=1 \
+./target/release/serve --port 0 --port-file "$PORT_FILE" --corpus 16 \
+  --snapshot-dir "$SNAP_DIR" >/tmp/serve_snap_kill.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "warm serve never wrote its port"; cat /tmp/serve_snap_kill.log; exit 1; }
+grep -q "warm start: generation 1" /tmp/serve_snap_kill.log \
+  || { echo "second boot was not a warm start"; cat /tmp/serve_snap_kill.log; exit 1; }
+SNAP_ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+curl -sf -X POST "http://$SNAP_ADDR/v1/index/insert" \
+  --data '{"v":1,"source":"contract CiDelta { function f() public { msg.sender.transfer(1); } }"}' \
+  -o /dev/null
+curl -s -X POST "http://$SNAP_ADDR/v1/index/compact" -o /dev/null 2>/dev/null &
+sleep 0.6
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+: > "$PORT_FILE"
+./target/release/serve --port 0 --port-file "$PORT_FILE" --corpus 16 \
+  --snapshot-dir "$SNAP_DIR" >/tmp/serve_snap_recover.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "recovery serve never wrote its port"; cat /tmp/serve_snap_recover.log; exit 1; }
+grep -q "warm start: generation 1" /tmp/serve_snap_recover.log \
+  || { echo "torn commit broke the warm start"; cat /tmp/serve_snap_recover.log; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+rm -rf "$SNAP_DIR"
+rm -f "$PORT_FILE"
+
+# Warm-start ratio gate: snapshot load must be at least 10x faster than
+# the cold rebuild (a floor a debug build clears; the committed
+# index_warmstart trajectory point records the release-build margin).
+# Measures only, never appends.
+./target/release/loadgen --warmstart --no-append --requests 128 --concurrency 8
+
 # Kill-and-resume smoke: start a checkpointed batch run, SIGKILL it once
 # its first shard is journaled, resume it, and require the resumed output
 # to be byte-identical to an uninterrupted run.

@@ -123,6 +123,12 @@ pub struct CloneMatch {
 
 /// A corpus of fingerprinted documents with N-gram-accelerated clone
 /// search — the CCD pipeline of Figure 4.
+///
+/// `Clone` is cheap-ish: the fingerprint vector is shared by reference
+/// count (copy-on-write on the next insert); only the postings map is
+/// deep-copied. The corpus handle in `pipeline` relies on this for its
+/// `Arc::make_mut` insert path.
+#[derive(Clone)]
 pub struct CloneDetector {
     params: CcdParams,
     index: NgramIndex,
@@ -154,6 +160,35 @@ impl CloneDetector {
         CloneDetector { params, index, fingerprints: corpus }
     }
 
+    /// Reassemble a detector from an already-built N-gram index and its
+    /// corpus — the snapshot warm-start path: nothing is re-grammed.
+    ///
+    /// The caller (the validated snapshot loader in `index-store`)
+    /// guarantees `index` was built over exactly `corpus`; a detector
+    /// assembled from mismatched parts silently misses candidates, so the
+    /// `n`-vs-params mismatch is at least rejected here.
+    pub fn from_parts(
+        params: CcdParams,
+        corpus: Arc<Vec<(DocId, Fingerprint)>>,
+        index: NgramIndex,
+    ) -> Result<CloneDetector, AnalysisError> {
+        if index.n() != params.ngram_size {
+            return Err(AnalysisError::index_corrupt(format!(
+                "snapshot index has n={}, params want n={}",
+                index.n(),
+                params.ngram_size
+            )));
+        }
+        if index.len() != corpus.len() {
+            return Err(AnalysisError::index_corrupt(format!(
+                "snapshot index covers {} docs, corpus has {}",
+                index.len(),
+                corpus.len()
+            )));
+        }
+        Ok(CloneDetector { params, index, fingerprints: corpus })
+    }
+
     /// The shared fingerprint corpus, cloneable by reference count only.
     pub fn shared_fingerprints(&self) -> Arc<Vec<(DocId, Fingerprint)>> {
         Arc::clone(&self.fingerprints)
@@ -162,6 +197,12 @@ impl CloneDetector {
     /// The configured parameters.
     pub fn params(&self) -> CcdParams {
         self.params
+    }
+
+    /// The detector's N-gram index — read access for the snapshot writer,
+    /// which serializes the postings instead of re-deriving them.
+    pub fn index(&self) -> &NgramIndex {
+        &self.index
     }
 
     /// Number of indexed documents.

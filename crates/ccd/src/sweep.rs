@@ -210,6 +210,24 @@ impl SweepEngine {
         Self::from_documents(corpus.documents.iter().map(|(id, s)| (*id, s.as_str())))
     }
 
+    /// Engine over already-computed fingerprints — the `CorpusBuilder`
+    /// path in `pipeline::api`, where the fingerprinting pass has been
+    /// paid once and the sweep must not repeat it. Documents arrive in the
+    /// caller's order; ids must be unique.
+    pub fn from_fingerprints<I>(docs: I) -> SweepEngine
+    where
+        I: IntoIterator<Item = (DocId, Fingerprint)>,
+    {
+        let mut engine =
+            SweepEngine { ids: Vec::new(), fingerprints: Vec::new(), indexed: Vec::new() };
+        for (id, fp) in docs {
+            engine.ids.push(id);
+            engine.indexed.push(fp.indexed_text());
+            engine.fingerprints.push(fp);
+        }
+        engine
+    }
+
     /// Number of fingerprintable documents.
     pub fn len(&self) -> usize {
         self.ids.len()

@@ -1,0 +1,35 @@
+//! Persistent, versioned snapshots of the CCD corpus index.
+//!
+//! The paper's large-scale experiment (§6) matches submissions against a
+//! fixed snippet corpus; the analysis service previously re-fingerprinted
+//! that corpus from source on every boot. This crate is the persistence
+//! layer that removes the rebuild: the fingerprint set and the N-gram
+//! postings are written once into a flat, mmap-friendly snapshot file
+//! ([`format`]) and committed under a generation number with an atomic
+//! pointer flip ([`store`]), so a service restart assembles its matcher
+//! from validated bytes in milliseconds — no Solidity parsing, no
+//! normalization, no re-gramming.
+//!
+//! * [`format`] — the v1 byte layout: fixed-width header + tables,
+//!   interned string blobs, offset-based postings, FNV-1a checksum.
+//!   Decoding validates everything and returns typed errors
+//!   (`index_corrupt`, `index_version`); hostile bytes never panic.
+//! * [`store`] — `gen-<N>.idx` files plus a `CURRENT` pointer, both
+//!   written tmp+rename (the `bench::checkpoint` discipline), so a crash
+//!   mid-commit always leaves the previous generation loadable.
+//! * [`mmap`] — read-only file mapping via the reactor's `extern "C"`
+//!   syscall idiom on unix, with a plain-read fallback elsewhere.
+//!
+//! The live-service layers above — incremental insert, compaction,
+//! sharding, the near-duplicate front cache and the `/v1/index` admin
+//! API — live in `pipeline::api::CorpusHandle` and `crates/server`; this
+//! crate owns only the bytes.
+
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod mmap;
+pub mod store;
+
+pub use format::{decode, encode, FORMAT_VERSION};
+pub use store::{Snapshot, SnapshotStore, CURRENT};

@@ -1,0 +1,145 @@
+//! Read-only file mapping.
+//!
+//! On unix the snapshot file is `mmap`ed (`PROT_READ`/`MAP_PRIVATE`) via
+//! the same `extern "C"` discipline as the server's epoll reactor — the
+//! kernel pages the postings in on demand, so warm-start cost is
+//! independent of snapshot size until the first query touches it. On
+//! other platforms (and for zero-length files, which `mmap` rejects) the
+//! file is simply read into memory; [`Mapped`] hides the difference
+//! behind `Deref<Target = [u8]>`.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// A read-only view of a file's bytes: an `mmap` region on unix, an
+/// owned buffer elsewhere. Unmapped (or freed) on drop.
+#[derive(Debug)]
+pub enum Mapped {
+    /// A live `mmap` region.
+    #[cfg(unix)]
+    Mmap {
+        /// Base address returned by `mmap` (never null; owned by this value).
+        ptr: *mut u8,
+        /// Mapped length in bytes (non-zero).
+        len: usize,
+    },
+    /// Fallback: the whole file read into memory.
+    Owned(Vec<u8>),
+}
+
+// The region is read-only and exclusively owned until munmap in drop.
+#[cfg(unix)]
+unsafe impl Send for Mapped {}
+#[cfg(unix)]
+unsafe impl Sync for Mapped {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mapped {
+    /// Map `path` read-only. Zero-length files yield an empty
+    /// [`Mapped::Owned`] buffer (a valid `mmap` needs `len > 0`); if the
+    /// mapping syscall fails the file is read instead, so callers never
+    /// see an mmap-specific error.
+    pub fn open(path: &Path) -> io::Result<Mapped> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds usize"))?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            if len > 0 {
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != sys::MAP_FAILED {
+                    return Ok(Mapped::Mmap { ptr: ptr.cast(), len });
+                }
+            }
+        }
+        Ok(Mapped::Owned(std::fs::read(path)?))
+    }
+}
+
+impl Deref for Mapped {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Mapped::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Mapped::Owned(bytes) => bytes,
+        }
+    }
+}
+
+impl Drop for Mapped {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Mapped::Mmap { ptr, len } = *self {
+            unsafe {
+                sys::munmap(ptr.cast(), len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join(format!("sodd_mmap_{}.bin", std::process::id()));
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let mapped = Mapped::open(&path).unwrap();
+        assert_eq!(&*mapped, b"hello mapping");
+        #[cfg(unix)]
+        assert!(matches!(mapped, Mapped::Mmap { .. }));
+        drop(mapped);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = std::env::temp_dir().join(format!("sodd_mmap0_{}.bin", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let mapped = Mapped::open(&path).unwrap();
+        assert!(mapped.is_empty());
+        drop(mapped);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mapped::open(Path::new("/nonexistent/sodd_mmap.bin")).is_err());
+    }
+}

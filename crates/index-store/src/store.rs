@@ -1,0 +1,272 @@
+//! Generation-managed snapshot directory.
+//!
+//! ```text
+//! <dir>/gen-7.idx   immutable snapshot files, one per generation
+//! <dir>/gen-8.idx
+//! <dir>/CURRENT     "8\n" — the committed generation
+//! ```
+//!
+//! Writes follow the `bench::checkpoint` discipline: snapshot bytes land
+//! in `<file>.tmp` and are `rename`d into place, then `CURRENT` is
+//! rewritten the same way. `rename` is atomic on POSIX, so a crash at any
+//! instant leaves either the old committed generation or the new one —
+//! never a torn pointer. The previous generation's file is kept until the
+//! *next* compaction commits, so a kill during compaction always leaves a
+//! loadable snapshot behind (`ci.sh` proves this with a real `kill -9`).
+
+use crate::format;
+use crate::mmap::Mapped;
+use ccd::{CcdParams, CloneDetector, Fingerprint};
+use ngram_index::DocId;
+use solidity::AnalysisError;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Name of the committed-generation pointer file.
+pub const CURRENT: &str = "CURRENT";
+
+/// A decoded snapshot with its provenance.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The generation this snapshot was committed as.
+    pub generation: u64,
+    /// N-gram size its postings were built with.
+    pub n: usize,
+    decoded: format::Decoded,
+}
+
+impl Snapshot {
+    /// The corpus, in canonical order (borrowed — the strings move into
+    /// the detector on [`Snapshot::into_detector`], never copied).
+    pub fn fingerprints(&self) -> &[(DocId, Fingerprint)] {
+        &self.decoded.fingerprints
+    }
+
+    /// Assemble a [`CloneDetector`] from the snapshot.
+    ///
+    /// When `params.ngram_size` matches the snapshot's `n` the prebuilt
+    /// postings are imported verbatim (the warm-start fast path); under a
+    /// different N the index is rebuilt from the fingerprints — correct,
+    /// just not free.
+    pub fn into_detector(self, params: CcdParams) -> Result<CloneDetector, AnalysisError> {
+        static REBUILDS: telemetry::Counter =
+            telemetry::Counter::new("index_store.n_mismatch_rebuilds");
+        if params.ngram_size == self.n {
+            let (index, corpus) = self.decoded.into_index_and_corpus();
+            return CloneDetector::from_parts(params, Arc::new(corpus), index);
+        }
+        REBUILDS.incr();
+        Ok(CloneDetector::from_shared(params, Arc::new(self.decoded.fingerprints)))
+    }
+}
+
+/// A snapshot directory: load the committed generation, commit new ones.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Open (creating if needed) a snapshot directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SnapshotStore, AnalysisError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            AnalysisError::index_corrupt(format!(
+                "cannot create snapshot dir {}: {e}",
+                dir.display()
+            ))
+        })?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a generation's snapshot file.
+    pub fn generation_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation}.idx"))
+    }
+
+    /// The committed generation, or `None` when the directory has none
+    /// (fresh deploy). A malformed `CURRENT` is typed corruption.
+    pub fn current_generation(&self) -> Result<Option<u64>, AnalysisError> {
+        let path = self.dir.join(CURRENT);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(AnalysisError::index_corrupt(format!("cannot read CURRENT: {e}")))
+            }
+        };
+        text.trim()
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| AnalysisError::index_corrupt(format!("CURRENT is not a generation: {text:?}")))
+    }
+
+    /// Load a specific generation's snapshot.
+    pub fn load_generation(&self, generation: u64) -> Result<Snapshot, AnalysisError> {
+        static LOADS: telemetry::Counter = telemetry::Counter::new("index_store.loads");
+        static LOAD_BYTES: telemetry::Counter = telemetry::Counter::new("index_store.load_bytes");
+        let _span = telemetry::span("index-store/load");
+        let path = self.generation_path(generation);
+        let mapped = Mapped::open(&path).map_err(|e| {
+            AnalysisError::index_corrupt(format!("cannot map {}: {e}", path.display()))
+        })?;
+        LOAD_BYTES.add(mapped.len() as u64);
+        let decoded = format::decode(&mapped)?;
+        if decoded.generation != generation {
+            return Err(AnalysisError::index_corrupt(format!(
+                "{} claims generation {}, expected {generation}",
+                path.display(),
+                decoded.generation
+            )));
+        }
+        LOADS.incr();
+        Ok(Snapshot { generation, n: decoded.n, decoded })
+    }
+
+    /// Load the committed generation; `Ok(None)` on a fresh directory.
+    pub fn load_current(&self) -> Result<Option<Snapshot>, AnalysisError> {
+        match self.current_generation()? {
+            Some(generation) => self.load_generation(generation).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Commit `detector`'s corpus and index as `generation`: write the
+    /// snapshot file, then flip `CURRENT`. Returns the snapshot path.
+    ///
+    /// Crash windows (`index/commit` is a faultinject point between the
+    /// two steps, used by the CI kill test):
+    /// * during the snapshot write — only a `.tmp` file is lost;
+    /// * after the snapshot rename, before `CURRENT` — an unreferenced
+    ///   `gen-N.idx` remains; `CURRENT` still names the old generation;
+    /// * during the `CURRENT` rewrite — rename atomicity keeps the old
+    ///   pointer until the new one is fully in place.
+    pub fn commit(
+        &self,
+        detector: &CloneDetector,
+        generation: u64,
+    ) -> Result<PathBuf, AnalysisError> {
+        static COMMITS: telemetry::Counter = telemetry::Counter::new("index_store.commits");
+        static COMMIT_BYTES: telemetry::Counter =
+            telemetry::Counter::new("index_store.commit_bytes");
+        let _span = telemetry::span("index-store/commit");
+        let bytes = format::encode(generation, &detector.shared_fingerprints(), detector.index())?;
+        let path = self.generation_path(generation);
+        write_atomic(&path, &bytes)?;
+        // Chaos hook: a delay here holds the commit in its most adversarial
+        // window (snapshot on disk, CURRENT not yet flipped); an injected
+        // error models a full disk after the data write.
+        if let Some(message) = faultinject::fire("index/commit") {
+            return Err(AnalysisError::internal(format!("injected: {message}")));
+        }
+        write_atomic(&self.dir.join(CURRENT), format!("{generation}\n").as_bytes())?;
+        COMMITS.incr();
+        COMMIT_BYTES.add(bytes.len() as u64);
+        Ok(path)
+    }
+}
+
+/// `bench::checkpoint`'s atomic write discipline: same-directory tmp
+/// file plus rename, so readers observe either the old bytes or the new,
+/// never a prefix.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), AnalysisError> {
+    let tmp = path.with_extension("tmp");
+    let io = |what: &str, e: std::io::Error| {
+        AnalysisError::index_corrupt(format!("{what} {}: {e}", path.display()))
+    };
+    std::fs::write(&tmp, bytes).map_err(|e| io("cannot write", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io("cannot commit", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sodd_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_detector() -> CloneDetector {
+        let mut d = CloneDetector::new(CcdParams::best());
+        assert!(d.insert_source(
+            0,
+            "contract A { function w(uint v) public { msg.sender.transfer(v); } }"
+        ));
+        d
+    }
+
+    #[test]
+    fn fresh_directory_has_no_current() {
+        let store = SnapshotStore::open(temp_dir("fresh")).unwrap();
+        assert_eq!(store.current_generation().unwrap(), None);
+        assert!(store.load_current().unwrap().is_none());
+    }
+
+    #[test]
+    fn commit_then_load_roundtrips() {
+        let store = SnapshotStore::open(temp_dir("roundtrip")).unwrap();
+        let d = sample_detector();
+        store.commit(&d, 1).unwrap();
+        assert_eq!(store.current_generation().unwrap(), Some(1));
+        let snapshot = store.load_current().unwrap().expect("committed generation");
+        assert_eq!(snapshot.generation, 1);
+        let rebuilt = snapshot.into_detector(d.params()).unwrap();
+        assert_eq!(rebuilt.shared_fingerprints(), d.shared_fingerprints());
+    }
+
+    #[test]
+    fn previous_generation_survives_an_uncommitted_next_one() {
+        let store = SnapshotStore::open(temp_dir("survive")).unwrap();
+        let d = sample_detector();
+        store.commit(&d, 1).unwrap();
+        // Simulate a crash after the gen-2 data write but before the
+        // CURRENT flip: a stray data file and a torn tmp file.
+        std::fs::write(store.generation_path(2), b"torn partial write").unwrap();
+        std::fs::write(store.dir().join("gen-3.idx.tmp"), b"torn tmp").unwrap();
+        let snapshot = store.load_current().unwrap().expect("gen 1 still committed");
+        assert_eq!(snapshot.generation, 1);
+    }
+
+    #[test]
+    fn malformed_current_is_typed() {
+        let store = SnapshotStore::open(temp_dir("badcurrent")).unwrap();
+        std::fs::write(store.dir().join(CURRENT), "not a number").unwrap();
+        assert_eq!(store.current_generation().unwrap_err().code(), "index_corrupt");
+    }
+
+    #[test]
+    fn current_pointing_at_missing_file_is_typed() {
+        let store = SnapshotStore::open(temp_dir("dangling")).unwrap();
+        std::fs::write(store.dir().join(CURRENT), "42\n").unwrap();
+        assert_eq!(store.load_current().unwrap_err().code(), "index_corrupt");
+    }
+
+    #[test]
+    fn generation_mismatch_inside_file_is_typed() {
+        let store = SnapshotStore::open(temp_dir("genmismatch")).unwrap();
+        let d = sample_detector();
+        store.commit(&d, 1).unwrap();
+        // Copy gen-1's bytes to gen-5 and point CURRENT at it.
+        std::fs::copy(store.generation_path(1), store.generation_path(5)).unwrap();
+        std::fs::write(store.dir().join(CURRENT), "5\n").unwrap();
+        assert_eq!(store.load_current().unwrap_err().code(), "index_corrupt");
+    }
+
+    #[test]
+    fn n_mismatch_rebuilds_instead_of_failing() {
+        let store = SnapshotStore::open(temp_dir("nmismatch")).unwrap();
+        let d = sample_detector();
+        store.commit(&d, 1).unwrap();
+        let other = CcdParams { ngram_size: 5, ..CcdParams::best() };
+        let rebuilt = store.load_current().unwrap().unwrap().into_detector(other).unwrap();
+        assert_eq!(rebuilt.params().ngram_size, 5);
+        assert_eq!(rebuilt.len(), 1);
+    }
+}

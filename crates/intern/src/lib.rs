@@ -32,9 +32,11 @@ pub mod arena;
 pub mod index;
 pub mod source_map;
 pub mod symbol;
+pub mod table;
 
 pub use arena::Bump;
 pub use source_map::{LineIndex, SourceMap};
+pub use table::StrTable;
 pub use symbol::{
     intern_fmt, interner_stats, sym, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Symbol,
     SymbolCache,

@@ -1,0 +1,139 @@
+//! A local, serializable string table.
+//!
+//! [`StrTable`] is the offline sibling of the process-wide [`crate::Symbol`]
+//! interner: it deduplicates strings into dense `u32` ids, but it is owned
+//! by one data structure, keeps insertion order, and exports to (and
+//! rebuilds from) a flat `(blob, offsets)` layout. The index-store snapshot
+//! format uses it for its string sections — every distinct N-gram and
+//! fingerprint is written once to a contiguous blob, and fixed-width tables
+//! reference it by `(offset, length)`.
+//!
+//! Unlike the global interner, nothing here is `'static` or process-wide:
+//! a table dropped with its snapshot frees its text.
+
+use crate::{FxBuildHasher, FxHashMap};
+
+/// An insertion-ordered deduplicating string table with flat export.
+#[derive(Debug, Default, Clone)]
+pub struct StrTable {
+    /// Concatenated UTF-8 text of every distinct string, in first-seen order.
+    blob: String,
+    /// Per-id `(byte offset, byte length)` into `blob`.
+    spans: Vec<(u32, u32)>,
+    /// Dedup map from text to id.
+    ids: FxHashMap<Box<str>, u32>,
+}
+
+impl StrTable {
+    /// An empty table.
+    pub fn new() -> StrTable {
+        StrTable::default()
+    }
+
+    /// Intern `text`, returning its dense id (existing id if seen before).
+    ///
+    /// Panics if the table would exceed `u32` ids or a 4 GiB blob — the
+    /// snapshot format's fixed-width limits, far above any real corpus.
+    pub fn intern(&mut self, text: &str) -> u32 {
+        if let Some(&id) = self.ids.get(text) {
+            return id;
+        }
+        let id = u32::try_from(self.spans.len()).expect("StrTable id space exhausted");
+        let off = u32::try_from(self.blob.len()).expect("StrTable blob exceeds 4 GiB");
+        let len = u32::try_from(text.len()).expect("StrTable entry exceeds 4 GiB");
+        self.blob.push_str(text);
+        self.spans.push((off, len));
+        self.ids.insert(text.into(), id);
+        id
+    }
+
+    /// The text of `id`. Panics on an id this table never produced.
+    pub fn get(&self, id: u32) -> &str {
+        let (off, len) = self.spans[id as usize];
+        &self.blob[off as usize..(off + len) as usize]
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The concatenated text blob (export: write verbatim to disk).
+    pub fn blob(&self) -> &str {
+        &self.blob
+    }
+
+    /// Per-id `(offset, length)` spans into [`StrTable::blob`], in id order
+    /// (export: the fixed-width companion table).
+    pub fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// Rebuild a table from an exported `(blob, spans)` pair.
+    ///
+    /// Returns `None` if any span is out of bounds or splits a UTF-8
+    /// character — the snapshot loader maps that to a typed
+    /// `index_corrupt` error instead of panicking on hostile bytes.
+    pub fn from_parts(blob: String, spans: Vec<(u32, u32)>) -> Option<StrTable> {
+        let mut ids =
+            FxHashMap::with_capacity_and_hasher(spans.len(), FxBuildHasher::default());
+        for (id, &(off, len)) in spans.iter().enumerate() {
+            let (start, end) = (off as usize, off as usize + len as usize);
+            if end > blob.len() || !blob.is_char_boundary(start) || !blob.is_char_boundary(end)
+            {
+                return None;
+            }
+            ids.insert(blob[start..end].into(), id as u32);
+        }
+        Some(StrTable { blob, spans, ids })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_preserves_order() {
+        let mut t = StrTable::new();
+        assert_eq!(t.intern("abc"), 0);
+        assert_eq!(t.intern("de"), 1);
+        assert_eq!(t.intern("abc"), 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0), "abc");
+        assert_eq!(t.get(1), "de");
+        assert_eq!(t.blob(), "abcde");
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut t = StrTable::new();
+        for s in ["gram", "other", "héllo", ""] {
+            t.intern(s);
+        }
+        let rebuilt =
+            StrTable::from_parts(t.blob().to_string(), t.spans().to_vec()).expect("valid parts");
+        assert_eq!(rebuilt.len(), t.len());
+        for id in 0..t.len() as u32 {
+            assert_eq!(rebuilt.get(id), t.get(id));
+        }
+        // Dedup map survives the roundtrip: re-interning returns old ids.
+        let mut rebuilt = rebuilt;
+        assert_eq!(rebuilt.intern("other"), 1);
+    }
+
+    #[test]
+    fn corrupt_spans_are_rejected_not_panics() {
+        // Out of bounds.
+        assert!(StrTable::from_parts("abc".into(), vec![(1, 5)]).is_none());
+        // Splits a multi-byte character.
+        assert!(StrTable::from_parts("é".into(), vec![(0, 1)]).is_none());
+        // Offset past the end.
+        assert!(StrTable::from_parts("abc".into(), vec![(4, 0)]).is_none());
+    }
+}

@@ -160,6 +160,44 @@ impl NgramIndex {
         result
     }
 
+    /// The postings lists in sorted-gram order, each as `(gram, doc ids)`.
+    ///
+    /// This is the flat export used by the snapshot writer in
+    /// `index-store`: the order is deterministic (lexicographic by gram),
+    /// so identical indexes serialize to identical bytes.
+    pub fn postings_sorted(&self) -> Vec<(&str, &[DocId])> {
+        let mut out: Vec<(&str, &[DocId])> =
+            self.postings.iter().map(|(g, ids)| (&**g, &**ids)).collect();
+        out.sort_unstable_by_key(|(g, _)| *g);
+        out
+    }
+
+    /// Every indexed document with its distinct-gram count, sorted by id.
+    /// Deterministic companion export to [`NgramIndex::postings_sorted`].
+    pub fn doc_grams_sorted(&self) -> Vec<(DocId, usize)> {
+        let mut out: Vec<(DocId, usize)> =
+            self.doc_grams.iter().map(|(id, n)| (*id, *n)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Reassemble an index from flat parts without re-computing grams —
+    /// the warm-start import path. The caller (a validated snapshot
+    /// loader) guarantees the parts came from [`NgramIndex::postings_sorted`]
+    /// / [`NgramIndex::doc_grams_sorted`] of an index with the same `n`;
+    /// nothing is re-derived here.
+    pub fn from_parts<G, P>(n: usize, doc_grams: G, postings: P) -> Self
+    where
+        G: IntoIterator<Item = (DocId, usize)>,
+        P: IntoIterator<Item = (Box<str>, Vec<DocId>)>,
+    {
+        NgramIndex {
+            n: n.max(1),
+            postings: postings.into_iter().collect(),
+            doc_grams: doc_grams.into_iter().collect(),
+        }
+    }
+
     /// Fraction of the query's distinct N-grams contained in `other` —
     /// useful for tests and threshold tuning.
     pub fn share(&self, query: &str, other: &str) -> f64 {
@@ -268,6 +306,41 @@ mod tests {
         assert_eq!(index.grams("héllo"), expected);
         // Short non-ASCII text takes the single-gram path.
         assert_eq!(index.grams("éà"), vec!["éà"]);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_candidates() {
+        let mut index = NgramIndex::new(3);
+        index.insert(0, "ABCDEFGH");
+        index.insert(1, "ABCDXXXX");
+        index.insert(2, "ZZZZZZZZ");
+        let docs = index.doc_grams_sorted();
+        let posts: Vec<(Box<str>, Vec<DocId>)> = index
+            .postings_sorted()
+            .into_iter()
+            .map(|(g, ids)| (g.into(), ids.to_vec()))
+            .collect();
+        let rebuilt = NgramIndex::from_parts(3, docs, posts);
+        assert_eq!(rebuilt.len(), 3);
+        for query in ["ABCDEFGG", "ZZZZZZZZ", "ABCDXXXX"] {
+            for eta in [0.3, 0.5, 1.0] {
+                assert_eq!(rebuilt.candidates(query, eta), index.candidates(query, eta));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_exports_are_deterministic() {
+        let build = || {
+            let mut i = NgramIndex::new(2);
+            i.insert(9, "abcd");
+            i.insert(3, "bcda");
+            i
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.postings_sorted(), b.postings_sorted());
+        assert_eq!(a.doc_grams_sorted(), b.doc_grams_sorted());
+        assert_eq!(a.doc_grams_sorted(), vec![(3, 3), (9, 3)]);
     }
 
     proptest! {

@@ -19,6 +19,7 @@
 //! }
 //! ```
 
+use crate::corpus_index::{CorpusBuilder, CorpusHandle};
 use ccc::{Checker, Dasp, QueryId};
 use ccd::{CcdParams, CloneDetector, Fingerprint};
 use cpg::Cpg;
@@ -481,6 +482,9 @@ pub fn error_to_json(error: &AnalysisError) -> String {
         AnalysisError::Timeout { stage, budget_ms } => {
             out.push_str(&format!(",\"stage\":\"{}\",\"budget_ms\":{budget_ms}", escape_json(stage)));
         }
+        AnalysisError::IndexVersion { found, expected } => {
+            out.push_str(&format!(",\"found\":{found},\"expected\":{expected}"));
+        }
         _ => {}
     }
     out.push('}');
@@ -506,6 +510,12 @@ fn decode_error(value: &Value) -> AnalysisError {
             value.get("stage").and_then(Value::as_str).unwrap_or("unknown"),
             value.get("budget_ms").and_then(Value::as_f64).unwrap_or(0.0) as u64,
         ),
+        Some("index_corrupt") => AnalysisError::IndexCorrupt { message },
+        Some("index_version") => AnalysisError::index_version(
+            value.get("found").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+            value.get("expected").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+        ),
+        Some("index_busy") => AnalysisError::IndexBusy { message },
         _ => AnalysisError::invalid(message),
     }
 }
@@ -546,11 +556,13 @@ fn content_hash(source: &str) -> u64 {
 }
 
 /// A small LRU cache keyed by content hash, shared (behind the engine's
-/// `Mutex`) between all workers of the service. Instantiated twice: once
-/// over built CPGs (repeated scans of the same snippet skip parsing and
-/// graph construction) and once over whole successful responses
-/// (repeated identical requests skip the pipeline entirely).
-struct LruCache<V> {
+/// `Mutex`) between all workers of the service. Instantiated once over
+/// built CPGs (repeated scans of the same snippet skip parsing and graph
+/// construction), once over whole successful scan responses (repeated
+/// identical requests skip the pipeline entirely), and twice more as the
+/// tiers of the corpus handle's near-duplicate front cache
+/// (`crate::corpus_index`).
+pub(crate) struct LruCache<V> {
     capacity: usize,
     stamp: u64,
     entries: HashMap<u64, (u64, V)>,
@@ -560,11 +572,11 @@ struct LruCache<V> {
 type CpgCache = LruCache<Arc<Cpg>>;
 
 impl<V: Clone> LruCache<V> {
-    fn new(capacity: usize) -> LruCache<V> {
+    pub(crate) fn new(capacity: usize) -> LruCache<V> {
         LruCache { capacity, stamp: 0, entries: HashMap::new() }
     }
 
-    fn get(&mut self, key: u64) -> Option<V> {
+    pub(crate) fn get(&mut self, key: u64) -> Option<V> {
         self.stamp += 1;
         let stamp = self.stamp;
         self.entries.get_mut(&key).map(|(s, value)| {
@@ -573,7 +585,7 @@ impl<V: Clone> LruCache<V> {
         })
     }
 
-    fn insert(&mut self, key: u64, value: V) {
+    pub(crate) fn insert(&mut self, key: u64, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -588,14 +600,16 @@ impl<V: Clone> LruCache<V> {
     }
 }
 
-/// The warm analysis engine: a configured checker, a fingerprinted clone
-/// corpus and a content-addressed CPG cache behind one immutable facade.
-/// All methods take `&self`, so one engine can serve many threads through
-/// an `Arc`.
+/// The warm analysis engine: a configured checker, a shared clone-corpus
+/// handle and a content-addressed CPG cache behind one facade. All
+/// methods take `&self`, so one engine can serve many threads through an
+/// `Arc`; the corpus itself can grow live through
+/// [`AnalysisEngine::corpus_handle`] (incremental insert, compaction)
+/// without touching in-flight requests.
 pub struct AnalysisEngine {
     config: AnalysisConfig,
     checker: Checker,
-    detector: CloneDetector,
+    corpus: CorpusHandle,
     cache: Mutex<CpgCache>,
     responses: Mutex<LruCache<AnalysisResponse>>,
 }
@@ -603,8 +617,8 @@ pub struct AnalysisEngine {
 impl AnalysisEngine {
     /// An engine with an empty clone corpus (scan-only use).
     pub fn new(config: AnalysisConfig) -> AnalysisEngine {
-        let detector = CloneDetector::new(config.ccd);
-        Self::assemble(config, detector)
+        let corpus = CorpusBuilder::new(config.ccd).empty();
+        Self::assemble(config, corpus)
     }
 
     /// An engine with a clone corpus fingerprinted from sources. Documents
@@ -614,28 +628,32 @@ impl AnalysisEngine {
     where
         I: IntoIterator<Item = (u64, &'a str)>,
     {
-        let mut detector = CloneDetector::new(config.ccd);
-        for (id, source) in docs {
-            detector.insert_source(id, source);
-        }
-        Self::assemble(config, detector)
+        let corpus = CorpusBuilder::new(config.ccd).from_sources(docs);
+        Self::assemble(config, corpus)
     }
 
-    /// An engine over an already-fingerprinted shared corpus — the service
-    /// path: the corpus is built once and shared by reference count.
+    /// An engine over an already-fingerprinted shared corpus — the
+    /// corpus is built once and shared by reference count.
     pub fn with_shared_corpus(
         config: AnalysisConfig,
         corpus: Arc<Vec<(u64, Fingerprint)>>,
     ) -> AnalysisEngine {
-        let detector = CloneDetector::from_shared(config.ccd, corpus);
-        Self::assemble(config, detector)
+        let corpus = CorpusBuilder::new(config.ccd).from_shared(corpus);
+        Self::assemble(config, corpus)
     }
 
-    fn assemble(config: AnalysisConfig, detector: CloneDetector) -> AnalysisEngine {
+    /// An engine over a prepared [`CorpusHandle`] — the service path: the
+    /// handle carries the corpus lifetime (snapshot warm-start, shards,
+    /// live inserts) and the engine layers scanning and caching over it.
+    pub fn with_corpus_handle(config: AnalysisConfig, corpus: CorpusHandle) -> AnalysisEngine {
+        Self::assemble(config, corpus)
+    }
+
+    fn assemble(config: AnalysisConfig, corpus: CorpusHandle) -> AnalysisEngine {
         let checker = config.checker();
         let cache = Mutex::new(CpgCache::new(config.cache_capacity));
         let responses = Mutex::new(LruCache::new(config.response_cache_capacity));
-        AnalysisEngine { config, checker, detector, cache, responses }
+        AnalysisEngine { config, checker, corpus, cache, responses }
     }
 
     /// The engine's configuration.
@@ -648,15 +666,16 @@ impl AnalysisEngine {
         &self.checker
     }
 
-    /// The warm clone detector (for batch callers doing all-pairs work on
-    /// the corpus without re-fingerprinting every query).
-    pub fn detector(&self) -> &CloneDetector {
-        &self.detector
+    /// The shared corpus handle (batch callers doing all-pairs work on the
+    /// corpus without re-fingerprinting every query; the service's
+    /// `/v1/index` management surface).
+    pub fn corpus_handle(&self) -> &CorpusHandle {
+        &self.corpus
     }
 
     /// Number of documents in the warm clone corpus.
     pub fn corpus_len(&self) -> usize {
-        self.detector.len()
+        self.corpus.len()
     }
 
     /// Run one request to completion, applying the configured per-request
@@ -791,21 +810,29 @@ impl AnalysisEngine {
             return Err(AnalysisError::invalid("clone-check source is empty"));
         }
         self.check_deadline(deadline, "fingerprint")?;
-        let key = self.response_key_for("clone_check", None, source);
-        if let Some(hit) = key.and_then(|k| self.cached_response(k)) {
-            return Ok(hit);
+        // Clone checks memoize through the corpus handle's front cache
+        // (not the response LRU): the handle invalidates it on every
+        // insert, so a grown corpus is never shadowed by a stale cached
+        // answer — and its fingerprint tier also catches near-duplicate
+        // sources the byte-keyed response cache cannot.
+        if let Some(hit) = self.corpus.cached_by_source(source) {
+            return Ok(Self::clones_response(&hit));
         }
         let fingerprint = CloneDetector::try_fingerprint_source(source)?;
+        if let Some(hit) = self.corpus.cached_by_fingerprint(&fingerprint) {
+            return Ok(Self::clones_response(&hit));
+        }
         self.check_deadline(deadline, "match")?;
-        let hits = self
-            .detector
-            .matches(&fingerprint)
-            .into_iter()
-            .map(|m| CloneHit { doc: m.doc, score: m.score })
-            .collect();
-        let response = AnalysisResponse::Clones(hits);
-        self.store_response(key, &response);
+        let matches = Arc::new(self.corpus.matches(&fingerprint));
+        let response = Self::clones_response(&matches);
+        self.corpus.store_cached(source, &fingerprint, matches);
         Ok(response)
+    }
+
+    fn clones_response(matches: &[ccd::CloneMatch]) -> AnalysisResponse {
+        AnalysisResponse::Clones(
+            matches.iter().map(|m| CloneHit { doc: m.doc, score: m.score }).collect(),
+        )
     }
 
     /// Cache key of a successful response for this exact request, or

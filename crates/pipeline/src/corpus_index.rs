@@ -1,0 +1,745 @@
+//! The corpus lifecycle behind one handle: build, share, warm-start,
+//! insert, compact.
+//!
+//! Before this module, every consumer wired the clone corpus together by
+//! hand from the constructor sprawl (`NgramIndex::from_documents`,
+//! `CloneDetector::from_shared`, per-bin fingerprint loops). A
+//! [`CorpusBuilder`] now yields one [`CorpusHandle`] covering all three
+//! lifetimes:
+//!
+//! * **in-memory** — fingerprinted from sources (batch bins, tests),
+//! * **snapshot-backed** — assembled from a committed `index-store`
+//!   generation without re-fingerprinting (the service's warm start),
+//! * **snapshot + deltas** — a loaded snapshot taking live inserts on the
+//!   `Arc::make_mut` copy-on-write path until the next compaction.
+//!
+//! The handle shards its documents by id hash across independent
+//! [`CloneDetector`]s (candidate retrieval for a query runs the shards in
+//! parallel), tracks the committed snapshot generation vs. uncommitted
+//! delta count, and fronts the match path with a two-tier near-duplicate
+//! cache (content hash, then fuzzy-fingerprint hash) — most real traffic
+//! is the same snippet pasted again with cosmetic edits.
+
+use crate::api::LruCache;
+use ccd::{CcdParams, CloneDetector, CloneMatch, Fingerprint};
+use index_store::SnapshotStore;
+use ngram_index::{DocId, NgramIndex};
+use solidity::AnalysisError;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default capacity of each front-cache tier.
+pub const DEFAULT_FRONT_CACHE_CAPACITY: usize = 2048;
+
+/// Deterministic shard routing: multiplicative hash of the doc id. Every
+/// layer (build, insert, snapshot re-partition) must agree on this.
+fn shard_of(doc: DocId, shards: usize) -> usize {
+    (doc.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % shards
+}
+
+/// Builder for a [`CorpusHandle`] — the one entry point replacing the
+/// `from_documents`/`from_shared` constructor sprawl.
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    params: CcdParams,
+    shards: usize,
+    snapshot_dir: Option<PathBuf>,
+    front_cache_capacity: usize,
+}
+
+impl CorpusBuilder {
+    /// A builder with the given CCD parameters, one shard, no snapshot
+    /// directory and the default front-cache capacity.
+    pub fn new(params: CcdParams) -> CorpusBuilder {
+        CorpusBuilder {
+            params,
+            shards: 1,
+            snapshot_dir: None,
+            front_cache_capacity: DEFAULT_FRONT_CACHE_CAPACITY,
+        }
+    }
+
+    /// Shard the corpus `shards` ways (clamped to ≥ 1). Candidate
+    /// retrieval fans out across shards in parallel; results are merged
+    /// into one canonical order, so the shard count never changes what a
+    /// query returns.
+    pub fn shards(mut self, shards: usize) -> CorpusBuilder {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Attach a snapshot directory (enables [`CorpusHandle::compact`] and
+    /// [`CorpusBuilder::load_snapshot`]).
+    pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> CorpusBuilder {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// Capacity of each near-duplicate front-cache tier (0 disables the
+    /// front cache).
+    pub fn front_cache_capacity(mut self, capacity: usize) -> CorpusBuilder {
+        self.front_cache_capacity = capacity;
+        self
+    }
+
+    /// An empty corpus.
+    pub fn empty(self) -> CorpusHandle {
+        let params = self.params;
+        self.assemble(CloneDetector::new(params), 0)
+    }
+
+    /// Fingerprint `(id, source)` documents and build the corpus.
+    /// Documents that do not fingerprint (parse failure, nothing
+    /// tokenizable) are skipped, as everywhere else in the pipeline.
+    pub fn from_sources<'a, I>(self, docs: I) -> CorpusHandle
+    where
+        I: IntoIterator<Item = (u64, &'a str)>,
+    {
+        let fingerprints = Self::fingerprint_sources(docs);
+        self.from_fingerprints(fingerprints)
+    }
+
+    /// Build the corpus from already-computed fingerprints.
+    pub fn from_fingerprints(self, docs: Vec<(DocId, Fingerprint)>) -> CorpusHandle {
+        self.from_shared(Arc::new(docs))
+    }
+
+    /// Build the corpus over a shared fingerprint vector (reference-count
+    /// sharing with other consumers of the same corpus).
+    pub fn from_shared(self, corpus: Arc<Vec<(DocId, Fingerprint)>>) -> CorpusHandle {
+        let params = self.params;
+        let detector = CloneDetector::from_shared(params, corpus);
+        self.assemble(detector, 0)
+    }
+
+    /// Warm-start from the snapshot directory's committed generation.
+    /// `Ok(None)` when the directory has no committed snapshot yet (fresh
+    /// deploy — build from sources and [`CorpusHandle::compact`] instead);
+    /// typed `index_corrupt`/`index_version` errors when it has one that
+    /// cannot be loaded.
+    pub fn load_snapshot(self) -> Result<Option<CorpusHandle>, AnalysisError> {
+        let dir = self
+            .snapshot_dir
+            .clone()
+            .ok_or_else(|| AnalysisError::invalid("no snapshot directory configured"))?;
+        let store = SnapshotStore::open(dir)?;
+        let Some(snapshot) = store.load_current()? else {
+            return Ok(None);
+        };
+        let generation = snapshot.generation;
+        let detector = snapshot.into_detector(self.params)?;
+        Ok(Some(self.assemble(detector, generation)))
+    }
+
+    /// Fingerprint sources without building any index — the shared
+    /// front half of [`CorpusBuilder::from_sources`], used directly by
+    /// sweep-style consumers ([`ccd::SweepEngine::from_fingerprints`])
+    /// that need the fingerprints but none of the retrieval machinery.
+    pub fn fingerprint_sources<'a, I>(docs: I) -> Vec<(DocId, Fingerprint)>
+    where
+        I: IntoIterator<Item = (u64, &'a str)>,
+    {
+        docs.into_iter()
+            .filter_map(|(id, source)| {
+                CloneDetector::fingerprint_source(source).map(|fp| (id, fp))
+            })
+            .collect()
+    }
+
+    fn assemble(self, combined: CloneDetector, generation: u64) -> CorpusHandle {
+        let next_doc = combined
+            .iter_fingerprints()
+            .map(|(doc, _)| doc + 1)
+            .max()
+            .unwrap_or(0);
+        let ids = combined.iter_fingerprints().map(|(doc, _)| doc).collect();
+        let shards = partition_detector(self.params, combined, self.shards)
+            .into_iter()
+            .map(|d| RwLock::new(Arc::new(d)))
+            .collect();
+        CorpusHandle {
+            inner: Arc::new(HandleInner {
+                params: self.params,
+                shards,
+                generation: AtomicU64::new(generation),
+                deltas: AtomicU64::new(0),
+                store: self.snapshot_dir.map(|dir| {
+                    SnapshotStore::open(dir).expect("snapshot dir was creatable above")
+                }),
+                compacting: AtomicBool::new(false),
+                ids: Mutex::new(ids),
+                next_doc: AtomicU64::new(next_doc),
+                front: FrontCache::new(self.front_cache_capacity),
+            }),
+        }
+    }
+}
+
+/// Split one detector into per-shard detectors without re-gramming: the
+/// combined index's flat postings are routed to shards by
+/// [`shard_of`], and each shard imports its slice verbatim.
+fn partition_detector(
+    params: CcdParams,
+    combined: CloneDetector,
+    shards: usize,
+) -> Vec<CloneDetector> {
+    if shards <= 1 {
+        // Cheap path: the combined detector IS the single shard — moved,
+        // not copied, so a snapshot warm start never duplicates postings.
+        return vec![combined];
+    }
+    let mut corpora: Vec<Vec<(DocId, Fingerprint)>> = vec![Vec::new(); shards];
+    for (doc, fp) in combined.iter_fingerprints() {
+        corpora[shard_of(doc, shards)].push((doc, fp.clone()));
+    }
+    let mut doc_grams: Vec<Vec<(DocId, usize)>> = vec![Vec::new(); shards];
+    for (doc, count) in combined.index().doc_grams_sorted() {
+        doc_grams[shard_of(doc, shards)].push((doc, count));
+    }
+    let mut postings: Vec<Vec<(Box<str>, Vec<DocId>)>> = vec![Vec::new(); shards];
+    for (gram, ids) in combined.index().postings_sorted() {
+        let mut routed: Vec<Vec<DocId>> = vec![Vec::new(); shards];
+        for doc in ids {
+            routed[shard_of(*doc, shards)].push(*doc);
+        }
+        for (shard, ids) in routed.into_iter().enumerate() {
+            if !ids.is_empty() {
+                postings[shard].push((gram.into(), ids));
+            }
+        }
+    }
+    corpora
+        .into_iter()
+        .zip(doc_grams)
+        .zip(postings)
+        .map(|((corpus, grams), posts)| {
+            let index = NgramIndex::from_parts(params.ngram_size, grams, posts);
+            CloneDetector::from_parts(params, Arc::new(corpus), index)
+                .expect("per-shard parts are consistent by construction")
+        })
+        .collect()
+}
+
+struct HandleInner {
+    params: CcdParams,
+    /// Per-shard detectors. Readers clone the `Arc` out of the lock and
+    /// match lock-free; inserts take the write lock and mutate through
+    /// `Arc::make_mut` (copy-on-write when a reader still holds the old
+    /// corpus).
+    shards: Vec<RwLock<Arc<CloneDetector>>>,
+    /// Committed snapshot generation (0 = never committed).
+    generation: AtomicU64,
+    /// Inserts since the committed generation.
+    deltas: AtomicU64,
+    store: Option<SnapshotStore>,
+    compacting: AtomicBool,
+    /// All indexed ids (duplicate-insert guard + id allocation).
+    ids: Mutex<intern::FxHashSet<DocId>>,
+    next_doc: AtomicU64,
+    front: FrontCache,
+}
+
+/// A shared, thread-safe handle to the clone corpus — see the module
+/// docs. Cloning the handle clones an `Arc`.
+#[derive(Clone)]
+pub struct CorpusHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl CorpusHandle {
+    /// The CCD parameters the corpus was built with.
+    pub fn params(&self) -> CcdParams {
+        self.inner.params
+    }
+
+    /// Total indexed documents across shards.
+    pub fn len(&self) -> usize {
+        self.shard_detectors().iter().map(|d| d.len()).sum()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Per-shard document counts, in shard order.
+    pub fn shard_layout(&self) -> Vec<usize> {
+        self.shard_detectors().iter().map(|d| d.len()).collect()
+    }
+
+    /// The committed snapshot generation (0 when nothing was ever
+    /// committed).
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::SeqCst)
+    }
+
+    /// Inserts accepted since the committed generation — documents that
+    /// exist only in memory until the next [`CorpusHandle::compact`].
+    pub fn deltas(&self) -> u64 {
+        self.inner.deltas.load(Ordering::SeqCst)
+    }
+
+    /// Front-cache counters.
+    pub fn front_cache_stats(&self) -> FrontCacheStats {
+        self.inner.front.stats()
+    }
+
+    /// The corpus in canonical (ascending doc id) order — the sweep and
+    /// evaluation consumers' view.
+    pub fn fingerprints(&self) -> Vec<(DocId, Fingerprint)> {
+        let mut docs: Vec<(DocId, Fingerprint)> = self
+            .shard_detectors()
+            .iter()
+            .flat_map(|d| d.iter_fingerprints().map(|(doc, fp)| (doc, fp.clone())).collect::<Vec<_>>())
+            .collect();
+        docs.sort_by_key(|(doc, _)| *doc);
+        docs
+    }
+
+    fn shard_detectors(&self) -> Vec<Arc<CloneDetector>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|poisoned| poisoned.into_inner()).clone())
+            .collect()
+    }
+
+    /// All clones of `query`: per-shard η-filtered candidate retrieval and
+    /// Algorithm 1 scoring (shards run in parallel), merged into one
+    /// canonical order — descending score, ascending doc id on ties — so
+    /// the result is byte-stable across shard counts and backing stores.
+    pub fn matches(&self, query: &Fingerprint) -> Vec<CloneMatch> {
+        let detectors = self.shard_detectors();
+        let mut all = if detectors.len() == 1 {
+            detectors[0].matches(query)
+        } else {
+            std::thread::scope(|scope| {
+                let (first, rest) = detectors.split_first().expect("at least one shard");
+                let handles: Vec<_> = rest
+                    .iter()
+                    .map(|d| scope.spawn(move || d.matches(query)))
+                    .collect();
+                // The first shard runs on the calling thread.
+                let mut all = first.matches(query);
+                for handle in handles {
+                    // A shard panic (e.g. an injected ccd/match fault) is
+                    // re-raised here for the facade's isolation layer.
+                    match handle.join() {
+                        Ok(matches) => all.extend(matches),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                all
+            })
+        };
+        all.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        all
+    }
+
+    /// Insert a pre-computed fingerprint. `doc: None` auto-assigns the
+    /// next free id; an explicit id that is already indexed is an
+    /// `invalid_request`. Returns the id.
+    ///
+    /// The shard mutates under its write lock through `Arc::make_mut`:
+    /// when a concurrent reader still holds the shard's detector the
+    /// storage is cloned (copy-on-write) and the reader finishes on the
+    /// old corpus — readers never block on an insert's gram work.
+    pub fn insert_fingerprint(
+        &self,
+        doc: Option<DocId>,
+        fingerprint: Fingerprint,
+    ) -> Result<DocId, AnalysisError> {
+        static INSERTS: telemetry::Counter = telemetry::Counter::new("corpus.inserts");
+        let doc = {
+            let mut ids = self.inner.ids.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let doc = match doc {
+                Some(doc) => {
+                    if ids.contains(&doc) {
+                        return Err(AnalysisError::invalid(format!(
+                            "doc id {doc} is already indexed"
+                        )));
+                    }
+                    doc
+                }
+                None => self.inner.next_doc.load(Ordering::SeqCst),
+            };
+            ids.insert(doc);
+            // Keep the allocator above every id ever seen.
+            self.inner.next_doc.fetch_max(doc + 1, Ordering::SeqCst);
+            doc
+        };
+        let shard = &self.inner.shards[shard_of(doc, self.inner.shards.len())];
+        {
+            let mut guard = shard.write().unwrap_or_else(|poisoned| poisoned.into_inner());
+            Arc::make_mut(&mut guard).insert_fingerprint(doc, fingerprint);
+        }
+        self.inner.deltas.fetch_add(1, Ordering::SeqCst);
+        INSERTS.incr();
+        // The corpus changed: cached match results are stale.
+        self.inner.front.invalidate();
+        Ok(doc)
+    }
+
+    /// Fingerprint a source fragment and insert it (typed errors for
+    /// unfingerprintable sources). Returns the assigned id.
+    pub fn insert_source(
+        &self,
+        doc: Option<DocId>,
+        source: &str,
+    ) -> Result<DocId, AnalysisError> {
+        let fingerprint = CloneDetector::try_fingerprint_source(source)?;
+        self.insert_fingerprint(doc, fingerprint)
+    }
+
+    /// Compact the full corpus (snapshot + deltas) into the next snapshot
+    /// generation and commit it. Requires a snapshot directory; at most
+    /// one compaction runs at a time (`index_busy` otherwise). Returns
+    /// the committed generation.
+    pub fn compact(&self) -> Result<u64, AnalysisError> {
+        static COMPACTIONS: telemetry::Counter = telemetry::Counter::new("corpus.compactions");
+        let store = self
+            .inner
+            .store
+            .as_ref()
+            .ok_or_else(|| AnalysisError::invalid("no snapshot directory configured"))?;
+        if self.inner.compacting.swap(true, Ordering::SeqCst) {
+            return Err(AnalysisError::index_busy("a compaction is already in flight"));
+        }
+        // Clear the flag on every exit path, including commit errors.
+        struct Clear<'a>(&'a AtomicBool);
+        impl Drop for Clear<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::SeqCst);
+            }
+        }
+        let _clear = Clear(&self.inner.compacting);
+
+        let docs = self.fingerprints();
+        let delta_floor = self.deltas();
+        let combined = CloneDetector::from_shared(self.inner.params, Arc::new(docs));
+        let generation = self.generation() + 1;
+        store.commit(&combined, generation)?;
+        self.inner.generation.store(generation, Ordering::SeqCst);
+        // Inserts that raced in *during* the compaction stay counted as
+        // deltas; only the ones the snapshot captured are settled.
+        self.inner
+            .deltas
+            .fetch_sub(delta_floor.min(self.deltas()), Ordering::SeqCst);
+        COMPACTIONS.incr();
+        Ok(generation)
+    }
+
+    /// Front-cache lookup by exact source bytes (tier 1). `None` when
+    /// caching is off, faults are armed, or the source was never seen.
+    pub fn cached_by_source(&self, source: &str) -> Option<Arc<Vec<CloneMatch>>> {
+        self.inner.front.get_exact(source)
+    }
+
+    /// Front-cache lookup by fuzzy fingerprint (tier 2): near-duplicate
+    /// submissions — whitespace, comments, renamed identifiers — converge
+    /// to the same normalized fingerprint and hit here after parsing,
+    /// skipping candidate retrieval and scoring.
+    pub fn cached_by_fingerprint(&self, fp: &Fingerprint) -> Option<Arc<Vec<CloneMatch>>> {
+        self.inner.front.get_near(fp)
+    }
+
+    /// Memoize a match result under both front-cache tiers.
+    pub fn store_cached(&self, source: &str, fp: &Fingerprint, matches: Arc<Vec<CloneMatch>>) {
+        self.inner.front.store(source, fp, matches);
+    }
+}
+
+/// Counters of the near-duplicate front cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontCacheStats {
+    /// Tier-1 hits: byte-identical source resubmitted.
+    pub exact_hits: u64,
+    /// Tier-2 hits: near-duplicate source (same normalized fingerprint).
+    pub near_hits: u64,
+    /// Lookups that reached the matcher.
+    pub misses: u64,
+}
+
+impl FrontCacheStats {
+    /// Hit fraction over all lookups (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.exact_hits + self.near_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.exact_hits + self.near_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// Two-tier LRU front cache for clone-check results.
+///
+/// Tier 1 keys on the FNV hash of the raw source (no parsing at all on a
+/// hit). Tier 2 keys on the normalized fuzzy fingerprint — the digest
+/// `ccd` builds from `fuzzyhash` — so Type-1/Type-2 near-duplicates
+/// (cosmetic edits, renamed identifiers) share an entry the moment they
+/// fingerprint. Matching is a pure function of the fingerprint, so tier-2
+/// hits are exact, not approximate. Both tiers are dropped whenever the
+/// corpus changes, and both are bypassed while a fault plan is armed
+/// (chaos runs must reach the real stages).
+struct FrontCache {
+    capacity: usize,
+    exact: Mutex<LruCache<Arc<Vec<CloneMatch>>>>,
+    near: Mutex<LruCache<Arc<Vec<CloneMatch>>>>,
+    exact_hits: AtomicU64,
+    near_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+static FRONT_EXACT_HITS: telemetry::Counter =
+    telemetry::Counter::new("corpus.front_cache.exact_hits");
+static FRONT_NEAR_HITS: telemetry::Counter =
+    telemetry::Counter::new("corpus.front_cache.near_hits");
+static FRONT_MISSES: telemetry::Counter = telemetry::Counter::new("corpus.front_cache.misses");
+
+impl FrontCache {
+    fn new(capacity: usize) -> FrontCache {
+        FrontCache {
+            capacity,
+            exact: Mutex::new(LruCache::new(capacity)),
+            near: Mutex::new(LruCache::new(capacity)),
+            exact_hits: AtomicU64::new(0),
+            near_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.capacity > 0 && !faultinject::active()
+    }
+
+    fn key(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in bytes {
+            hash ^= *byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    fn get_exact(&self, source: &str) -> Option<Arc<Vec<CloneMatch>>> {
+        if !self.active() {
+            return None;
+        }
+        let hit = self
+            .exact
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(Self::key(source.as_bytes()));
+        if hit.is_some() {
+            self.exact_hits.fetch_add(1, Ordering::Relaxed);
+            FRONT_EXACT_HITS.incr();
+            telemetry::trace::annotate("front_cache", "exact_hit");
+        }
+        hit
+    }
+
+    fn get_near(&self, fp: &Fingerprint) -> Option<Arc<Vec<CloneMatch>>> {
+        if !self.active() {
+            return None;
+        }
+        let hit = self
+            .near
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(Self::key(fp.as_str().as_bytes()));
+        if hit.is_some() {
+            self.near_hits.fetch_add(1, Ordering::Relaxed);
+            FRONT_NEAR_HITS.incr();
+            telemetry::trace::annotate("front_cache", "near_hit");
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            FRONT_MISSES.incr();
+        }
+        hit
+    }
+
+    fn store(&self, source: &str, fp: &Fingerprint, matches: Arc<Vec<CloneMatch>>) {
+        if !self.active() {
+            return;
+        }
+        self.exact
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(Self::key(source.as_bytes()), Arc::clone(&matches));
+        self.near
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(Self::key(fp.as_str().as_bytes()), matches);
+    }
+
+    fn invalidate(&self) {
+        if self.capacity == 0 {
+            return;
+        }
+        *self.exact.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) =
+            LruCache::new(self.capacity);
+        *self.near.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) =
+            LruCache::new(self.capacity);
+    }
+
+    fn stats(&self) -> FrontCacheStats {
+        FrontCacheStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            near_hits: self.near_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC_A: &str =
+        "contract A { function w(uint v) public { msg.sender.transfer(v); } }";
+    const DOC_B: &str =
+        "contract B { uint total; function add(uint v) public { total += v; } }";
+    /// Type-2 near-duplicate of DOC_A (renamed identifiers, extra spaces).
+    const DOC_A_NEAR: &str =
+        "contract Wallet {  function out(uint amount) public { msg.sender.transfer(amount); } }";
+
+    fn handle(shards: usize) -> CorpusHandle {
+        CorpusBuilder::new(CcdParams::best())
+            .shards(shards)
+            .from_sources([(0u64, DOC_A), (1u64, DOC_B)])
+    }
+
+    fn query(source: &str) -> Fingerprint {
+        CloneDetector::fingerprint_source(source).unwrap()
+    }
+
+    #[test]
+    fn shard_counts_never_change_results() {
+        let single = handle(1);
+        for shards in [2, 3, 8] {
+            let sharded = handle(shards);
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(sharded.len(), 2);
+            for source in [DOC_A, DOC_B, DOC_A_NEAR] {
+                assert_eq!(sharded.matches(&query(source)), single.matches(&query(source)));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_auto_assigns_above_existing_ids() {
+        let handle = handle(2);
+        let id = handle.insert_source(None, DOC_A_NEAR).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(handle.len(), 3);
+        assert_eq!(handle.deltas(), 1);
+        assert!(handle.matches(&query(DOC_A)).iter().any(|m| m.doc == 2));
+    }
+
+    #[test]
+    fn duplicate_explicit_id_is_invalid() {
+        let handle = handle(1);
+        let err = handle.insert_source(Some(1), DOC_A_NEAR).unwrap_err();
+        assert_eq!(err.code(), "invalid_request");
+        assert_eq!(handle.len(), 2);
+    }
+
+    #[test]
+    fn compact_without_snapshot_dir_is_invalid() {
+        let err = handle(1).compact().unwrap_err();
+        assert_eq!(err.code(), "invalid_request");
+    }
+
+    #[test]
+    fn front_cache_tiers_hit_and_invalidate() {
+        let handle = handle(1);
+        assert!(handle.cached_by_source(DOC_A).is_none());
+        let fp = query(DOC_A);
+        let matches = Arc::new(handle.matches(&fp));
+        handle.store_cached(DOC_A, &fp, Arc::clone(&matches));
+        // Tier 1: same bytes.
+        assert_eq!(handle.cached_by_source(DOC_A).unwrap(), matches);
+        // Tier 2: a near-duplicate has the same normalized fingerprint.
+        let near_fp = query(DOC_A_NEAR);
+        assert_eq!(near_fp.as_str(), fp.as_str(), "near-duplicate must share the fingerprint");
+        assert_eq!(handle.cached_by_fingerprint(&near_fp).unwrap(), matches);
+        let stats = handle.front_cache_stats();
+        assert_eq!((stats.exact_hits, stats.near_hits), (1, 1));
+        assert!(stats.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn insert_invalidates_front_cache() {
+        let handle = handle(1);
+        let fp = query(DOC_A);
+        handle.store_cached(DOC_A, &fp, Arc::new(handle.matches(&fp)));
+        handle.insert_source(None, DOC_A_NEAR).unwrap();
+        assert!(handle.cached_by_source(DOC_A).is_none(), "stale entry survived an insert");
+        // A fresh match now sees the inserted near-duplicate.
+        assert!(handle.matches(&fp).iter().any(|m| m.doc == 2));
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads_stay_consistent() {
+        let handle = CorpusBuilder::new(CcdParams::best()).shards(4).empty();
+        let seed_fp = query(DOC_A);
+        handle.insert_fingerprint(Some(0), seed_fp.clone()).unwrap();
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let handle = handle.clone();
+                    let fp = seed_fp.clone();
+                    scope.spawn(move || {
+                        let mut seen_max = 0;
+                        for _ in 0..200 {
+                            let matches = handle.matches(&fp);
+                            // Doc 0 is always present; every result is a
+                            // valid committed document.
+                            assert!(matches.iter().any(|m| m.doc == 0));
+                            seen_max = seen_max.max(matches.len());
+                        }
+                        seen_max
+                    })
+                })
+                .collect();
+            let writer = {
+                let handle = handle.clone();
+                let fp = seed_fp.clone();
+                scope.spawn(move || {
+                    for i in 1..=20u64 {
+                        handle.insert_fingerprint(Some(i), fp.clone()).unwrap();
+                    }
+                })
+            };
+            writer.join().unwrap();
+            for reader in readers {
+                assert!(reader.join().unwrap() >= 1);
+            }
+        });
+        assert_eq!(handle.len(), 21);
+        assert_eq!(handle.matches(&seed_fp).len(), 21);
+        // Canonical order: all scores equal → ascending doc ids.
+        let docs: Vec<u64> = handle.matches(&seed_fp).iter().map(|m| m.doc).collect();
+        assert_eq!(docs, (0..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fingerprints_view_is_doc_sorted_across_shards() {
+        let handle = handle(3);
+        handle.insert_source(None, DOC_A_NEAR).unwrap();
+        let ids: Vec<u64> = handle.fingerprints().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -3,6 +3,7 @@
 //! parameter sweep.
 
 use crate::api::{AnalysisConfig, AnalysisEngine};
+use crate::corpus_index::CorpusBuilder;
 use baselines::smartembed::{SmartEmbed, SMARTEMBED_THRESHOLD};
 use ccd::{CcdParams, SweepEngine};
 use corpus::honeypots::{HoneypotDataset, HoneypotType};
@@ -84,15 +85,15 @@ pub fn evaluate_ccd(dataset: &HoneypotDataset, params: CcdParams) -> HoneypotRes
         AnalysisConfig::default().with_ccd_params(params),
         dataset.contracts.iter().map(|c| (c.id, c.source.as_str())),
     );
-    let detector = engine.detector();
+    let corpus = engine.corpus_handle();
     // Algorithm 1 is asymmetric (containment-oriented: every sub-
     // fingerprint of the *query* must find a good counterpart). For the
     // contract-vs-contract comparison of Table 3 a pair is a clone when
     // both directions agree — otherwise every small contract would "match"
     // every larger one sharing its boilerplate.
     let mut directed: HashSet<(u64, u64)> = HashSet::new();
-    for (id, fp) in detector.iter_fingerprints() {
-        for m in detector.matches(fp) {
+    for (id, fp) in corpus.fingerprints() {
+        for m in corpus.matches(&fp) {
             if m.doc != id {
                 directed.insert((id, m.doc));
             }
@@ -145,9 +146,12 @@ pub struct SweepRow {
 /// Table 3's [`evaluate_ccd`]).
 pub fn sweep_ccd(dataset: &HoneypotDataset) -> Vec<SweepRow> {
     let _span = telemetry::span("pipeline/sweep_ccd");
-    let engine = SweepEngine::from_documents(
+    // Fingerprint through the same front half as every other consumer
+    // ([`crate::corpus_index::CorpusBuilder`]) and hand the sweep engine
+    // finished fingerprints — one normalization pass, shared idiom.
+    let engine = SweepEngine::from_fingerprints(CorpusBuilder::fingerprint_sources(
         dataset.contracts.iter().map(|c| (c.id, c.source.as_str())),
-    );
+    ));
     let mut rows = Vec::with_capacity(75);
     engine.for_each_cell(|params, directed| {
         let mut total = Confusion::new();

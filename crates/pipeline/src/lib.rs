@@ -15,12 +15,17 @@
 //! * [`report`] — plain-text table rendering,
 //! * [`api`] — the unified analysis facade (typed requests/responses with
 //!   a versioned JSON encoding) shared by the batch bins and the analysis
-//!   service (`crates/server`).
+//!   service (`crates/server`),
+//! * [`corpus_index`] — the clone-corpus lifecycle behind one handle:
+//!   [`corpus_index::CorpusBuilder`] builds in-memory or snapshot-backed
+//!   corpora, [`corpus_index::CorpusHandle`] serves sharded matching,
+//!   incremental insert, compaction, and the near-duplicate front cache.
 
 
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod corpus_index;
 pub mod eval_ccc;
 pub mod eval_ccd;
 pub mod funnel;
@@ -35,6 +40,7 @@ pub mod temporal;
 pub use api::{
     AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse, CloneHit, Finding,
 };
+pub use corpus_index::{CorpusBuilder, CorpusHandle, FrontCacheStats};
 pub use funnel::{run_funnel, FunnelOutput, UniqueSnippet};
 pub use manual::{run_audit, AuditGrid};
 pub use mapping::{dedup_contracts, map_snippets, CloneMapping};

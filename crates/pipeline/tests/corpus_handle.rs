@@ -1,0 +1,124 @@
+//! Snapshot-backed vs in-memory equivalence on the honeypot corpus, and
+//! the corpus-handle lifecycle under faults.
+
+use ccd::CcdParams;
+use pipeline::corpus_index::CorpusBuilder;
+use corpus::honeypots::honeypot_dataset;
+use std::path::PathBuf;
+
+/// Seed of the recorded honeypot run (`bench::HONEYPOT_SEED`).
+const HONEYPOT_SEED: u64 = 1;
+/// Subset size: enough lineages for real clone structure, small enough
+/// for debug-profile CI.
+const TAKE: usize = 48;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sodd_handle_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn snapshot_backed_matches_are_byte_identical_on_honeypots() {
+    let dataset = honeypot_dataset(HONEYPOT_SEED);
+    let docs: Vec<(u64, &str)> =
+        dataset.contracts.iter().take(TAKE).map(|c| (c.id, c.source.as_str())).collect();
+    let in_memory = CorpusBuilder::new(CcdParams::best()).from_sources(docs.iter().copied());
+
+    let dir = temp_dir("honeypot");
+    CorpusBuilder::new(CcdParams::best())
+        .snapshot_dir(&dir)
+        .from_sources(docs.iter().copied())
+        .compact()
+        .expect("commit");
+    // Different shard count on load: the canonical merge order must make
+    // the results independent of sharding and backing store.
+    let warm = CorpusBuilder::new(CcdParams::best())
+        .snapshot_dir(&dir)
+        .shards(4)
+        .load_snapshot()
+        .expect("snapshot loads")
+        .expect("snapshot exists");
+    assert_eq!(warm.len(), in_memory.len());
+
+    // Every corpus document as a query: scores AND order must agree
+    // exactly (f64 bit pattern included — same inputs, same arithmetic).
+    for (doc, fp) in in_memory.fingerprints() {
+        let a = in_memory.matches(&fp);
+        let b = warm.matches(&fp);
+        assert_eq!(a.len(), b.len(), "doc {doc}: match count diverged");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.doc, y.doc, "doc {doc}: order diverged");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "doc {doc} vs {}: score diverged",
+                x.doc
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_lifecycle_advances_generations() {
+    let dir = temp_dir("lifecycle");
+    let handle = CorpusBuilder::new(CcdParams::best())
+        .snapshot_dir(&dir)
+        .from_sources([(
+            0u64,
+            "contract A { function w(uint v) public { msg.sender.transfer(v); } }",
+        )]);
+    assert_eq!((handle.generation(), handle.deltas()), (0, 0));
+    assert_eq!(handle.compact().unwrap(), 1);
+    handle
+        .insert_source(None, "contract B { uint t; function a(uint v) public { t += v; } }")
+        .unwrap();
+    assert_eq!((handle.generation(), handle.deltas()), (1, 1));
+    assert_eq!(handle.compact().unwrap(), 2);
+    assert_eq!((handle.generation(), handle.deltas()), (2, 0));
+
+    // Reload: generation 2 carries both documents.
+    let warm = CorpusBuilder::new(CcdParams::best())
+        .snapshot_dir(&dir)
+        .load_snapshot()
+        .unwrap()
+        .unwrap();
+    assert_eq!(warm.generation(), 2);
+    assert_eq!(warm.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_commit_leaves_previous_generation_loadable() {
+    let dir = temp_dir("failedcommit");
+    let handle = CorpusBuilder::new(CcdParams::best())
+        .snapshot_dir(&dir)
+        .from_sources([(
+            0u64,
+            "contract A { function w(uint v) public { msg.sender.transfer(v); } }",
+        )]);
+    handle.compact().unwrap();
+    handle
+        .insert_source(None, "contract B { uint t; function a(uint v) public { t += v; } }")
+        .unwrap();
+    // Inject an error exactly in the commit window (snapshot written,
+    // CURRENT not yet flipped).
+    faultinject::install(Some(faultinject::FaultPlan::parse("index:err:1.0", 1).unwrap()));
+    let err = handle.compact().unwrap_err();
+    assert_eq!(err.code(), "internal", "{err}");
+    faultinject::install(None);
+    // The handle still serves, the delta is still pending, and a reload
+    // sees the old committed generation.
+    assert_eq!((handle.generation(), handle.deltas()), (1, 1));
+    let warm = CorpusBuilder::new(CcdParams::best())
+        .snapshot_dir(&dir)
+        .load_snapshot()
+        .unwrap()
+        .unwrap();
+    assert_eq!(warm.generation(), 1);
+    assert_eq!(warm.len(), 1, "uncommitted generation must not be visible");
+    // A retry after the fault clears succeeds and advances.
+    assert_eq!(handle.compact().unwrap(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

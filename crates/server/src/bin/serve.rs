@@ -4,6 +4,7 @@
 //! serve [--port N] [--port-file PATH] [--workers N] [--queue-cap N]
 //!       [--shards N] [--read-timeout-ms N] [--max-pipeline N]
 //!       [--timeout-ms N] [--corpus N]
+//!       [--snapshot-dir PATH] [--index-shards N]
 //!       [--breaker-threshold N] [--breaker-open-ms N]
 //!       [--trace on|off] [--access-log PATH] [--slow-log PATH] [--slow-ms N]
 //! ```
@@ -13,6 +14,14 @@
 //! pick up). The clone corpus is the honeypot dataset of the recorded
 //! run, truncated to `--corpus` contracts (0 → all 379). SIGTERM and
 //! SIGINT trigger a graceful drain.
+//!
+//! Warm start: with `--snapshot-dir`, the corpus is loaded from the
+//! directory's committed snapshot generation (milliseconds — no
+//! re-fingerprinting) when one exists; otherwise it is built from source
+//! and committed as generation 1 so the *next* start is warm. The
+//! `/v1/index` endpoints then manage the live corpus: `insert` adds
+//! documents in memory, `compact` folds them into the next generation.
+//! `--index-shards` splits candidate retrieval across N parallel shards.
 //!
 //! Observability: metrics and request tracing are on by default in the
 //! daemon (`--trace off` or `TELEMETRY=0` disables everything; the kill
@@ -27,9 +36,11 @@
 
 use corpus::honeypots::honeypot_dataset;
 use pipeline::api::{AnalysisConfig, AnalysisEngine};
+use pipeline::corpus_index::CorpusBuilder;
 use server::{install_signal_handlers, Server, ServerConfig};
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Seed of the recorded honeypot corpus (see `bench::HONEYPOT_SEED`).
 const HONEYPOT_SEED: u64 = 1;
@@ -41,6 +52,8 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut timeout_ms: Option<u64> = None;
     let mut corpus_size: usize = 64;
+    let mut snapshot_dir: Option<String> = None;
+    let mut index_shards: usize = 1;
     let mut trace_on = true;
     let mut i = 1;
     while i < args.len() {
@@ -86,6 +99,14 @@ fn main() {
             }
             "--corpus" => {
                 corpus_size = value(i).parse().expect("--corpus must be a count");
+                i += 2;
+            }
+            "--snapshot-dir" => {
+                snapshot_dir = Some(value(i).clone());
+                i += 2;
+            }
+            "--index-shards" => {
+                index_shards = value(i).parse().expect("--index-shards must be a count");
                 i += 2;
             }
             "--breaker-threshold" => {
@@ -149,14 +170,58 @@ fn main() {
         analysis = analysis.with_timeout_ms(ms);
     }
 
-    eprintln!("[serve] building warm corpus ...");
-    let dataset = honeypot_dataset(HONEYPOT_SEED);
-    let take = if corpus_size == 0 { dataset.contracts.len() } else { corpus_size };
-    let engine = Arc::new(AnalysisEngine::with_corpus(
-        analysis,
-        dataset.contracts.iter().take(take).map(|c| (c.id, c.source.as_str())),
-    ));
-    eprintln!("[serve] corpus ready: {} fingerprinted contracts", engine.corpus_len());
+    let builder = || CorpusBuilder::new(analysis.ccd_params()).shards(index_shards);
+    let build_cold = |builder: CorpusBuilder| {
+        let dataset = honeypot_dataset(HONEYPOT_SEED);
+        let take = if corpus_size == 0 { dataset.contracts.len() } else { corpus_size };
+        builder.from_sources(dataset.contracts.iter().take(take).map(|c| (c.id, c.source.as_str())))
+    };
+    let started = Instant::now();
+    let corpus = match &snapshot_dir {
+        Some(dir) => {
+            // Warm path: assemble the matcher from the committed snapshot
+            // generation — no fingerprinting, no re-gramming.
+            match builder().snapshot_dir(dir).load_snapshot() {
+                Ok(Some(handle)) => {
+                    eprintln!(
+                        "[serve] warm start: generation {} ({} docs) loaded in {:.1} ms",
+                        handle.generation(),
+                        handle.len(),
+                        started.elapsed().as_secs_f64() * 1e3,
+                    );
+                    handle
+                }
+                Ok(None) => {
+                    // Fresh directory: cold build, then commit generation 1
+                    // so the next start is warm.
+                    eprintln!("[serve] no snapshot yet; building warm corpus ...");
+                    let handle = build_cold(builder().snapshot_dir(dir));
+                    match handle.compact() {
+                        Ok(generation) => eprintln!(
+                            "[serve] corpus committed as snapshot generation {generation}"
+                        ),
+                        Err(e) => eprintln!("[serve] snapshot commit failed: {e}"),
+                    }
+                    handle
+                }
+                Err(e) => {
+                    eprintln!("[serve] cannot load snapshot ({e}); rebuilding from source");
+                    build_cold(builder().snapshot_dir(dir))
+                }
+            }
+        }
+        None => {
+            eprintln!("[serve] building warm corpus ...");
+            build_cold(builder())
+        }
+    };
+    eprintln!(
+        "[serve] corpus ready: {} fingerprinted contracts ({} index shard{})",
+        corpus.len(),
+        corpus.shard_count(),
+        if corpus.shard_count() == 1 { "" } else { "s" },
+    );
+    let engine = Arc::new(AnalysisEngine::with_corpus_handle(analysis, corpus));
 
     install_signal_handlers();
     let server = Server::bind(&format!("127.0.0.1:{port}"), config, engine)

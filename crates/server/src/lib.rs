@@ -31,6 +31,9 @@
 //! | POST   | `/v1/clone-check`      | CCD match against the warm corpus      |
 //! | POST   | `/v1/analyze`          | either request kind                    |
 //! | POST   | `/v1/batch`            | array of requests, per-item results    |
+//! | GET    | `/v1/index/status`     | corpus generation, shards, cache rates |
+//! | POST   | `/v1/index/insert`     | add a document to the warm corpus      |
+//! | POST   | `/v1/index/compact`    | commit deltas as a snapshot generation |
 //! | GET    | `/health`              | liveness + corpus size                 |
 //! | GET    | `/telemetry`           | telemetry snapshot (run-report schema) |
 //! | GET    | `/metrics`             | Prometheus text exposition             |
@@ -158,12 +161,14 @@ pub fn install_signal_handlers() {
 #[cfg(not(unix))]
 pub fn install_signal_handlers() {}
 
-/// Per-endpoint circuit breakers for the four analysis endpoints.
+/// Per-endpoint circuit breakers for the four analysis endpoints and the
+/// index-management surface.
 struct Breakers {
     scan: CircuitBreaker,
     clone_check: CircuitBreaker,
     analyze: CircuitBreaker,
     batch: CircuitBreaker,
+    index: CircuitBreaker,
 }
 
 impl Breakers {
@@ -173,6 +178,7 @@ impl Breakers {
             clone_check: CircuitBreaker::new(config),
             analyze: CircuitBreaker::new(config),
             batch: CircuitBreaker::new(config),
+            index: CircuitBreaker::new(config),
         }
     }
 }
@@ -690,6 +696,9 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/clone-check" => "/v1/clone-check",
         "/v1/analyze" => "/v1/analyze",
         "/v1/batch" => "/v1/batch",
+        "/v1/index/status" => "/v1/index/status",
+        "/v1/index/insert" => "/v1/index/insert",
+        "/v1/index/compact" => "/v1/index/compact",
         "/health" => "/health",
         "/telemetry" => "/telemetry",
         "/metrics" => "/metrics",
@@ -823,7 +832,7 @@ fn route(request: &Request, state: &ServiceState) -> (u16, &'static str, String)
                 "{{\"status\":\"ok\",\"v\":1,\"corpus\":{},\"workers\":{},\"queue_capacity\":{},\
                  \"shards\":{},\"pool\":{{\"respawns\":{},\"queued\":{}}},\
                  \"breakers\":{{\"scan\":\"{}\",\"clone_check\":\"{}\",\"analyze\":\"{}\",\
-                 \"batch\":\"{}\"}}}}",
+                 \"batch\":\"{}\",\"index\":\"{}\"}}}}",
                 state.engine.corpus_len(),
                 state.workers,
                 state.queue_capacity,
@@ -834,6 +843,7 @@ fn route(request: &Request, state: &ServiceState) -> (u16, &'static str, String)
                 state.breakers.clone_check.state_name(),
                 state.breakers.analyze.state_name(),
                 state.breakers.batch.state_name(),
+                state.breakers.index.state_name(),
             ),
         ),
         ("GET", "/telemetry") => {
@@ -892,10 +902,14 @@ fn route(request: &Request, state: &ServiceState) -> (u16, &'static str, String)
         }
         ("POST", "/v1/analyze") => analyze(request, state, None, &state.breakers.analyze),
         ("POST", "/v1/batch") => batch(request, state),
+        ("GET", "/v1/index/status") => index_status(state),
+        ("POST", "/v1/index/insert") => index_insert(request, state),
+        ("POST", "/v1/index/compact") => index_compact(state),
         (
             _,
             "/health" | "/telemetry" | "/metrics" | "/shutdown" | "/v1/scan" | "/v1/clone-check"
-            | "/v1/analyze" | "/v1/batch" | "/debug/traces/recent",
+            | "/v1/analyze" | "/v1/batch" | "/v1/index/status" | "/v1/index/insert"
+            | "/v1/index/compact" | "/debug/traces/recent",
         ) => (405, JSON, error_body("method_not_allowed", "wrong method for endpoint")),
         (_, path) if path.starts_with("/debug/trace/") => {
             (405, JSON, error_body("method_not_allowed", "wrong method for endpoint"))
@@ -914,11 +928,22 @@ fn refresh_gauges(state: &ServiceState) {
     telemetry::gauge_set("pool.queue_depth", state.pool_queued() as u64);
     telemetry::gauge_set("pool.respawns", state.pool_respawns());
     telemetry::gauge_set("server.shards", state.shards as u64);
+    let corpus = state.engine.corpus_handle();
+    telemetry::gauge_set("index.generation", corpus.generation());
+    telemetry::gauge_set("index.deltas", corpus.deltas());
+    telemetry::gauge_set("index.docs", corpus.len() as u64);
+    // Scaled to basis points: gauges are integers, the rate is 0..=1.
+    let stats = corpus.front_cache_stats();
+    telemetry::gauge_set(
+        "index.front_cache_hit_rate_bp",
+        (stats.hit_rate() * 10_000.0) as u64,
+    );
     for (endpoint, breaker) in [
         ("scan", &state.breakers.scan),
         ("clone_check", &state.breakers.clone_check),
         ("analyze", &state.breakers.analyze),
         ("batch", &state.breakers.batch),
+        ("index", &state.breakers.index),
     ] {
         // 1-based so the closed (normal) state still renders: the
         // snapshot omits zero-valued gauges.
@@ -1058,13 +1083,143 @@ fn batch(request: &Request, state: &ServiceState) -> (u16, &'static str, String)
     (200, JSON, out)
 }
 
+/// `GET /v1/index/status`: the corpus handle's live lifecycle view —
+/// committed snapshot generation, document count, per-shard layout and
+/// front-cache effectiveness.
+fn index_status(state: &ServiceState) -> (u16, &'static str, String) {
+    let corpus = state.engine.corpus_handle();
+    let shards: Vec<String> =
+        corpus.shard_layout().iter().map(|n| n.to_string()).collect();
+    let stats = corpus.front_cache_stats();
+    (
+        200,
+        JSON,
+        format!(
+            "{{\"v\":1,\"kind\":\"index_status\",\"generation\":{},\"docs\":{},\
+             \"deltas\":{},\"shards\":[{}],\"front_cache\":{{\"exact_hits\":{},\
+             \"near_hits\":{},\"misses\":{},\"hit_rate\":{:.4}}}}}",
+            corpus.generation(),
+            corpus.len(),
+            corpus.deltas(),
+            shards.join(","),
+            stats.exact_hits,
+            stats.near_hits,
+            stats.misses,
+            stats.hit_rate(),
+        ),
+    )
+}
+
+/// `POST /v1/index/insert`: add one document to the warm corpus without a
+/// restart. Body: `{"v":1,"source":"...","id":<optional u64>}` — an
+/// omitted id is auto-assigned; the response echoes the indexed id. The
+/// document exists only in memory (a *delta*) until the next compaction.
+fn index_insert(request: &Request, state: &ServiceState) -> (u16, &'static str, String) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            return (400, JSON, error_body("bad_request", "request body is not UTF-8"));
+        }
+    };
+    let value = match telemetry::json::parse(body) {
+        Ok(value) => value,
+        Err(e) => {
+            return (400, JSON, error_body("bad_request", &format!("body is not JSON: {e}")));
+        }
+    };
+    match value.get("v").and_then(telemetry::json::Value::as_f64) {
+        Some(v) if v == 1.0 => {}
+        _ => return (400, JSON, error_body("bad_request", "missing or unsupported \"v\"")),
+    }
+    let Some(source) = value.get("source").and_then(telemetry::json::Value::as_str) else {
+        return (400, JSON, error_body("bad_request", "missing \"source\""));
+    };
+    let id = value.get("id").and_then(telemetry::json::Value::as_f64).map(|id| id as u64);
+    if !state.breakers.index.try_acquire() {
+        return (
+            503,
+            JSON,
+            error_body("breaker_open", "circuit breaker is open; retry after cooldown"),
+        );
+    }
+    let corpus = state.engine.corpus_handle();
+    match corpus.insert_source(id, source) {
+        Ok(doc) => {
+            state.breakers.index.record_success();
+            (
+                200,
+                JSON,
+                format!(
+                    "{{\"v\":1,\"kind\":\"index_inserted\",\"doc\":{doc},\"docs\":{},\
+                     \"generation\":{},\"deltas\":{}}}",
+                    corpus.len(),
+                    corpus.generation(),
+                    corpus.deltas(),
+                ),
+            )
+        }
+        Err(error) => {
+            record_index_outcome(state, &error);
+            (status_of(&error), JSON, error_to_json(&error))
+        }
+    }
+}
+
+/// `POST /v1/index/compact`: fold the in-memory deltas into the next
+/// snapshot generation on disk. Answers 503 `index_busy` while another
+/// compaction is in flight and 400 when the server runs without a
+/// snapshot directory.
+fn index_compact(state: &ServiceState) -> (u16, &'static str, String) {
+    if !state.breakers.index.try_acquire() {
+        return (
+            503,
+            JSON,
+            error_body("breaker_open", "circuit breaker is open; retry after cooldown"),
+        );
+    }
+    let corpus = state.engine.corpus_handle();
+    match corpus.compact() {
+        Ok(generation) => {
+            state.breakers.index.record_success();
+            (
+                200,
+                JSON,
+                format!(
+                    "{{\"v\":1,\"kind\":\"index_compacted\",\"generation\":{generation},\
+                     \"docs\":{},\"deltas\":{}}}",
+                    corpus.len(),
+                    corpus.deltas(),
+                ),
+            )
+        }
+        Err(error) => {
+            record_index_outcome(state, &error);
+            (status_of(&error), JSON, error_to_json(&error))
+        }
+    }
+}
+
+/// Charge the index breaker only for failures that are the service's
+/// fault (I/O corruption, internal errors); caller mistakes and the
+/// transient busy state are breaker successes, same rule as `analyze`.
+fn record_index_outcome(state: &ServiceState, error: &AnalysisError) {
+    if matches!(error.code(), "internal" | "index_corrupt") {
+        state.breakers.index.record_failure();
+    } else {
+        state.breakers.index.record_success();
+    }
+}
+
 /// HTTP status of an analysis error: timeouts are the gateway's fault
-/// (504), internal errors are ours (500), everything else is the
-/// request's (400).
+/// (504), internal errors and snapshot corruption are ours (500), a
+/// snapshot format mismatch is a version conflict (409), a busy index
+/// asks for retry (503), everything else is the request's fault (400).
 fn status_of(error: &AnalysisError) -> u16 {
     match error.code() {
         "timeout" => 504,
-        "internal" => 500,
+        "internal" | "index_corrupt" => 500,
+        "index_version" => 409,
+        "index_busy" => 503,
         _ => 400,
     }
 }
@@ -1236,9 +1391,72 @@ mod tests {
     }
 
     #[test]
+    fn index_status_reports_lifecycle_fields() {
+        let state = state();
+        let (status, _, body) = route(&get("/v1/index/status"), &state);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"kind\":\"index_status\""), "{body}");
+        assert!(body.contains("\"generation\":0"), "{body}");
+        assert!(body.contains("\"docs\":0"), "{body}");
+        assert!(body.contains("\"front_cache\""), "{body}");
+        // Wrong method is 405, matching the other /v1 endpoints.
+        let (status, _, _) = route(&post("/v1/index/status", ""), &state);
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn index_insert_grows_the_corpus_and_echoes_the_id() {
+        let state = state();
+        let body = "{\"v\":1,\"source\":\"contract A { function w(uint v) public { \
+                    msg.sender.transfer(v); } }\",\"id\":7}";
+        let (status, _, response) = route(&post("/v1/index/insert", body), &state);
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"doc\":7"), "{response}");
+        assert!(response.contains("\"deltas\":1"), "{response}");
+        assert_eq!(state.engine.corpus_len(), 1);
+        // Duplicate id is the caller's fault: 400, breaker stays closed.
+        let (status, _, response) = route(&post("/v1/index/insert", body), &state);
+        assert_eq!(status, 400, "{response}");
+        assert_eq!(state.breakers.index.state_name(), "closed");
+        // The inserted document is immediately matchable.
+        let check = AnalysisRequest::clone_check(
+            "contract B { function out(uint a) public { msg.sender.transfer(a); } }",
+        );
+        let (status, _, response) = route(&post("/v1/clone-check", &check.to_json()), &state);
+        assert_eq!(status, 200);
+        assert!(response.contains("\"doc\":7"), "{response}");
+    }
+
+    #[test]
+    fn index_insert_rejects_malformed_bodies() {
+        let state = state();
+        for body in ["not json", "{\"v\":1}", "{\"source\":\"contract C {}\"}"] {
+            let (status, _, response) = route(&post("/v1/index/insert", body), &state);
+            assert_eq!(status, 400, "{body} → {response}");
+        }
+    }
+
+    #[test]
+    fn index_compact_without_snapshot_dir_is_a_400() {
+        let state = state();
+        let (status, _, body) = route(&post("/v1/index/compact", ""), &state);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("invalid_request"), "{body}");
+    }
+
+    #[test]
+    fn index_error_codes_map_to_statuses() {
+        assert_eq!(status_of(&AnalysisError::index_corrupt("x")), 500);
+        assert_eq!(status_of(&AnalysisError::index_version(9, 1)), 409);
+        assert_eq!(status_of(&AnalysisError::index_busy("x")), 503);
+    }
+
+    #[test]
     fn endpoint_labels_are_bounded() {
         assert_eq!(endpoint_label("/v1/scan"), "/v1/scan");
         assert_eq!(endpoint_label("/v1/batch"), "/v1/batch");
+        assert_eq!(endpoint_label("/v1/index/status"), "/v1/index/status");
+        assert_eq!(endpoint_label("/v1/index/compact"), "/v1/index/compact");
         assert_eq!(endpoint_label("/debug/trace/deadbeef"), "/debug/trace");
         assert_eq!(endpoint_label("/anything/else"), "other");
     }

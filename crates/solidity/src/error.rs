@@ -61,6 +61,31 @@ pub enum AnalysisError {
         /// What went wrong (panic payload or fault description).
         message: String,
     },
+    /// A persistent index snapshot failed validation: truncated file,
+    /// checksum mismatch, out-of-bounds offsets, bad magic. Like
+    /// [`AnalysisError::Internal`] this is our fault (HTTP 500), but the
+    /// distinct code lets operators tell "disk state is bad" from "code
+    /// panicked".
+    IndexCorrupt {
+        /// What failed to validate.
+        message: String,
+    },
+    /// A persistent index snapshot was written by an incompatible format
+    /// version. The on-disk state is internally consistent but this build
+    /// cannot read it — HTTP 409, not 500: re-compact to upgrade.
+    IndexVersion {
+        /// Format version found in the snapshot header.
+        found: u32,
+        /// Format version this build reads and writes.
+        expected: u32,
+    },
+    /// An exclusive index operation (compaction) is already in flight.
+    /// Transient by construction — HTTP 503, retry after the current
+    /// operation finishes.
+    IndexBusy {
+        /// Which operation holds the exclusive slot.
+        message: String,
+    },
 }
 
 impl AnalysisError {
@@ -84,6 +109,21 @@ impl AnalysisError {
         AnalysisError::Internal { message: message.into() }
     }
 
+    /// Shorthand for an [`AnalysisError::IndexCorrupt`] error.
+    pub fn index_corrupt(message: impl Into<String>) -> AnalysisError {
+        AnalysisError::IndexCorrupt { message: message.into() }
+    }
+
+    /// Shorthand for an [`AnalysisError::IndexVersion`] error.
+    pub fn index_version(found: u32, expected: u32) -> AnalysisError {
+        AnalysisError::IndexVersion { found, expected }
+    }
+
+    /// Shorthand for an [`AnalysisError::IndexBusy`] error.
+    pub fn index_busy(message: impl Into<String>) -> AnalysisError {
+        AnalysisError::IndexBusy { message: message.into() }
+    }
+
     /// Build an [`AnalysisError::Internal`] from a caught panic payload
     /// (the `Box<dyn Any>` handed back by `catch_unwind`).
     pub fn from_panic(payload: Box<dyn std::any::Any + Send>, unit: &str) -> AnalysisError {
@@ -105,6 +145,9 @@ impl AnalysisError {
             AnalysisError::Timeout { .. } => "timeout",
             AnalysisError::InvalidRequest { .. } => "invalid_request",
             AnalysisError::Internal { .. } => "internal",
+            AnalysisError::IndexCorrupt { .. } => "index_corrupt",
+            AnalysisError::IndexVersion { .. } => "index_version",
+            AnalysisError::IndexBusy { .. } => "index_busy",
         }
     }
 }
@@ -125,6 +168,13 @@ impl fmt::Display for AnalysisError {
                 write!(f, "invalid request: {message}")
             }
             AnalysisError::Internal { message } => write!(f, "internal error: {message}"),
+            AnalysisError::IndexCorrupt { message } => {
+                write!(f, "index snapshot corrupt: {message}")
+            }
+            AnalysisError::IndexVersion { found, expected } => {
+                write!(f, "index snapshot format v{found} (this build reads v{expected})")
+            }
+            AnalysisError::IndexBusy { message } => write!(f, "index busy: {message}"),
         }
     }
 }
@@ -162,8 +212,21 @@ mod tests {
             AnalysisError::timeout("scan/parse", 5),
             AnalysisError::invalid("m"),
             AnalysisError::internal("m"),
+            AnalysisError::index_corrupt("m"),
+            AnalysisError::index_version(2, 1),
+            AnalysisError::index_busy("m"),
         ];
         let codes: std::collections::HashSet<&str> = all.iter().map(|e| e.code()).collect();
         assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn index_errors_render_their_detail() {
+        assert_eq!(
+            AnalysisError::index_version(3, 1).to_string(),
+            "index snapshot format v3 (this build reads v1)"
+        );
+        assert!(AnalysisError::index_corrupt("short file").to_string().contains("short file"));
+        assert!(AnalysisError::index_busy("compaction").to_string().contains("compaction"));
     }
 }
