@@ -192,8 +192,116 @@ rm -f "$PORT_FILE"
 # Warm-start ratio gate: snapshot load must be at least 10x faster than
 # the cold rebuild (a floor a debug build clears; the committed
 # index_warmstart trajectory point records the release-build margin).
-# Measures only, never appends.
+# Measures only, never appends. The timed load includes replaying a
+# 24-insert WAL tail, the real post-crash boot shape.
 ./target/release/loadgen --warmstart --no-append --requests 128 --concurrency 8
+
+# WAL torture loop: acknowledged inserts must survive kill -9 and replay
+# byte-identically, under three crash windows. A reference daemon is
+# never killed; its /v1/clone-check responses after one insert (REF1)
+# and after two (REF2) are the ground truth every recovery is compared
+# against with cmp.
+WAL_X1='{"v":1,"source":"contract WalA { uint total; function add(uint v) public { total += v; } }","id":9001}'
+WAL_X2='{"v":1,"source":"contract WalB { uint sum; function bump(uint n) public { sum += n; } }","id":9002}'
+WAL_PROBE='{"v":1,"kind":"clone_check","source":"contract WalC { uint acc; function grow(uint k) public { acc += k; } }"}'
+wal_boot() { # wal_boot <snap_dir> <log> [extra serve args...]
+  local snap_dir=$1 log=$2; shift 2
+  : > "$PORT_FILE"
+  ./target/release/serve --port 0 --port-file "$PORT_FILE" --corpus 16 \
+    --snapshot-dir "$snap_dir" "$@" >"$log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+  done
+  [ -s "$PORT_FILE" ] || { echo "torture serve never wrote its port"; cat "$log"; exit 1; }
+  WAL_ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+}
+wal_insert() { # wal_insert <body>
+  curl -sf -X POST "http://$WAL_ADDR/v1/index/insert" --data "$1" -o /dev/null
+}
+PORT_FILE=$(mktemp)
+
+# Reference: uninterrupted daemon, both inserts acknowledged.
+WAL_REF_DIR=$(mktemp -d)
+wal_boot "$WAL_REF_DIR" /tmp/serve_wal_ref.log
+wal_insert "$WAL_X1"
+curl -sf -X POST "http://$WAL_ADDR/v1/clone-check" --data "$WAL_PROBE" -o /tmp/wal_ref1.json
+wal_insert "$WAL_X2"
+curl -sf -X POST "http://$WAL_ADDR/v1/clone-check" --data "$WAL_PROBE" -o /tmp/wal_ref2.json
+if cmp -s /tmp/wal_ref1.json /tmp/wal_ref2.json; then
+  echo "torture probe does not distinguish the inserts"; exit 1
+fi
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+rm -rf "$WAL_REF_DIR"
+
+# Scenario 1: kill -9 with both acknowledged deltas only in the WAL
+# (default batch fsync). The restart must replay both.
+WAL_DIR=$(mktemp -d)
+wal_boot "$WAL_DIR" /tmp/serve_wal_kill.log
+wal_insert "$WAL_X1"
+wal_insert "$WAL_X2"
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+wal_boot "$WAL_DIR" /tmp/serve_wal_recover.log
+grep -q "warm start: generation 1 (18 docs, 2 replayed from WAL)" /tmp/serve_wal_recover.log \
+  || { echo "kill -9 lost acknowledged WAL deltas"; cat /tmp/serve_wal_recover.log; exit 1; }
+curl -sf -X POST "http://$WAL_ADDR/v1/clone-check" --data "$WAL_PROBE" -o /tmp/wal_got.json
+cmp /tmp/wal_ref2.json /tmp/wal_got.json \
+  || { echo "recovered responses diverged from the uninterrupted run"; exit 1; }
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+rm -rf "$WAL_DIR"
+
+# Scenario 2: kill -9 inside a fault-delayed wal/append — the second
+# insert is neither acknowledged nor on disk (the delay fires before the
+# write), so recovery must serve exactly the REF1 state.
+WAL_DIR=$(mktemp -d)
+wal_boot "$WAL_DIR" /tmp/serve_wal_append.log
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"   # commit generation 1 cleanly
+export FAULT_SPEC="wal/append:delay:1500ms" FAULT_SEED=1
+wal_boot "$WAL_DIR" /tmp/serve_wal_append2.log
+unset FAULT_SPEC FAULT_SEED
+wal_insert "$WAL_X1"                          # delayed, but acknowledged
+curl -s -X POST "http://$WAL_ADDR/v1/index/insert" --data "$WAL_X2" -o /dev/null &
+sleep 0.5                                     # inside X2's append delay
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+wal_boot "$WAL_DIR" /tmp/serve_wal_append3.log
+grep -q "warm start: generation 1 (17 docs, 1 replayed from WAL)" /tmp/serve_wal_append3.log \
+  || { echo "append-window crash recovered the wrong state"; cat /tmp/serve_wal_append3.log; exit 1; }
+curl -sf -X POST "http://$WAL_ADDR/v1/clone-check" --data "$WAL_PROBE" -o /tmp/wal_got.json
+cmp /tmp/wal_ref1.json /tmp/wal_got.json \
+  || { echo "append-window recovery diverged from REF1"; exit 1; }
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+rm -rf "$WAL_DIR"
+
+# Scenario 3: kill -9 inside a fault-delayed wal/fsync under
+# --wal-fsync always. The record is in the page cache before the fsync
+# starts, and kill -9 (unlike power loss) does not drop the page cache:
+# both inserts must replay.
+WAL_DIR=$(mktemp -d)
+wal_boot "$WAL_DIR" /tmp/serve_wal_fsync.log
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+export FAULT_SPEC="wal/fsync:delay:1500ms" FAULT_SEED=1
+wal_boot "$WAL_DIR" /tmp/serve_wal_fsync2.log --wal-fsync always
+unset FAULT_SPEC FAULT_SEED
+wal_insert "$WAL_X1"
+curl -s -X POST "http://$WAL_ADDR/v1/index/insert" --data "$WAL_X2" -o /dev/null &
+sleep 0.5                                     # written, fsync still held
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+wal_boot "$WAL_DIR" /tmp/serve_wal_fsync3.log
+grep -q "warm start: generation 1 (18 docs, 2 replayed from WAL)" /tmp/serve_wal_fsync3.log \
+  || { echo "fsync-window crash lost a written record"; cat /tmp/serve_wal_fsync3.log; exit 1; }
+curl -sf -X POST "http://$WAL_ADDR/v1/clone-check" --data "$WAL_PROBE" -o /tmp/wal_got.json
+cmp /tmp/wal_ref2.json /tmp/wal_got.json \
+  || { echo "fsync-window recovery diverged from REF2"; exit 1; }
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+rm -rf "$WAL_DIR"
+rm -f "$PORT_FILE"
+
+# Durability gate: group commit (batch:5, the serve default) must keep
+# at least half the fsync-never insert throughput and stay above the
+# floor recorded by the committed wal_durability trajectory point.
+# Measures only, never appends.
+./target/release/loadgen --durability --no-append --requests 192 --concurrency 8
 
 # Kill-and-resume smoke: start a checkpointed batch run, SIGKILL it once
 # its first shard is journaled, resume it, and require the resumed output

@@ -58,6 +58,10 @@ pub const POINTS: &[&str] = &[
     "ccd/match",
     "ccd/sweep",
     "server/request",
+    "index/commit",
+    "wal/append",
+    "wal/fsync",
+    "wal/replay",
 ];
 
 /// A deterministic random stream (SplitMix64). Also used by the retry

@@ -15,8 +15,14 @@
 //!   Decoding validates everything and returns typed errors
 //!   (`index_corrupt`, `index_version`); hostile bytes never panic.
 //! * [`store`] — `gen-<N>.idx` files plus a `CURRENT` pointer, both
-//!   written tmp+rename (the `bench::checkpoint` discipline), so a crash
-//!   mid-commit always leaves the previous generation loadable.
+//!   written tmp+rename (the `bench::checkpoint` discipline) and fsynced
+//!   (file before rename, directory after), so a crash mid-commit always
+//!   leaves the previous generation loadable — including across power
+//!   loss.
+//! * [`wal`] — the write-ahead delta log: one `wal-<N>.log` segment per
+//!   generation takes every insert before it is applied in memory, and
+//!   warm start replays the tail on top of the snapshot, so live inserts
+//!   survive `kill -9` without waiting for a compaction.
 //! * [`mmap`] — read-only file mapping via the reactor's `extern "C"`
 //!   syscall idiom on unix, with a plain-read fallback elsewhere.
 //!
@@ -30,6 +36,8 @@
 pub mod format;
 pub mod mmap;
 pub mod store;
+pub mod wal;
 
 pub use format::{decode, encode, FORMAT_VERSION};
 pub use store::{Snapshot, SnapshotStore, CURRENT};
+pub use wal::{FsyncPolicy, WalStats, WalWriter};

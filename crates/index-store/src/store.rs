@@ -13,6 +13,14 @@
 //! never a torn pointer. The previous generation's file is kept until the
 //! *next* compaction commits, so a kill during compaction always leaves a
 //! loadable snapshot behind (`ci.sh` proves this with a real `kill -9`).
+//!
+//! Rename atomicity alone only covers process death. For power loss the
+//! writes are fsync-disciplined: the tmp file is `sync_all`ed before its
+//! rename, and the parent directory is fsynced after each rename, so
+//! `CURRENT` can never point at bytes (or a directory entry) the disk
+//! has not seen. The live-insert side of the same discipline is the
+//! write-ahead log in [`crate::wal`]; its `wal-<N>.log` segments live in
+//! this directory and are managed through [`SnapshotStore::wal_path`].
 
 use crate::format;
 use crate::mmap::Mapped;
@@ -87,6 +95,41 @@ impl SnapshotStore {
     /// Path of a generation's snapshot file.
     pub fn generation_path(&self, generation: u64) -> PathBuf {
         self.dir.join(format!("gen-{generation}.idx"))
+    }
+
+    /// Path of a generation's write-ahead log segment.
+    pub fn wal_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("wal-{generation}.log"))
+    }
+
+    /// Generations that have a WAL segment on disk, ascending. Files that
+    /// merely look like segments (`wal-x.log`) are ignored — replay
+    /// validates the real ones by header.
+    pub fn wal_generations(&self) -> Vec<u64> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut generations: Vec<u64> = entries
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name();
+                let name = name.to_str()?;
+                name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+            })
+            .collect();
+        generations.sort_unstable();
+        generations
+    }
+
+    /// Delete WAL segments of generations before `current` — their
+    /// records are in the committed snapshot. Best-effort: a segment that
+    /// cannot be removed is re-attempted at the next compaction and is
+    /// skipped (not replayed) at boot either way.
+    pub fn remove_stale_wals(&self, current: u64) {
+        for generation in self.wal_generations() {
+            if generation < current {
+                let _ = std::fs::remove_file(self.wal_path(generation));
+            }
+        }
     }
 
     /// The committed generation, or `None` when the directory has none
@@ -171,16 +214,44 @@ impl SnapshotStore {
     }
 }
 
-/// `bench::checkpoint`'s atomic write discipline: same-directory tmp
-/// file plus rename, so readers observe either the old bytes or the new,
-/// never a prefix.
+/// `bench::checkpoint`'s atomic write discipline, hardened for power
+/// loss: same-directory tmp file, `sync_all` *before* the rename (the
+/// name must never point at unsynced bytes), rename, then fsync the
+/// parent directory so the new directory entry itself is durable.
+/// Readers observe either the old bytes or the new, never a prefix —
+/// even across a power cut.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), AnalysisError> {
+    use std::io::Write;
     let tmp = path.with_extension("tmp");
     let io = |what: &str, e: std::io::Error| {
         AnalysisError::index_corrupt(format!("{what} {}: {e}", path.display()))
     };
-    std::fs::write(&tmp, bytes).map_err(|e| io("cannot write", e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io("cannot commit", e))
+    let mut file = std::fs::File::create(&tmp).map_err(|e| io("cannot create", e))?;
+    file.write_all(bytes).map_err(|e| io("cannot write", e))?;
+    file.sync_all().map_err(|e| io("cannot sync", e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| io("cannot commit", e))?;
+    sync_parent_dir(path)
+}
+
+/// Fsync `path`'s parent directory: a rename is only durable once the
+/// directory holding the new entry is. No-op on platforms where
+/// directories cannot be opened for sync.
+pub(crate) fn sync_parent_dir(path: &Path) -> Result<(), AnalysisError> {
+    #[cfg(unix)]
+    {
+        let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) else {
+            return Ok(());
+        };
+        std::fs::File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| {
+                AnalysisError::index_corrupt(format!("cannot sync dir {}: {e}", dir.display()))
+            })?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -257,6 +328,19 @@ mod tests {
         std::fs::copy(store.generation_path(1), store.generation_path(5)).unwrap();
         std::fs::write(store.dir().join(CURRENT), "5\n").unwrap();
         assert_eq!(store.load_current().unwrap_err().code(), "index_corrupt");
+    }
+
+    #[test]
+    fn wal_generations_are_discovered_and_retired() {
+        let store = SnapshotStore::open(temp_dir("walgens")).unwrap();
+        for generation in [3u64, 1, 2] {
+            std::fs::write(store.wal_path(generation), b"ignored here").unwrap();
+        }
+        std::fs::write(store.dir().join("wal-x.log"), b"not a generation").unwrap();
+        std::fs::write(store.dir().join("wal-7.txt"), b"wrong suffix").unwrap();
+        assert_eq!(store.wal_generations(), vec![1, 2, 3]);
+        store.remove_stale_wals(3);
+        assert_eq!(store.wal_generations(), vec![3]);
     }
 
     #[test]

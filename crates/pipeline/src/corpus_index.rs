@@ -22,7 +22,8 @@
 
 use crate::api::LruCache;
 use ccd::{CcdParams, CloneDetector, CloneMatch, Fingerprint};
-use index_store::SnapshotStore;
+use index_store::wal::{self, WalWriter};
+use index_store::{FsyncPolicy, SnapshotStore, WalStats};
 use ngram_index::{DocId, NgramIndex};
 use solidity::AnalysisError;
 use std::path::PathBuf;
@@ -46,17 +47,20 @@ pub struct CorpusBuilder {
     shards: usize,
     snapshot_dir: Option<PathBuf>,
     front_cache_capacity: usize,
+    wal_fsync: FsyncPolicy,
 }
 
 impl CorpusBuilder {
     /// A builder with the given CCD parameters, one shard, no snapshot
-    /// directory and the default front-cache capacity.
+    /// directory, the default front-cache capacity and the default
+    /// (`batch:5`) WAL fsync policy.
     pub fn new(params: CcdParams) -> CorpusBuilder {
         CorpusBuilder {
             params,
             shards: 1,
             snapshot_dir: None,
             front_cache_capacity: DEFAULT_FRONT_CACHE_CAPACITY,
+            wal_fsync: FsyncPolicy::default(),
         }
     }
 
@@ -80,6 +84,13 @@ impl CorpusBuilder {
     /// front cache).
     pub fn front_cache_capacity(mut self, capacity: usize) -> CorpusBuilder {
         self.front_cache_capacity = capacity;
+        self
+    }
+
+    /// When write-ahead-log appends are fsynced (only meaningful with a
+    /// snapshot directory — the WAL lives next to the snapshots).
+    pub fn wal_fsync(mut self, policy: FsyncPolicy) -> CorpusBuilder {
+        self.wal_fsync = policy;
         self
     }
 
@@ -113,7 +124,9 @@ impl CorpusBuilder {
         self.assemble(detector, 0)
     }
 
-    /// Warm-start from the snapshot directory's committed generation.
+    /// Warm-start from the snapshot directory's committed generation and
+    /// replay the write-ahead log tail on top of it, so inserts that were
+    /// acknowledged after the last compaction come back as deltas.
     /// `Ok(None)` when the directory has no committed snapshot yet (fresh
     /// deploy — build from sources and [`CorpusHandle::compact`] instead);
     /// typed `index_corrupt`/`index_version` errors when it has one that
@@ -128,8 +141,68 @@ impl CorpusBuilder {
             return Ok(None);
         };
         let generation = snapshot.generation;
-        let detector = snapshot.into_detector(self.params)?;
-        Ok(Some(self.assemble(detector, generation)))
+        let mut detector = snapshot.into_detector(self.params)?;
+
+        // Replay the write-ahead log tail on top of the snapshot.
+        // Segments before the committed generation are fully contained in
+        // it; segments after it were started by a compaction that died
+        // before its commit. Replay the current generation's segment
+        // first, then the orphans, deduplicating by doc id (a record can
+        // legitimately live in both the snapshot and a post-rotation
+        // segment). Torn or corrupt tails are truncated with a warning,
+        // never an error.
+        store.remove_stale_wals(generation);
+        let mut primary: Option<wal::Replay> = None;
+        let mut orphans: Vec<wal::Replay> = Vec::new();
+        for wal_generation in store.wal_generations() {
+            let Some(replay) = wal::replay(&store.wal_path(wal_generation), wal_generation)?
+            else {
+                continue;
+            };
+            if wal_generation == generation {
+                primary = Some(replay);
+            } else {
+                orphans.push(replay);
+            }
+        }
+        let mut writer = match &primary {
+            Some(replay) => {
+                WalWriter::resume(store.wal_path(generation), self.wal_fsync, replay)?
+            }
+            None => WalWriter::create(store.wal_path(generation), generation, self.wal_fsync)?,
+        };
+        let mut seen: intern::FxHashSet<DocId> =
+            detector.iter_fingerprints().map(|(doc, _)| doc).collect();
+        let mut replayed = 0u64;
+        for (doc, fingerprint) in primary.map(|r| r.records).unwrap_or_default() {
+            if seen.insert(doc) {
+                detector.insert_fingerprint(doc, fingerprint);
+                replayed += 1;
+            }
+        }
+        let mut consolidated = false;
+        for orphan in orphans {
+            for (doc, fingerprint) in orphan.records {
+                if seen.insert(doc) {
+                    // Fold the orphaned segment's records into the
+                    // current one, so the next rotation (which truncates
+                    // the orphan's path) cannot lose them.
+                    writer.append(doc, &fingerprint)?;
+                    detector.insert_fingerprint(doc, fingerprint);
+                    replayed += 1;
+                    consolidated = true;
+                }
+            }
+        }
+        if consolidated {
+            writer.sync()?;
+        }
+        for wal_generation in store.wal_generations() {
+            if wal_generation > generation {
+                let _ = std::fs::remove_file(store.wal_path(wal_generation));
+            }
+        }
+        Ok(Some(self.assemble_with(detector, generation, Some(writer), replayed)))
     }
 
     /// Fingerprint sources without building any index — the shared
@@ -147,7 +220,26 @@ impl CorpusBuilder {
             .collect()
     }
 
+    /// Cold assembly: when a snapshot directory is attached, a fresh WAL
+    /// segment for `generation` is started (truncating any stale one —
+    /// a cold build's in-memory state *is* the whole corpus, so an old
+    /// segment has nothing to add).
     fn assemble(self, combined: CloneDetector, generation: u64) -> CorpusHandle {
+        let writer = self.snapshot_dir.as_ref().map(|dir| {
+            let store = SnapshotStore::open(dir).expect("snapshot dir was creatable above");
+            WalWriter::create(store.wal_path(generation), generation, self.wal_fsync)
+                .expect("WAL segment creatable in a writable snapshot dir")
+        });
+        self.assemble_with(combined, generation, writer, 0)
+    }
+
+    fn assemble_with(
+        self,
+        combined: CloneDetector,
+        generation: u64,
+        wal: Option<WalWriter>,
+        replayed: u64,
+    ) -> CorpusHandle {
         let next_doc = combined
             .iter_fingerprints()
             .map(|(doc, _)| doc + 1)
@@ -163,7 +255,7 @@ impl CorpusBuilder {
                 params: self.params,
                 shards,
                 generation: AtomicU64::new(generation),
-                deltas: AtomicU64::new(0),
+                deltas: AtomicU64::new(replayed),
                 store: self.snapshot_dir.map(|dir| {
                     SnapshotStore::open(dir).expect("snapshot dir was creatable above")
                 }),
@@ -171,6 +263,10 @@ impl CorpusBuilder {
                 ids: Mutex::new(ids),
                 next_doc: AtomicU64::new(next_doc),
                 front: FrontCache::new(self.front_cache_capacity),
+                wal: Mutex::new(wal),
+                wal_policy: self.wal_fsync,
+                replayed_on_boot: replayed,
+                auto_compactions: AtomicU64::new(0),
             }),
         }
     }
@@ -238,6 +334,15 @@ struct HandleInner {
     ids: Mutex<intern::FxHashSet<DocId>>,
     next_doc: AtomicU64,
     front: FrontCache,
+    /// Write-ahead log writer for the active segment (`Some` exactly
+    /// when `store` is). Appends happen under this lock *before* the
+    /// shard apply; compaction swaps in the next generation's writer.
+    wal: Mutex<Option<WalWriter>>,
+    wal_policy: FsyncPolicy,
+    /// WAL records replayed when this handle warm-started.
+    replayed_on_boot: u64,
+    /// Compactions triggered by the delta threshold (`--compact-after`).
+    auto_compactions: AtomicU64,
 }
 
 /// A shared, thread-safe handle to the clone corpus — see the module
@@ -279,10 +384,41 @@ impl CorpusHandle {
         self.inner.generation.load(Ordering::SeqCst)
     }
 
-    /// Inserts accepted since the committed generation — documents that
-    /// exist only in memory until the next [`CorpusHandle::compact`].
+    /// Inserts accepted since the committed generation. Each one is in
+    /// the write-ahead log (when a snapshot directory is attached), so
+    /// deltas survive a crash and are replayed at the next warm start;
+    /// [`CorpusHandle::compact`] folds them into the snapshot proper.
     pub fn deltas(&self) -> u64 {
         self.inner.deltas.load(Ordering::SeqCst)
+    }
+
+    /// Live write-ahead log counters; `None` without a snapshot
+    /// directory (nothing to log against).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        let wal = self.inner.wal.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        wal.as_ref().map(|writer| writer.stats())
+    }
+
+    /// The WAL fsync policy's canonical name, or `"off"` when the handle
+    /// has no WAL.
+    pub fn fsync_policy_name(&self) -> String {
+        if self.inner.store.is_some() {
+            self.inner.wal_policy.name()
+        } else {
+            "off".into()
+        }
+    }
+
+    /// WAL records replayed when this handle warm-started (0 for cold
+    /// builds).
+    pub fn replayed_on_boot(&self) -> u64 {
+        self.inner.replayed_on_boot
+    }
+
+    /// Compactions completed by the delta threshold
+    /// ([`CorpusHandle::maybe_auto_compact`]).
+    pub fn auto_compactions(&self) -> u64 {
+        self.inner.auto_compactions.load(Ordering::SeqCst)
     }
 
     /// Front-cache counters.
@@ -351,6 +487,12 @@ impl CorpusHandle {
     /// next free id; an explicit id that is already indexed is an
     /// `invalid_request`. Returns the id.
     ///
+    /// Write-ahead discipline: with a snapshot directory attached the
+    /// record is appended to the WAL segment *before* the in-memory
+    /// apply — once this returns `Ok`, the insert survives `kill -9`.
+    /// A failed append rejects the insert and releases its id; nothing
+    /// is applied.
+    ///
     /// The shard mutates under its write lock through `Arc::make_mut`:
     /// when a concurrent reader still holds the shard's detector the
     /// storage is cloned (copy-on-write) and the reader finishes on the
@@ -379,6 +521,18 @@ impl CorpusHandle {
             self.inner.next_doc.fetch_max(doc + 1, Ordering::SeqCst);
             doc
         };
+        {
+            let mut wal = self.inner.wal.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(writer) = wal.as_mut() {
+                if let Err(error) = writer.append(doc, &fingerprint) {
+                    drop(wal);
+                    let mut ids =
+                        self.inner.ids.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                    ids.remove(&doc);
+                    return Err(error);
+                }
+            }
+        }
         let shard = &self.inner.shards[shard_of(doc, self.inner.shards.len())];
         {
             let mut guard = shard.write().unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -406,6 +560,13 @@ impl CorpusHandle {
     /// generation and commit it. Requires a snapshot directory; at most
     /// one compaction runs at a time (`index_busy` otherwise). Returns
     /// the committed generation.
+    ///
+    /// WAL rotation happens *before* the fingerprints are captured:
+    /// inserts racing into the compaction land in the next generation's
+    /// segment (and possibly also in the snapshot — replay deduplicates
+    /// by doc id, so the overlap is harmless), while a crash anywhere in
+    /// the window leaves both segments on disk for warm start to merge.
+    /// The retired segment is deleted only after the commit succeeds.
     pub fn compact(&self) -> Result<u64, AnalysisError> {
         static COMPACTIONS: telemetry::Counter = telemetry::Counter::new("corpus.compactions");
         let store = self
@@ -425,12 +586,27 @@ impl CorpusHandle {
         }
         let _clear = Clear(&self.inner.compacting);
 
+        let generation = self.generation() + 1;
+        {
+            let mut wal = self.inner.wal.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            // A previous compaction attempt that failed *after* rotating
+            // left the writer already on this generation; rotating again
+            // would truncate records that exist nowhere else.
+            if wal.as_ref().map(|w| w.generation()) != Some(generation) {
+                let writer =
+                    WalWriter::create(store.wal_path(generation), generation, self.inner.wal_policy)?;
+                // The old writer drops here: its flusher stops and the
+                // retired segment stays on disk for crash recovery until
+                // the commit below succeeds.
+                *wal = Some(writer);
+            }
+        }
         let docs = self.fingerprints();
         let delta_floor = self.deltas();
         let combined = CloneDetector::from_shared(self.inner.params, Arc::new(docs));
-        let generation = self.generation() + 1;
         store.commit(&combined, generation)?;
         self.inner.generation.store(generation, Ordering::SeqCst);
+        store.remove_stale_wals(generation);
         // Inserts that raced in *during* the compaction stay counted as
         // deltas; only the ones the snapshot captured are settled.
         self.inner
@@ -438,6 +614,39 @@ impl CorpusHandle {
             .fetch_sub(delta_floor.min(self.deltas()), Ordering::SeqCst);
         COMPACTIONS.incr();
         Ok(generation)
+    }
+
+    /// Kick off a background compaction when the delta count has crossed
+    /// `threshold` and none is in flight (the `serve --compact-after`
+    /// policy). Returns whether a compaction was spawned; the busy guard
+    /// makes a race with a manual `/v1/index/compact` harmless (one of
+    /// the two simply observes `index_busy`).
+    pub fn maybe_auto_compact(&self, threshold: u64) -> bool {
+        static AUTO_COMPACTIONS: telemetry::Counter =
+            telemetry::Counter::new("corpus.auto_compactions");
+        if self.inner.store.is_none()
+            || self.deltas() < threshold.max(1)
+            || self.inner.compacting.load(Ordering::SeqCst)
+        {
+            return false;
+        }
+        let handle = self.clone();
+        std::thread::Builder::new()
+            .name("auto-compact".into())
+            .spawn(move || match handle.compact() {
+                Ok(generation) => {
+                    handle.inner.auto_compactions.fetch_add(1, Ordering::SeqCst);
+                    AUTO_COMPACTIONS.incr();
+                    telemetry::trace::annotate("auto_compact_generation", generation);
+                }
+                // Lost the race against a manual compaction — fine, the
+                // deltas are being folded either way.
+                Err(error) if error.code() == "index_busy" => {}
+                Err(error) => {
+                    eprintln!("[corpus] auto compaction failed: {error}");
+                }
+            })
+            .is_ok()
     }
 
     /// Front-cache lookup by exact source bytes (tier 1). `None` when

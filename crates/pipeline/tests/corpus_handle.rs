@@ -109,7 +109,9 @@ fn failed_commit_leaves_previous_generation_loadable() {
     assert_eq!(err.code(), "internal", "{err}");
     faultinject::install(None);
     // The handle still serves, the delta is still pending, and a reload
-    // sees the old committed generation.
+    // sees the old committed generation — plus the delta, replayed from
+    // the write-ahead log (the uncommitted *snapshot* must not be
+    // visible, but the acknowledged insert must survive).
     assert_eq!((handle.generation(), handle.deltas()), (1, 1));
     let warm = CorpusBuilder::new(CcdParams::best())
         .snapshot_dir(&dir)
@@ -117,8 +119,123 @@ fn failed_commit_leaves_previous_generation_loadable() {
         .unwrap()
         .unwrap();
     assert_eq!(warm.generation(), 1);
-    assert_eq!(warm.len(), 1, "uncommitted generation must not be visible");
+    assert_eq!(warm.len(), 2, "the acknowledged insert must replay from the WAL");
+    assert_eq!((warm.deltas(), warm.replayed_on_boot()), (1, 1));
     // A retry after the fault clears succeeds and advances.
     assert_eq!(handle.compact().unwrap(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+const DOC_A: &str = "contract A { function w(uint v) public { msg.sender.transfer(v); } }";
+const DOC_B: &str = "contract B { uint t; function a(uint v) public { t += v; } }";
+const DOC_C: &str = "contract C { mapping(address=>uint) m; function s(uint v) public { m[msg.sender] = v; } }";
+
+/// The tentpole invariant: inserts acknowledged after the last
+/// compaction survive a crash (modeled by simply never compacting and
+/// loading the directory fresh) and answer byte-identically.
+#[test]
+fn uncompacted_inserts_survive_a_reload_byte_identically() {
+    let dir = temp_dir("walreplay");
+    let handle =
+        CorpusBuilder::new(CcdParams::best()).snapshot_dir(&dir).from_sources([(0u64, DOC_A)]);
+    handle.compact().unwrap();
+    handle.insert_source(None, DOC_B).unwrap();
+    handle.insert_source(None, DOC_C).unwrap();
+    assert_eq!((handle.generation(), handle.deltas()), (1, 2));
+
+    // A fresh handle on the same directory — the kill -9 shape: nothing
+    // was compacted, the deltas exist only in snapshot + WAL.
+    let warm = CorpusBuilder::new(CcdParams::best())
+        .snapshot_dir(&dir)
+        .shards(3)
+        .load_snapshot()
+        .unwrap()
+        .unwrap();
+    assert_eq!((warm.generation(), warm.len()), (1, 3));
+    assert_eq!((warm.deltas(), warm.replayed_on_boot()), (2, 2));
+    for (doc, fp) in handle.fingerprints() {
+        let a = handle.matches(&fp);
+        let b = warm.matches(&fp);
+        assert_eq!(a.len(), b.len(), "doc {doc}: match count diverged");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.doc, x.score.to_bits()), (y.doc, y.score.to_bits()), "doc {doc}");
+        }
+    }
+    // Replayed deltas compact like live ones.
+    assert_eq!(warm.compact().unwrap(), 2);
+    assert_eq!(warm.deltas(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn WAL tail (half-written record at the moment of the kill) is
+/// truncated, and everything before it replays.
+#[test]
+fn torn_wal_tail_is_truncated_not_fatal() {
+    let dir = temp_dir("waltorn");
+    let handle =
+        CorpusBuilder::new(CcdParams::best()).snapshot_dir(&dir).from_sources([(0u64, DOC_A)]);
+    handle.compact().unwrap();
+    handle.insert_source(None, DOC_B).unwrap();
+    drop(handle);
+    // Tear the tail: a record header that promises more bytes than exist.
+    let wal_path = dir.join("wal-1.log");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes.extend_from_slice(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad]);
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    let warm =
+        CorpusBuilder::new(CcdParams::best()).snapshot_dir(&dir).load_snapshot().unwrap().unwrap();
+    assert_eq!((warm.len(), warm.replayed_on_boot()), (2, 1));
+    // The resumed segment truncated the garbage; further inserts append
+    // cleanly after the valid prefix.
+    warm.insert_source(None, DOC_C).unwrap();
+    drop(warm);
+    let again =
+        CorpusBuilder::new(CcdParams::best()).snapshot_dir(&dir).load_snapshot().unwrap().unwrap();
+    assert_eq!((again.len(), again.replayed_on_boot()), (3, 2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failed WAL append rejects the insert outright: nothing applied,
+/// nothing to resurrect at the next boot.
+#[test]
+fn failed_wal_append_rejects_the_insert() {
+    let dir = temp_dir("walappendfail");
+    let handle =
+        CorpusBuilder::new(CcdParams::best()).snapshot_dir(&dir).from_sources([(0u64, DOC_A)]);
+    handle.compact().unwrap();
+    faultinject::install(Some(faultinject::FaultPlan::parse("wal/append:err:1.0", 1).unwrap()));
+    let result = handle.insert_source(None, DOC_B);
+    faultinject::install(None);
+    assert_eq!(result.unwrap_err().code(), "internal");
+    assert_eq!((handle.len(), handle.deltas()), (1, 0));
+    // The id was released and the corpus still accepts inserts.
+    handle.insert_source(None, DOC_B).unwrap();
+    assert_eq!((handle.len(), handle.deltas()), (2, 1));
+    let warm =
+        CorpusBuilder::new(CcdParams::best()).snapshot_dir(&dir).load_snapshot().unwrap().unwrap();
+    assert_eq!(warm.len(), 2, "only the acknowledged insert replays");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `maybe_auto_compact` folds deltas once the threshold is crossed and
+/// stays quiet below it.
+#[test]
+fn auto_compaction_triggers_at_the_threshold() {
+    let dir = temp_dir("autocompact");
+    let handle =
+        CorpusBuilder::new(CcdParams::best()).snapshot_dir(&dir).from_sources([(0u64, DOC_A)]);
+    handle.compact().unwrap();
+    handle.insert_source(None, DOC_B).unwrap();
+    assert!(!handle.maybe_auto_compact(2), "below the threshold");
+    handle.insert_source(None, DOC_C).unwrap();
+    assert!(handle.maybe_auto_compact(2));
+    // The compaction runs on a background thread; poll for its commit.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while handle.generation() != 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!((handle.generation(), handle.deltas()), (2, 0));
+    assert_eq!(handle.auto_compactions(), 1);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -5,7 +5,7 @@
 //!         [--no-keepalive] [--pipeline-depth N] [--batch N]
 //!         [--out PATH] [--no-append] [--smoke] [--chaos]
 //!         [--observability] [--trace-overhead] [--serve-gate]
-//!         [--warmstart]
+//!         [--warmstart] [--durability]
 //! ```
 //!
 //! Drives a running daemon (`--addr`) or spins up an in-process one on an
@@ -56,14 +56,27 @@
 //! `--warmstart` is the persistent-index benchmark: it times a cold
 //! corpus build (fingerprint + index every honeypot contract from
 //! source) against a warm start from the committed snapshot of the same
-//! corpus, then drives a near-duplicate clone-check burst (Type I/II
+//! corpus — with a tail of uncompacted inserts left in the write-ahead
+//! log, so the timed load includes the replay a real post-crash boot
+//! performs — then drives a near-duplicate clone-check burst (Type I/II
 //! mutants of corpus contracts, the copy-paste traffic shape from the
 //! paper) through an in-process daemon over the warm index to measure
 //! the front-cache hit rate. Fails if the snapshot load is not at least
 //! 10x faster than the rebuild; appends one `index_warmstart` point
-//! (`cold_ms`, `warm_ms`, `speedup`, `front_cache_hit_rate`).
+//! (`cold_ms`, `warm_ms`, `speedup`, `wal_replayed`,
+//! `front_cache_hit_rate`).
+//!
+//! `--durability` is the WAL throughput benchmark: it measures the
+//! `/v1/index/insert` rate through an in-process daemon under each
+//! fsync policy (`never`, `batch:5`, `always`) on its own fresh
+//! snapshot directory. Group commit must hold up: the run fails if
+//! `batch:5` lands below half the `never` rate or below the floor
+//! recorded by the last `wal_durability` trajectory point (one
+//! re-measure on a miss — single bursts are noisy). Appends one
+//! `wal_durability` point with all three rates.
 
 use corpus::honeypots::honeypot_dataset;
+use index_store::FsyncPolicy;
 use pipeline::api::{AnalysisConfig, AnalysisEngine, AnalysisRequest, AnalysisResponse};
 use pipeline::corpus_index::CorpusBuilder;
 use rand::rngs::StdRng;
@@ -109,6 +122,7 @@ struct Args {
     trace_overhead: bool,
     serve_gate: bool,
     warmstart: bool,
+    durability: bool,
 }
 
 fn parse_args() -> Args {
@@ -126,6 +140,7 @@ fn parse_args() -> Args {
         trace_overhead: false,
         serve_gate: false,
         warmstart: false,
+        durability: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -193,6 +208,10 @@ fn parse_args() -> Args {
                 args.warmstart = true;
                 i += 1;
             }
+            "--durability" => {
+                args.durability = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -218,6 +237,11 @@ fn parse_args() -> Args {
         // The benchmark owns the corpus lifecycle (cold build, snapshot
         // commit, warm reload); an external daemon's corpus is opaque.
         eprintln!("--warmstart drives its own in-process daemon; drop --addr");
+        std::process::exit(2);
+    }
+    if args.durability && args.addr.is_some() {
+        // The benchmark restarts the daemon once per fsync policy.
+        eprintln!("--durability drives its own in-process daemons; drop --addr");
         std::process::exit(2);
     }
     if args.serve_gate {
@@ -263,6 +287,10 @@ fn main() {
     }
     if args.warmstart {
         warmstart_bench(&args, &dataset);
+        return;
+    }
+    if args.durability {
+        durability_bench(&args);
         return;
     }
 
@@ -979,8 +1007,24 @@ fn warmstart_bench(args: &Args, dataset: &corpus::honeypots::HoneypotDataset) {
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     cold.compact().expect("snapshot commit");
 
+    // Leave a WAL tail: inserts acknowledged after the commit, exactly
+    // what a daemon killed between compactions leaves behind. The timed
+    // warm load below must pay for replaying them.
+    const WAL_TAIL: usize = 24;
+    for i in 0..WAL_TAIL {
+        let source = format!(
+            "contract Tail{i} {{ uint total; function add(uint v) public {{ total += v + {i}; }} }}"
+        );
+        cold.insert_source(None, &source).expect("tail insert");
+    }
+    let cold_len = cold.len();
+    // Release the cold handle's WAL writer before a second handle opens
+    // the same segment.
+    drop(cold);
+
     // Warm path: assemble the same matcher from the committed snapshot —
-    // no tokenizing, no normalization, no re-gramming.
+    // no tokenizing, no normalization, no re-gramming — plus the WAL
+    // replay of the uncompacted tail.
     let t0 = Instant::now();
     let warm = CorpusBuilder::new(config.ccd_params())
         .snapshot_dir(&dir)
@@ -988,7 +1032,12 @@ fn warmstart_bench(args: &Args, dataset: &corpus::honeypots::HoneypotDataset) {
         .expect("snapshot loads")
         .expect("snapshot exists");
     let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(warm.len(), cold.len(), "snapshot lost documents");
+    assert_eq!(warm.len(), cold_len, "snapshot + WAL replay lost documents");
+    assert_eq!(
+        (warm.deltas() as usize, warm.replayed_on_boot() as usize),
+        (WAL_TAIL, WAL_TAIL),
+        "the uncompacted tail must replay as deltas"
+    );
     let speedup = cold_ms / warm_ms.max(1e-3);
     println!(
         "[loadgen] warmstart: cold build {cold_ms:.1} ms, snapshot load {warm_ms:.2} ms \
@@ -1047,7 +1096,7 @@ fn warmstart_bench(args: &Args, dataset: &corpus::honeypots::HoneypotDataset) {
 
     if args.append {
         let point = format!(
-            "{{\"bench\": \"index_warmstart\", \"docs\": {docs_total}, \"cold_ms\": {cold_ms:.1}, \"warm_ms\": {warm_ms:.2}, \"speedup\": {speedup:.1}, \"requests\": {}, \"front_cache_hit_rate\": {hit_rate:.4}}}",
+            "{{\"bench\": \"index_warmstart\", \"docs\": {docs_total}, \"cold_ms\": {cold_ms:.1}, \"warm_ms\": {warm_ms:.2}, \"speedup\": {speedup:.1}, \"wal_replayed\": {WAL_TAIL}, \"requests\": {}, \"front_cache_hit_rate\": {hit_rate:.4}}}",
             outcome.lat.len()
         );
         match append_point(&args.out, &point) {
@@ -1066,6 +1115,153 @@ fn warmstart_bench(args: &Args, dataset: &corpus::honeypots::HoneypotDataset) {
         );
         std::process::exit(1);
     }
+}
+
+/// The WAL throughput benchmark (`--durability`): the `/v1/index/insert`
+/// rate under each fsync policy, each on a fresh snapshot directory and
+/// in-process daemon. Fails if group commit (`batch:5`, the serve
+/// default) costs more than half the `never` rate or lands below the
+/// recorded floor; appends one `wal_durability` point.
+fn durability_bench(args: &Args) {
+    let policies = ["never", "batch:5", "always"];
+    let mut rates = Vec::with_capacity(policies.len());
+    for name in policies {
+        let rps = insert_rate(args, name);
+        println!("[loadgen] durability: {} inserts at {rps:.1} req/s under --wal-fsync {name}", args.requests);
+        rates.push(rps);
+    }
+    let (never_rps, mut batch_rps, always_rps) = (rates[0], rates[1], rates[2]);
+    let floor = durability_floor(&args.out);
+    if batch_rps < never_rps / 2.0 || floor.is_some_and(|f| batch_rps < f) {
+        // One re-measure: a single burst on a loaded CI box is noisy.
+        eprintln!("[loadgen] durability: batch:5 rate looks low; re-measuring once");
+        batch_rps = batch_rps.max(insert_rate(args, "batch:5"));
+    }
+    if batch_rps < never_rps / 2.0 {
+        eprintln!(
+            "[loadgen] FAIL: group commit costs too much: batch:5 {batch_rps:.1} req/s \
+             vs never {never_rps:.1} req/s"
+        );
+        std::process::exit(1);
+    }
+    if let Some(floor) = floor {
+        if batch_rps < floor {
+            eprintln!(
+                "[loadgen] FAIL: batch:5 insert rate {batch_rps:.1} req/s fell below \
+                 the recorded floor {floor:.1} req/s"
+            );
+            std::process::exit(1);
+        }
+    }
+    if args.append {
+        let point = format!(
+            "{{\"bench\": \"wal_durability\", \"inserts\": {}, \"concurrency\": {}, \"never_rps\": {never_rps:.1}, \"batch_rps\": {batch_rps:.1}, \"always_rps\": {always_rps:.1}, \"floor\": {:.1}}}",
+            args.requests,
+            args.concurrency,
+            batch_rps / 4.0
+        );
+        match append_point(&args.out, &point) {
+            Ok(()) => println!("[loadgen] appended wal_durability point to {}", args.out),
+            Err(e) => {
+                eprintln!("[loadgen] FAIL: could not append to {}: {e}", args.out);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// One durability measurement: a fresh single-document corpus committed
+/// under the given fsync policy, an in-process daemon on top, and a
+/// keep-alive insert burst of unique contracts from `--concurrency`
+/// threads. Returns sustained inserts per second.
+fn insert_rate(args: &Args, policy: &str) -> f64 {
+    let policy = FsyncPolicy::parse(policy).expect("bench policy parses");
+    let dir = std::env::temp_dir().join(format!(
+        "sodd_durability_{}_{}",
+        policy.name().replace(':', "_"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = AnalysisConfig::default();
+    let corpus = CorpusBuilder::new(config.ccd_params())
+        .snapshot_dir(&dir)
+        .wal_fsync(policy)
+        .from_sources([(0u64, "contract Seed { function f(uint v) public { msg.sender.transfer(v); } }")]);
+    corpus.compact().expect("seed commit");
+    let engine = Arc::new(AnalysisEngine::with_corpus_handle(config, corpus));
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default(), engine)
+        .expect("failed to bind in-process server");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("in-process server failed"));
+
+    // Every insert is a distinct contract: the WAL append is the work
+    // being measured, not front-cache hits.
+    let bodies: Vec<String> = (0..args.requests)
+        .map(|i| {
+            let source = format!(
+                "contract D{i} {{ uint total; function add(uint v) public {{ total += v + {i}; }} }}"
+            );
+            format!("{{\"v\":1,\"source\":\"{}\"}}", pipeline::api::escape_json(&source))
+        })
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.concurrency.max(1) {
+            scope.spawn(|| {
+                let mut conn = client::Connection::new(&addr);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= bodies.len() {
+                        break;
+                    }
+                    let outcome = conn
+                        .connect()
+                        .and_then(|()| conn.send("POST", "/v1/index/insert", &bodies[i], &[]))
+                        .and_then(|()| conn.recv());
+                    match outcome {
+                        Ok(r) if r.status == 200 && r.body.contains("\"kind\":\"index_inserted\"") => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    handle.shutdown();
+    join.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (ok, failed) = (ok.load(Ordering::Relaxed), failed.load(Ordering::Relaxed));
+    if failed > 0 || ok == 0 {
+        eprintln!(
+            "[loadgen] FAIL: insert burst under --wal-fsync {} had {failed} failures / {ok} ok",
+            policy.name()
+        );
+        std::process::exit(1);
+    }
+    ok as f64 / elapsed.as_secs_f64()
+}
+
+/// The floor recorded by the most recent `wal_durability` point, if any.
+fn durability_floor(path: &str) -> Option<f64> {
+    use telemetry::json::Value;
+    let content = std::fs::read_to_string(path).ok()?;
+    let doc = telemetry::json::parse(&content).ok()?;
+    let points = doc.get("points").and_then(Value::as_array)?;
+    points.iter().rev().find_map(|point| {
+        if point.get("bench").and_then(Value::as_str) == Some("wal_durability") {
+            point.get("floor").and_then(Value::as_f64)
+        } else {
+            None
+        }
+    })
 }
 
 /// Clone-check bodies for the near-duplicate profile: a rotation over

@@ -5,6 +5,7 @@
 //!       [--shards N] [--read-timeout-ms N] [--max-pipeline N]
 //!       [--timeout-ms N] [--corpus N]
 //!       [--snapshot-dir PATH] [--index-shards N]
+//!       [--wal-fsync always|batch:<ms>|never] [--compact-after N]
 //!       [--breaker-threshold N] [--breaker-open-ms N]
 //!       [--trace on|off] [--access-log PATH] [--slow-log PATH] [--slow-ms N]
 //! ```
@@ -23,6 +24,14 @@
 //! documents in memory, `compact` folds them into the next generation.
 //! `--index-shards` splits candidate retrieval across N parallel shards.
 //!
+//! Durability: with a snapshot dir every insert is appended to a
+//! write-ahead log before it is acknowledged, so acknowledged deltas
+//! survive `kill -9` and replay on the next warm start. `--wal-fsync`
+//! picks the fsync discipline (`always` per append, `batch:<ms>` group
+//! commit — the default `batch:5`, `never` leaves flushing to the OS).
+//! `--compact-after N` folds deltas into a new snapshot generation in
+//! the background once more than N accumulate (default off).
+//!
 //! Observability: metrics and request tracing are on by default in the
 //! daemon (`--trace off` or `TELEMETRY=0` disables everything; the kill
 //! switch always wins). `--access-log`/`--slow-log` append JSONL request
@@ -35,6 +44,7 @@
 //! the active plan is logged at startup.
 
 use corpus::honeypots::honeypot_dataset;
+use index_store::FsyncPolicy;
 use pipeline::api::{AnalysisConfig, AnalysisEngine};
 use pipeline::corpus_index::CorpusBuilder;
 use server::{install_signal_handlers, Server, ServerConfig};
@@ -54,6 +64,7 @@ fn main() {
     let mut corpus_size: usize = 64;
     let mut snapshot_dir: Option<String> = None;
     let mut index_shards: usize = 1;
+    let mut wal_fsync = FsyncPolicy::default();
     let mut trace_on = true;
     let mut i = 1;
     while i < args.len() {
@@ -107,6 +118,18 @@ fn main() {
             }
             "--index-shards" => {
                 index_shards = value(i).parse().expect("--index-shards must be a count");
+                i += 2;
+            }
+            "--wal-fsync" => {
+                wal_fsync = FsyncPolicy::parse(value(i)).unwrap_or_else(|e| {
+                    eprintln!("--wal-fsync: {e}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--compact-after" => {
+                config.compact_after =
+                    Some(value(i).parse().expect("--compact-after must be a count"));
                 i += 2;
             }
             "--breaker-threshold" => {
@@ -170,7 +193,8 @@ fn main() {
         analysis = analysis.with_timeout_ms(ms);
     }
 
-    let builder = || CorpusBuilder::new(analysis.ccd_params()).shards(index_shards);
+    let builder =
+        || CorpusBuilder::new(analysis.ccd_params()).shards(index_shards).wal_fsync(wal_fsync);
     let build_cold = |builder: CorpusBuilder| {
         let dataset = honeypot_dataset(HONEYPOT_SEED);
         let take = if corpus_size == 0 { dataset.contracts.len() } else { corpus_size };
@@ -184,9 +208,11 @@ fn main() {
             match builder().snapshot_dir(dir).load_snapshot() {
                 Ok(Some(handle)) => {
                     eprintln!(
-                        "[serve] warm start: generation {} ({} docs) loaded in {:.1} ms",
+                        "[serve] warm start: generation {} ({} docs, {} replayed from WAL) \
+                         loaded in {:.1} ms",
                         handle.generation(),
                         handle.len(),
+                        handle.replayed_on_boot(),
                         started.elapsed().as_secs_f64() * 1e3,
                     );
                     handle

@@ -97,6 +97,10 @@ pub struct ServerConfig {
     /// Requests at least this slow are flagged `"slow":true` and teed to
     /// the slow log.
     pub slow_ms: u64,
+    /// Trigger a background compaction once the corpus delta count
+    /// crosses this threshold (`None` disables — compaction stays
+    /// manual via `POST /v1/index/compact`).
+    pub compact_after: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +115,7 @@ impl Default for ServerConfig {
             access_log: None,
             slow_log: None,
             slow_ms: 500,
+            compact_after: None,
         }
     }
 }
@@ -196,6 +201,8 @@ struct ServiceState {
     pools: Vec<PoolMonitor>,
     /// Structured access log; `None` disables logging.
     access_log: Option<AccessLog>,
+    /// Delta threshold for background auto-compaction (`None` = off).
+    compact_after: Option<u64>,
 }
 
 impl ServiceState {
@@ -270,6 +277,7 @@ impl Server {
             breakers: Breakers::new(config.breaker),
             pools: pools.iter().map(|p| p.monitor()).collect(),
             access_log,
+            compact_after: config.compact_after,
         });
         Ok(Server {
             listener,
@@ -932,6 +940,11 @@ fn refresh_gauges(state: &ServiceState) {
     telemetry::gauge_set("index.generation", corpus.generation());
     telemetry::gauge_set("index.deltas", corpus.deltas());
     telemetry::gauge_set("index.docs", corpus.len() as u64);
+    if let Some(wal) = corpus.wal_stats() {
+        telemetry::gauge_set("index.wal_records", wal.records);
+        telemetry::gauge_set("index.wal_bytes", wal.bytes);
+    }
+    telemetry::gauge_set("corpus.auto_compactions", corpus.auto_compactions());
     // Scaled to basis points: gauges are integers, the rate is 0..=1.
     let stats = corpus.front_cache_stats();
     telemetry::gauge_set(
@@ -1084,23 +1097,31 @@ fn batch(request: &Request, state: &ServiceState) -> (u16, &'static str, String)
 }
 
 /// `GET /v1/index/status`: the corpus handle's live lifecycle view —
-/// committed snapshot generation, document count, per-shard layout and
-/// front-cache effectiveness.
+/// committed snapshot generation, document count, per-shard layout,
+/// write-ahead log durability state and front-cache effectiveness.
 fn index_status(state: &ServiceState) -> (u16, &'static str, String) {
     let corpus = state.engine.corpus_handle();
     let shards: Vec<String> =
         corpus.shard_layout().iter().map(|n| n.to_string()).collect();
     let stats = corpus.front_cache_stats();
+    let wal = corpus.wal_stats().unwrap_or_default();
     (
         200,
         JSON,
         format!(
             "{{\"v\":1,\"kind\":\"index_status\",\"generation\":{},\"docs\":{},\
-             \"deltas\":{},\"shards\":[{}],\"front_cache\":{{\"exact_hits\":{},\
+             \"deltas\":{},\"wal_records\":{},\"wal_bytes\":{},\
+             \"replayed_on_boot\":{},\"fsync_policy\":\"{}\",\
+             \"auto_compactions\":{},\"shards\":[{}],\"front_cache\":{{\"exact_hits\":{},\
              \"near_hits\":{},\"misses\":{},\"hit_rate\":{:.4}}}}}",
             corpus.generation(),
             corpus.len(),
             corpus.deltas(),
+            wal.records,
+            wal.bytes,
+            corpus.replayed_on_boot(),
+            corpus.fsync_policy_name(),
+            corpus.auto_compactions(),
             shards.join(","),
             stats.exact_hits,
             stats.near_hits,
@@ -1113,7 +1134,10 @@ fn index_status(state: &ServiceState) -> (u16, &'static str, String) {
 /// `POST /v1/index/insert`: add one document to the warm corpus without a
 /// restart. Body: `{"v":1,"source":"...","id":<optional u64>}` — an
 /// omitted id is auto-assigned; the response echoes the indexed id. The
-/// document exists only in memory (a *delta*) until the next compaction.
+/// document is a *delta* until the next compaction: served from memory,
+/// made crash-durable by the write-ahead log when the server runs with a
+/// snapshot directory. With `--compact-after N` a successful insert that
+/// pushes the delta count over N kicks off a background compaction.
 fn index_insert(request: &Request, state: &ServiceState) -> (u16, &'static str, String) {
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
@@ -1146,6 +1170,9 @@ fn index_insert(request: &Request, state: &ServiceState) -> (u16, &'static str, 
     match corpus.insert_source(id, source) {
         Ok(doc) => {
             state.breakers.index.record_success();
+            if let Some(threshold) = state.compact_after {
+                corpus.maybe_auto_compact(threshold);
+            }
             (
                 200,
                 JSON,
@@ -1239,6 +1266,7 @@ mod tests {
             breakers: Breakers::new(BreakerConfig::default()),
             pools: Vec::new(),
             access_log: None,
+            compact_after: None,
         })
     }
 
@@ -1399,6 +1427,13 @@ mod tests {
         assert!(body.contains("\"generation\":0"), "{body}");
         assert!(body.contains("\"docs\":0"), "{body}");
         assert!(body.contains("\"front_cache\""), "{body}");
+        // Durability fields are present even without a snapshot dir: the
+        // WAL is off, stats read zero.
+        assert!(body.contains("\"wal_records\":0"), "{body}");
+        assert!(body.contains("\"wal_bytes\":0"), "{body}");
+        assert!(body.contains("\"replayed_on_boot\":0"), "{body}");
+        assert!(body.contains("\"fsync_policy\":\"off\""), "{body}");
+        assert!(body.contains("\"auto_compactions\":0"), "{body}");
         // Wrong method is 405, matching the other /v1 endpoints.
         let (status, _, _) = route(&post("/v1/index/status", ""), &state);
         assert_eq!(status, 405);

@@ -138,6 +138,65 @@ fn snapshot_backed_responses_are_byte_identical_to_in_memory() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The durability contract end-to-end: inserts acknowledged over HTTP but
+/// never compacted survive an abrupt stop (the service and handle are
+/// simply dropped — the WAL is the only place the deltas live on disk)
+/// and the restarted service answers byte-identically.
+#[test]
+fn uncompacted_inserts_survive_an_abrupt_restart() {
+    let dir = temp_dir("waldurable");
+    let config = AnalysisConfig::default();
+    let corpus = CorpusBuilder::new(config.ccd_params())
+        .snapshot_dir(&dir)
+        .from_sources([(1u64, CORPUS_CONTRACT)]);
+    corpus.compact().expect("initial commit");
+    let (addr, handle, join) = start(AnalysisEngine::with_corpus_handle(config.clone(), corpus));
+
+    let insert = format!(
+        "{{\"v\":1,\"source\":\"{}\",\"id\":9}}",
+        pipeline::api::escape_json(NEW_CONTRACT)
+    );
+    let (status, body) = client::post(&addr, "/v1/index/insert", &insert).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // Status reports the WAL view: one record durable, one replay pending.
+    let (status, body) = client::get(&addr, "/v1/index/status").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field(&body, "wal_records"), 1.0, "{body}");
+    assert!(field(&body, "wal_bytes") > 0.0, "{body}");
+    assert_eq!(field(&body, "replayed_on_boot"), 0.0, "{body}");
+    assert!(body.contains("\"fsync_policy\":\"batch:5\""), "{body}");
+
+    // Capture the reference answer, then stop WITHOUT compacting.
+    let probe = AnalysisRequest::clone_check(
+        "contract Tally { uint total; function bump(uint n) public { total += n; } }",
+    );
+    let (_, reference) = client::post(&addr, "/v1/clone-check", &probe.to_json()).unwrap();
+    assert!(reference.contains("\"doc\":9"), "{reference}");
+    handle.shutdown();
+    join.join().unwrap();
+
+    // Restart: still generation 1, but the delta replays from the WAL and
+    // the clone-check response is byte-for-byte the pre-crash one.
+    let corpus = CorpusBuilder::new(config.ccd_params())
+        .snapshot_dir(&dir)
+        .load_snapshot()
+        .expect("snapshot loads")
+        .expect("snapshot exists");
+    assert_eq!((corpus.generation(), corpus.len()), (1, 2));
+    assert_eq!((corpus.deltas(), corpus.replayed_on_boot()), (1, 1));
+    let (addr, handle, join) = start(AnalysisEngine::with_corpus_handle(config, corpus));
+    let (status, body) = client::get(&addr, "/v1/index/status").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field(&body, "replayed_on_boot"), 1.0, "{body}");
+    let (status, replayed) = client::post(&addr, "/v1/clone-check", &probe.to_json()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(replayed, reference, "replayed corpus diverged from the pre-crash answer");
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn compact_without_snapshot_dir_is_client_error() {
     let engine = AnalysisEngine::with_corpus(AnalysisConfig::default(), [(1u64, CORPUS_CONTRACT)]);
